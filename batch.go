@@ -1,0 +1,94 @@
+package sdquery
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// QueryStats reports the work one query performed — the quantities the
+// paper's analysis reasons about when comparing subproblem granularities.
+type QueryStats struct {
+	// Subproblems consulted (2D pairs plus 1D leftovers; zero-weight ones
+	// are skipped).
+	Subproblems int
+	// Fetched counts sorted-access emissions across all subproblems.
+	Fetched int
+	// Scored counts distinct points scored by random access.
+	Scored int
+}
+
+// TopKWithStats answers the query and reports its work counters. Useful for
+// understanding convergence on a given dataset (see EXPERIMENTS.md for how
+// fetch counts scale against dataset size and correlation).
+func (s *SDIndex) TopKWithStats(q Query) ([]Result, QueryStats, error) {
+	res, st, err := s.eng.TopKWithStats(q.spec())
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return convertResults(res), QueryStats(core.Stats(st)), nil
+}
+
+// TopKBatch answers many queries concurrently on the shared index using up
+// to parallelism goroutines (≤ 0 selects GOMAXPROCS). Results are returned
+// in query order; the first error aborts the batch.
+func (s *SDIndex) TopKBatch(queries []Query, parallelism int) ([][]Result, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	out := make([][]Result, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= len(queries) {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				res, err := s.TopK(queries[i])
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				out[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

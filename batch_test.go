@@ -1,0 +1,105 @@
+package sdquery
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestTopKBatchMatchesSequential(t *testing.T) {
+	data := dataset.Generate(dataset.Uniform, 20_000, 4, 21)
+	roles := []Role{Repulsive, Attractive, Repulsive, Attractive}
+	idx, err := NewSDIndex(data, roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	queries := make([]Query, 40)
+	for i := range queries {
+		queries[i] = Query{
+			Point:   []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+			K:       1 + rng.Intn(8),
+			Roles:   roles,
+			Weights: []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+		}
+	}
+	batch, err := idx.TopKBatch(queries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("batch size %d, want %d", len(batch), len(queries))
+	}
+	for i, q := range queries {
+		want, err := idx.TopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if math.Abs(batch[i][j].Score-want[j].Score) > 1e-12 {
+				t.Fatalf("query %d rank %d: %v vs %v", i, j, batch[i][j].Score, want[j].Score)
+			}
+		}
+	}
+}
+
+func TestTopKBatchPropagatesErrors(t *testing.T) {
+	data := dataset.Generate(dataset.Uniform, 100, 2, 23)
+	roles := []Role{Repulsive, Attractive}
+	idx, err := NewSDIndex(data, roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{Point: []float64{0.5, 0.5}, K: 1, Roles: roles, Weights: []float64{1, 1}},
+		{Point: []float64{0.5}, K: 1, Roles: roles[:1], Weights: []float64{1}}, // bad dims
+	}
+	if _, err := idx.TopKBatch(queries, 2); err == nil {
+		t.Fatal("batch with an invalid query did not fail")
+	}
+	empty, err := idx.TopKBatch(nil, 3)
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v, %v", empty, err)
+	}
+}
+
+func TestTopKWithStats(t *testing.T) {
+	data := dataset.Generate(dataset.Uniform, 10_000, 4, 24)
+	roles := []Role{Repulsive, Attractive, Repulsive, Attractive}
+	idx, err := NewSDIndex(data, roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		Point:   []float64{0.5, 0.5, 0.5, 0.5},
+		K:       5,
+		Roles:   roles,
+		Weights: []float64{1, 1, 1, 1},
+	}
+	res, stats, err := idx.TopKWithStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("%d results, want 5", len(res))
+	}
+	if stats.Subproblems != 2 { // two (repulsive, attractive) pairs
+		t.Fatalf("Subproblems = %d, want 2", stats.Subproblems)
+	}
+	if stats.Fetched < 5 || stats.Scored < 5 || stats.Scored > stats.Fetched {
+		t.Fatalf("implausible stats: %+v", stats)
+	}
+	// The point of the index: far fewer fetches than a scan.
+	if stats.Fetched >= idx.Len() {
+		t.Fatalf("fetched %d of %d points — no pruning", stats.Fetched, idx.Len())
+	}
+	if _, _, err := idx.TopKWithStats(Query{Point: []float64{1}, K: 1,
+		Roles: roles[:1], Weights: []float64{1}}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}

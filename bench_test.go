@@ -1,0 +1,157 @@
+package sdquery
+
+// One benchmark per table and figure of the paper's evaluation, each running
+// the corresponding internal/bench experiment at reduced scale (Go
+// benchmarks are repeated by the framework; paper-scale runs belong to
+// cmd/sdbench). Micro-benchmarks for the public API follow.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+)
+
+// benchScale keeps each experiment iteration around a second.
+const benchScale = 0.02
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := bench.Config{Scale: benchScale, Seed: 1, Queries: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp.Run(cfg)
+	}
+}
+
+func BenchmarkFig7a(b *testing.B)  { runExperiment(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B)  { runExperiment(b, "fig7b") }
+func BenchmarkFig7c(b *testing.B)  { runExperiment(b, "fig7c") }
+func BenchmarkFig7d(b *testing.B)  { runExperiment(b, "fig7d") }
+func BenchmarkFig7e(b *testing.B)  { runExperiment(b, "fig7e") }
+func BenchmarkFig7f(b *testing.B)  { runExperiment(b, "fig7f") }
+func BenchmarkFig7g(b *testing.B)  { runExperiment(b, "fig7g") }
+func BenchmarkFig7h(b *testing.B)  { runExperiment(b, "fig7h") }
+func BenchmarkFig7i(b *testing.B)  { runExperiment(b, "fig7i") }
+func BenchmarkFig7j(b *testing.B)  { runExperiment(b, "fig7j") }
+func BenchmarkFig8a(b *testing.B)  { runExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)  { runExperiment(b, "fig8b") }
+func BenchmarkFig8c(b *testing.B)  { runExperiment(b, "fig8c") }
+func BenchmarkFig8d(b *testing.B)  { runExperiment(b, "fig8d") }
+func BenchmarkFig8e(b *testing.B)  { runExperiment(b, "fig8e") }
+func BenchmarkFig8f(b *testing.B)  { runExperiment(b, "fig8f") }
+func BenchmarkFig8g(b *testing.B)  { runExperiment(b, "fig8g") }
+func BenchmarkFig8h(b *testing.B)  { runExperiment(b, "fig8h") }
+func BenchmarkFig8i(b *testing.B)  { runExperiment(b, "fig8i") }
+func BenchmarkFig8j(b *testing.B)  { runExperiment(b, "fig8j") }
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+func BenchmarkAblationAngles(b *testing.B)      { runExperiment(b, "ablation-angles") }
+func BenchmarkAblationPairing(b *testing.B)     { runExperiment(b, "ablation-pairing") }
+func BenchmarkAblationGranularity(b *testing.B) { runExperiment(b, "ablation-granularity") }
+func BenchmarkAblationBranching(b *testing.B)   { runExperiment(b, "ablation-branching") }
+func BenchmarkAblationBulk(b *testing.B)        { runExperiment(b, "ablation-bulk") }
+func BenchmarkAblationAlg4(b *testing.B)        { runExperiment(b, "ablation-alg4") }
+
+// --- Micro-benchmarks: per-query cost of the public engines -------------
+
+func benchQueries(n int, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	roles := []Role{Repulsive, Attractive, Repulsive, Attractive, Repulsive, Attractive}
+	out := make([]Query, n)
+	for i := range out {
+		q := Query{
+			Point:   make([]float64, 6),
+			K:       5,
+			Roles:   roles,
+			Weights: make([]float64, 6),
+		}
+		for d := 0; d < 6; d++ {
+			q.Point[d] = rng.Float64()
+			q.Weights[d] = rng.Float64()
+		}
+		out[i] = q
+	}
+	return out
+}
+
+func benchEngine(b *testing.B, build func(data [][]float64) (Engine, error)) {
+	b.Helper()
+	data := dataset.Generate(dataset.Uniform, 50_000, 6, 1)
+	eng, err := build(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := benchQueries(64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.TopK(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuerySDIndex(b *testing.B) {
+	benchEngine(b, func(data [][]float64) (Engine, error) {
+		return NewSDIndex(data, []Role{Repulsive, Attractive, Repulsive, Attractive, Repulsive, Attractive})
+	})
+}
+
+func BenchmarkQueryScan(b *testing.B) { benchEngine(b, NewScan) }
+func BenchmarkQueryTA(b *testing.B)   { benchEngine(b, NewTA) }
+func BenchmarkQueryBRS(b *testing.B) {
+	benchEngine(b, func(data [][]float64) (Engine, error) { return NewBRS(data, 0) })
+}
+func BenchmarkQueryPE(b *testing.B) { benchEngine(b, NewPE) }
+
+func BenchmarkQueryTop1(b *testing.B) {
+	data := dataset.Generate(dataset.Uniform, 200_000, 2, 1)
+	idx, err := NewTop1Index(data, Top1Config{AttractiveWeight: 1, RepulsiveWeight: 1, K: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 64)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.TopK(pts[i%len(pts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildSDIndex(b *testing.B) {
+	data := dataset.Generate(dataset.Uniform, 20_000, 6, 1)
+	roles := []Role{Repulsive, Attractive, Repulsive, Attractive, Repulsive, Attractive}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSDIndex(data, roles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertSDIndex(b *testing.B) {
+	data := dataset.Generate(dataset.Uniform, 20_000, 6, 1)
+	roles := []Role{Repulsive, Attractive, Repulsive, Attractive, Repulsive, Attractive}
+	idx, err := NewSDIndex(data, roles)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		if _, err := idx.Insert(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

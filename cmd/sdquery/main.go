@@ -1,0 +1,122 @@
+// Command sdquery answers ad-hoc SD-Queries over a CSV file.
+//
+// Roles are given as one letter per column: a (attractive), r (repulsive),
+// i (ignored). Weights default to 1 for every active column.
+//
+//	sdquery -data points.csv -roles rrraaa -point 0.1,0.2,0.3,0.4,0.5,0.6 -k 5
+//	sdquery -data points.csv -header -roles ra -point 10,250 -weights 1,0.5 -engine scan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	sdquery "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		path    = flag.String("data", "", "CSV file of points (required)")
+		header  = flag.Bool("header", false, "CSV has a header row")
+		rolesF  = flag.String("roles", "", "one letter per column: a/r/i (required)")
+		pointF  = flag.String("point", "", "query point, comma-separated (required)")
+		weightF = flag.String("weights", "", "weights, comma-separated (default all 1)")
+		k       = flag.Int("k", 5, "answer size")
+		engine  = flag.String("engine", "sd", "sd | scan | ta | brs | pe")
+	)
+	flag.Parse()
+	if *path == "" || *rolesF == "" || *pointF == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	data, err := dataset.ReadCSV(f, *header)
+	if err != nil {
+		fatal(err)
+	}
+	if len(data) == 0 {
+		fatal(fmt.Errorf("no data rows in %s", *path))
+	}
+
+	roles := make([]sdquery.Role, len(*rolesF))
+	for i, c := range strings.ToLower(*rolesF) {
+		switch c {
+		case 'a':
+			roles[i] = sdquery.Attractive
+		case 'r':
+			roles[i] = sdquery.Repulsive
+		case 'i':
+			roles[i] = sdquery.Ignored
+		default:
+			fatal(fmt.Errorf("role %q: use a, r, or i", c))
+		}
+	}
+	point, err := parseFloats(*pointF)
+	if err != nil {
+		fatal(err)
+	}
+	weights := make([]float64, len(roles))
+	for i := range weights {
+		weights[i] = 1
+	}
+	if *weightF != "" {
+		if weights, err = parseFloats(*weightF); err != nil {
+			fatal(err)
+		}
+	}
+
+	var eng sdquery.Engine
+	switch *engine {
+	case "sd":
+		eng, err = sdquery.NewSDIndex(data, roles)
+	case "scan":
+		eng, err = sdquery.NewScan(data)
+	case "ta":
+		eng, err = sdquery.NewTA(data)
+	case "brs":
+		eng, err = sdquery.NewBRS(data, 0)
+	case "pe":
+		eng, err = sdquery.NewPE(data)
+	default:
+		err = fmt.Errorf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := eng.TopK(sdquery.Query{Point: point, K: *k, Roles: roles, Weights: weights})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rank  row      score\n")
+	for i, r := range res {
+		fmt.Printf("%-4d  %-7d  %+.6g    %v\n", i+1, r.ID, r.Score, data[r.ID])
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package sdquery
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestConcurrentQueries: a shared SDIndex must serve parallel queries with
+// answers identical to the sequential ones (the read-only query path holds
+// all per-query state in cursors).
+func TestConcurrentQueries(t *testing.T) {
+	data := dataset.Generate(dataset.AntiCorrelated, 30_000, 4, 8)
+	roles := []Role{Repulsive, Attractive, Repulsive, Attractive}
+	idx, err := NewSDIndex(data, roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	const nq = 64
+	queries := make([]Query, nq)
+	for i := range queries {
+		queries[i] = Query{
+			Point:   []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+			K:       1 + rng.Intn(10),
+			Roles:   roles,
+			Weights: []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+		}
+	}
+	sequential := make([][]Result, nq)
+	for i, q := range queries {
+		r, err := idx.TopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential[i] = r
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nq*4)
+	for worker := 0; worker < 4; worker++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < nq; i += 4 {
+				got, err := idx.TopK(queries[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range sequential[i] {
+					if math.Abs(got[j].Score-sequential[i][j].Score) > 1e-12 {
+						t.Errorf("query %d rank %d: concurrent %v vs sequential %v",
+							i, j, got[j].Score, sequential[i][j].Score)
+						return
+					}
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+// Package sdquery answers top-k queries over a mixture of attractive and
+// repulsive dimensions — a Go implementation of Ranu & Singh, "Answering
+// Top-k Queries Over a Mixture of Attractive and Repulsive Dimensions",
+// PVLDB 5(3), 2011.
+//
+// An SD-Query compares every database point p to a user-supplied query
+// object q under the non-monotonic scoring function
+//
+//	SD-score(p, q) = Σ_{i∈D} α_i·|p_i − q_i|  −  Σ_{j∈S} β_j·|p_j − q_j|
+//
+// where D holds the repulsive dimensions (distance is rewarded: "different
+// habitat", "lower price") and S the attractive ones (closeness is rewarded:
+// "same phylogeny", "similar hit rate"). Classic top-k machinery assumes
+// monotonic scoring and cannot index this function; this package provides
+// the paper's isoline-projection indexes:
+//
+//   - SDIndex — the general engine (§4 + §5): per-pair 2D projection trees
+//     with multi-angle bounds, 1D bidirectional lists for unpaired
+//     dimensions, and Threshold-Algorithm aggregation. k and all weights are
+//     chosen at query time.
+//   - Top1Index — the specialized 2D structure (§3) for workloads where k
+//     and the weights are fixed up front: O(log n) queries over precomputed
+//     envelope regions.
+//
+// The baselines the paper evaluates against are included, sharing the same
+// Query/Result API, so applications can benchmark on their own data:
+// sequential scan, the adapted Threshold Algorithm (TA), branch-and-bound
+// ranked search over an R*-tree (BRS), and progressive exploration (PE).
+//
+// # Quick start
+//
+//	data := [][]float64{ ... }            // n × d
+//	roles := []sdquery.Role{sdquery.Repulsive, sdquery.Attractive}
+//	idx, err := sdquery.NewSDIndex(data, roles)
+//	...
+//	res, err := idx.TopK(sdquery.Query{
+//		Point:   []float64{0.3, 0.7},
+//		K:       5,
+//		Roles:   roles,
+//		Weights: []float64{1, 1},
+//	})
+//
+// See examples/ for runnable scenarios: the zoology example from the paper's
+// introduction, online-advertising publisher selection, and chemical
+// scaffold hopping.
+package sdquery

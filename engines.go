@@ -1,0 +1,202 @@
+package sdquery
+
+import (
+	"repro/internal/baseline/brs"
+	"repro/internal/baseline/pe"
+	"repro/internal/baseline/scan"
+	"repro/internal/baseline/ta"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/topk"
+)
+
+// PairingStrategy selects how repulsive dimensions are mapped to attractive
+// ones for the 2D subproblems (the bijection of Eqn. 10).
+type PairingStrategy = core.Pairing
+
+// Pairing strategies. PairInOrder is the paper's arbitrary mapping and the
+// default; PairByCorrelation and PairByVariance are the guided mappings from
+// the paper's future-work discussion; PairNone disables pairing entirely,
+// degenerating the engine into the adapted Threshold Algorithm.
+const (
+	PairInOrder       = core.PairInOrder
+	PairByCorrelation = core.PairByCorrelation
+	PairByVariance    = core.PairByVariance
+	PairNone          = core.PairNone
+)
+
+// SDOption configures NewSDIndex.
+type SDOption func(*sdConfig)
+
+type sdConfig struct {
+	pairing      PairingStrategy
+	tree         topk.Config
+	angleDegrees []float64
+	useAngles    bool
+}
+
+// WithPairing selects the dimension-pairing strategy (default PairInOrder).
+func WithPairing(p PairingStrategy) SDOption {
+	return func(c *sdConfig) { c.pairing = p }
+}
+
+// WithBranching sets the fan-out b of the per-pair projection trees
+// (default 8).
+func WithBranching(b int) SDOption {
+	return func(c *sdConfig) { c.tree.Branching = b }
+}
+
+// WithLeafCapacity sets the number of points per tree leaf (default 1; the
+// paper's disk-style bulk packing uses larger leaves).
+func WithLeafCapacity(cap int) SDOption {
+	return func(c *sdConfig) { c.tree.LeafCap = cap }
+}
+
+// WithAngles sets the indexed projection angles in degrees. 0 and 90 are
+// always added if absent. Default: {0, 23, 45, 67, 90} (§6.1).
+func WithAngles(degrees ...float64) SDOption {
+	return func(c *sdConfig) {
+		c.useAngles = true
+		c.angleDegrees = append([]float64(nil), degrees...)
+	}
+}
+
+// WithRebuildThreshold sets the imbalance fraction θ that triggers a tree
+// rebuild after updates (default 0.25).
+func WithRebuildThreshold(theta float64) SDOption {
+	return func(c *sdConfig) { c.tree.RebuildThreshold = theta }
+}
+
+// SDIndex is the paper's SD-Index: the general top-k engine with k and
+// weights supplied at query time.
+type SDIndex struct {
+	eng   *core.Engine
+	roles []Role
+}
+
+// NewSDIndex builds the SD-Index over data (row-major, n × d) with the
+// given build-time roles. Queries may later demote an active dimension to
+// Ignored but may not flip attractive and repulsive.
+func NewSDIndex(data [][]float64, roles []Role, opts ...SDOption) (*SDIndex, error) {
+	var cfg sdConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.useAngles {
+		cfg.tree.Angles = nil
+		for _, d := range cfg.angleDegrees {
+			a, err := geom.AngleFromDegrees(d)
+			if err != nil {
+				return nil, err
+			}
+			cfg.tree.Angles = append(cfg.tree.Angles, a)
+		}
+		if len(cfg.tree.Angles) == 0 {
+			// An explicit empty set falls back to 0° and 90° only.
+			cfg.tree.Angles = []geom.Angle{{Alpha: 1, Beta: 0}, {Alpha: 0, Beta: 1}}
+		}
+	}
+	eng, err := core.New(data, core.Config{
+		Roles:   roles,
+		Pairing: cfg.pairing,
+		Tree:    cfg.tree,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SDIndex{eng: eng, roles: append([]Role(nil), roles...)}, nil
+}
+
+// TopK answers the query. See Engine.
+func (s *SDIndex) TopK(q Query) ([]Result, error) {
+	res, err := s.eng.TopK(q.spec())
+	if err != nil {
+		return nil, err
+	}
+	return convertResults(res), nil
+}
+
+// Len reports the number of live points.
+func (s *SDIndex) Len() int { return s.eng.Len() }
+
+// Roles returns the build-time dimension roles.
+func (s *SDIndex) Roles() []Role { return append([]Role(nil), s.roles...) }
+
+// Insert adds a point and returns its dataset ID.
+func (s *SDIndex) Insert(p []float64) (int, error) { return s.eng.Insert(p) }
+
+// Remove deletes a point by dataset ID, reporting whether it was live.
+func (s *SDIndex) Remove(id int) bool { return s.eng.Remove(id) }
+
+// Bytes estimates the resident size of the index structures.
+func (s *SDIndex) Bytes() int { return s.eng.Bytes() }
+
+// NewScan returns the sequential-scan engine — the exact baseline every
+// other engine is validated against.
+func NewScan(data [][]float64) (Engine, error) {
+	eng, err := scan.New(data)
+	if err != nil {
+		return nil, err
+	}
+	return &wrapped{topk: eng.TopK, length: eng.Len}, nil
+}
+
+// NewTA returns the adapted Threshold Algorithm baseline (per-dimension
+// sorted lists, one subproblem per dimension).
+func NewTA(data [][]float64) (Engine, error) {
+	eng, err := ta.New(data)
+	if err != nil {
+		return nil, err
+	}
+	return &wrapped{topk: eng.TopK, length: eng.Len}, nil
+}
+
+// NewBRS returns the branch-and-bound ranked search baseline over an
+// in-memory R*-tree. nodeCapacity ≤ 0 selects the paper's tuned capacity
+// for the data's dimensionality.
+func NewBRS(data [][]float64, nodeCapacity int) (Engine, error) {
+	dims := 0
+	if len(data) > 0 {
+		dims = len(data[0])
+	}
+	if nodeCapacity <= 0 {
+		nodeCapacity = brs.NodeCapacityFor(dims)
+	}
+	eng, err := brs.NewWithCapacity(data, nodeCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &wrapped{topk: eng.TopK, length: eng.Len}, nil
+}
+
+// NewPE returns the progressive-exploration baseline (NRA-style progressive
+// merge over per-dimension lists).
+func NewPE(data [][]float64) (Engine, error) {
+	eng, err := pe.New(data)
+	if err != nil {
+		return nil, err
+	}
+	return &wrapped{topk: eng.TopK, length: eng.Len}, nil
+}
+
+type wrapped struct {
+	topk   func(query.Spec) ([]query.Result, error)
+	length func() int
+}
+
+func (w *wrapped) TopK(q Query) ([]Result, error) {
+	res, err := w.topk(q.spec())
+	if err != nil {
+		return nil, err
+	}
+	return convertResults(res), nil
+}
+
+func (w *wrapped) Len() int { return w.length() }
+
+// Engines must keep satisfying the interface.
+var (
+	_ Engine = (*SDIndex)(nil)
+	_ Engine = (*wrapped)(nil)
+)

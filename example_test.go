@@ -1,0 +1,81 @@
+package sdquery_test
+
+import (
+	"fmt"
+
+	sdquery "repro"
+)
+
+// The species table from the paper's introduction: phylogeny is attractive
+// (similar lineage wanted), habitat is repulsive (different region wanted).
+func ExampleSDIndex() {
+	data := [][]float64{
+		{1, 4},   // p1: same lineage as the query, far habitat
+		{2.5, 5}, // p2
+		{5, 3},   // p3
+		{2, 2},   // p4
+		{4, 1},   // p5
+	}
+	roles := []sdquery.Role{sdquery.Attractive, sdquery.Repulsive}
+	idx, err := sdquery.NewSDIndex(data, roles)
+	if err != nil {
+		panic(err)
+	}
+	res, err := idx.TopK(sdquery.Query{
+		Point:   []float64{1, 1}, // query species q1
+		K:       1,
+		Roles:   roles,
+		Weights: []float64{1, 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best match: row %d with SD-score %.0f\n", res[0].ID, res[0].Score)
+	// Output: best match: row 0 with SD-score 3
+}
+
+// A fixed-parameter workload: k = 1 and unit weights known at build time,
+// answered by the §3 envelope-region index in O(log n).
+func ExampleTop1Index() {
+	data := [][]float64{
+		{0.1, 0.9}, {0.5, 0.5}, {0.52, 0.1}, {0.9, 0.4},
+	}
+	idx, err := sdquery.NewTop1Index(data, sdquery.Top1Config{
+		AttractiveWeight: 1,
+		RepulsiveWeight:  1,
+		K:                1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := idx.TopK([]float64{0.5, 0.95})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("top-1: row %d\n", res[0].ID)
+	// Output: top-1: row 2
+}
+
+// Every engine shares the Query/Result API, so baselines are drop-in.
+func ExampleNewScan() {
+	data := [][]float64{{0, 0}, {1, 1}, {2, 0.5}}
+	eng, err := sdquery.NewScan(data)
+	if err != nil {
+		panic(err)
+	}
+	res, err := eng.TopK(sdquery.Query{
+		Point:   []float64{0, 0},
+		K:       2,
+		Roles:   []sdquery.Role{sdquery.Repulsive, sdquery.Attractive},
+		Weights: []float64{1, 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range res {
+		fmt.Printf("row %d score %.1f\n", r.ID, r.Score)
+	}
+	// Output:
+	// row 2 score 1.5
+	// row 0 score 0.0
+}

@@ -1,0 +1,103 @@
+package brs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline/scan"
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+func TestNodeCapacityFor(t *testing.T) {
+	cases := map[int]int{2: 28, 4: 16, 6: 12, 8: 9, 3: 28, 5: 16, 7: 12, 10: 9}
+	for dims, want := range cases {
+		if got := NodeCapacityFor(dims); got != want {
+			t.Errorf("NodeCapacityFor(%d) = %d, want %d", dims, got, want)
+		}
+	}
+}
+
+func TestBRSMatchesScanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 20; trial++ {
+		dims := 2 + rng.Intn(5)
+		data := dataset.Generate(dataset.Correlated, 150+rng.Intn(300), dims, int64(trial))
+		e, err := New(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, _ := scan.New(data)
+		spec := query.Spec{
+			Point:   make([]float64, dims),
+			K:       rng.Intn(10) + 1,
+			Roles:   make([]query.Role, dims),
+			Weights: make([]float64, dims),
+		}
+		for d := 0; d < dims; d++ {
+			spec.Point[d] = rng.Float64()
+			spec.Weights[d] = rng.Float64()
+			if d%2 == 0 {
+				spec.Roles[d] = query.Repulsive
+			} else {
+				spec.Roles[d] = query.Attractive
+			}
+		}
+		got, err := e.TopK(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := truth.TopK(spec)
+		if len(got) != len(want) {
+			t.Fatalf("%d results, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("result %d: %v, want %v", i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+}
+
+func TestBRSInsert(t *testing.T) {
+	data := dataset.Generate(dataset.Uniform, 50, 2, 3)
+	e, err := New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert([]float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert([]float64{0.5}); err == nil {
+		t.Fatal("wrong-dims insert accepted")
+	}
+	if e.Len() != 51 {
+		t.Fatalf("Len = %d, want 51", e.Len())
+	}
+	// The inserted point must be findable: query for its neighborhood with
+	// a pure attractive query; the nearest point to (0.5, 0.5) includes it.
+	spec := query.Spec{
+		Point:   []float64{0.5, 0.5},
+		K:       1,
+		Roles:   []query.Role{query.Attractive, query.Attractive},
+		Weights: []float64{1, 1},
+	}
+	res, err := e.TopK(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 50 || res[0].Score != 0 {
+		t.Fatalf("inserted point not the nearest: %+v", res[0])
+	}
+}
+
+func TestBRSValidation(t *testing.T) {
+	if _, err := New([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+	e, _ := New(nil)
+	if e.Len() != 0 {
+		t.Fatal("empty engine Len != 0")
+	}
+}

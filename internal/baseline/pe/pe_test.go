@@ -1,0 +1,110 @@
+package pe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline/scan"
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+func TestPEMatchesScanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 25; trial++ {
+		dims := 1 + rng.Intn(6)
+		data := dataset.Generate(dataset.AntiCorrelated, 100+rng.Intn(300), dims, int64(trial))
+		e, err := New(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, _ := scan.New(data)
+		spec := query.Spec{
+			Point:   make([]float64, dims),
+			K:       rng.Intn(10) + 1,
+			Roles:   make([]query.Role, dims),
+			Weights: make([]float64, dims),
+		}
+		for d := 0; d < dims; d++ {
+			spec.Point[d] = rng.Float64()
+			spec.Weights[d] = rng.Float64() + 0.01
+			if rng.Intn(2) == 0 {
+				spec.Roles[d] = query.Attractive
+			} else {
+				spec.Roles[d] = query.Repulsive
+			}
+		}
+		got, err := e.TopK(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := truth.TopK(spec)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("trial %d result %d: %v, want %v", trial, i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+}
+
+func TestPEInsert(t *testing.T) {
+	data := dataset.Generate(dataset.Uniform, 40, 3, 7)
+	e, err := New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert([]float64{0.1, 0.2, 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Insert([]float64{0.1}); err == nil {
+		t.Fatal("wrong-dims insert accepted")
+	}
+	if e.Len() != 41 {
+		t.Fatalf("Len = %d, want 41", e.Len())
+	}
+	spec := query.Spec{
+		Point:   []float64{0.1, 0.2, 0.3},
+		K:       1,
+		Roles:   []query.Role{query.Attractive, query.Attractive, query.Attractive},
+		Weights: []float64{1, 1, 1},
+	}
+	res, err := e.TopK(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 40 || res[0].Score != 0 {
+		t.Fatalf("inserted point not found as nearest: %+v", res[0])
+	}
+}
+
+func TestPEValidationAndEmpty(t *testing.T) {
+	if _, err := New([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+	e, _ := New(nil)
+	if e.Len() != 0 {
+		t.Fatal("empty Len != 0")
+	}
+}
+
+func TestPEKLargerThanN(t *testing.T) {
+	data := dataset.Generate(dataset.Uniform, 5, 2, 9)
+	e, _ := New(data)
+	spec := query.Spec{
+		Point:   []float64{0.5, 0.5},
+		K:       50,
+		Roles:   []query.Role{query.Repulsive, query.Attractive},
+		Weights: []float64{1, 1},
+	}
+	res, err := e.TopK(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("k>n returned %d, want 5", len(res))
+	}
+}

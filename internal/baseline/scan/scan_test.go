@@ -1,0 +1,68 @@
+package scan
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestScanOrdering(t *testing.T) {
+	data := [][]float64{
+		{0, 0},  // score 0·rep − |0−5| = ... depends on spec below
+		{10, 5}, // far in dim0 (repulsive), exact in dim1 (attractive)
+		{9, 0},
+		{1, 5},
+	}
+	e, err := New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := query.Spec{
+		Point:   []float64{0, 5},
+		K:       4,
+		Roles:   []query.Role{query.Repulsive, query.Attractive},
+		Weights: []float64{1, 1},
+	}
+	res, err := e.TopK(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scores: p0: 0−5=−5; p1: 10−0=10; p2: 9−5=4; p3: 1−0=1
+	wantIDs := []int{1, 2, 3, 0}
+	wantScores := []float64{10, 4, 1, -5}
+	for i := range wantIDs {
+		if res[i].ID != wantIDs[i] || math.Abs(res[i].Score-wantScores[i]) > 1e-12 {
+			t.Fatalf("result %d = %+v, want id %d score %v", i, res[i], wantIDs[i], wantScores[i])
+		}
+	}
+}
+
+func TestScanValidation(t *testing.T) {
+	if _, err := New([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+	e, _ := New([][]float64{{1, 2}})
+	spec := query.Spec{Point: []float64{1}, K: 1,
+		Roles: []query.Role{query.Repulsive}, Weights: []float64{1}}
+	if _, err := e.TopK(spec); err == nil {
+		t.Fatal("dims mismatch accepted")
+	}
+}
+
+func TestScanEmptyAndKOverflow(t *testing.T) {
+	e, _ := New(nil)
+	if e.Len() != 0 {
+		t.Fatal("empty Len != 0")
+	}
+	e2, _ := New([][]float64{{1}, {2}})
+	spec := query.Spec{Point: []float64{0}, K: 10,
+		Roles: []query.Role{query.Repulsive}, Weights: []float64{1}}
+	res, err := e2.TopK(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("k>n returned %d, want 2", len(res))
+	}
+}

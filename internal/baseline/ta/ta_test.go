@@ -1,0 +1,99 @@
+package ta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline/scan"
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+func TestTAWorkedExample(t *testing.T) {
+	// The publishers example of §5 (Figure 6), solved with per-dimension
+	// subproblems: price repulsive, hit rate and coverage attractive.
+	data := [][]float64{
+		{100, 15, 95}, // A: price, hit rate, coverage
+		{20, 10, 80},  // B
+		{55, 12, 68},  // C
+		{75, 14, 50},  // D
+	}
+	e, err := New(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := query.Spec{
+		Point:   []float64{10, 12, 75},
+		K:       4,
+		Roles:   []query.Role{query.Repulsive, query.Attractive, query.Attractive},
+		Weights: []float64{1, 1, 1},
+	}
+	res, err := e.TopK(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := scan.New(data)
+	want, _ := truth.TopK(spec)
+	for i := range want {
+		if res[i].ID != want[i].ID || math.Abs(res[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("result %d = %+v, want %+v", i, res[i], want[i])
+		}
+	}
+}
+
+func TestTAMatchesScanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 30; trial++ {
+		dims := 1 + rng.Intn(6)
+		data := dataset.Generate(dataset.Uniform, 100+rng.Intn(200), dims, int64(trial))
+		e, err := New(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, _ := scan.New(data)
+		spec := query.Spec{
+			Point:   make([]float64, dims),
+			K:       rng.Intn(8) + 1,
+			Roles:   make([]query.Role, dims),
+			Weights: make([]float64, dims),
+		}
+		for d := 0; d < dims; d++ {
+			spec.Point[d] = rng.Float64()
+			spec.Weights[d] = rng.Float64()
+			if rng.Intn(2) == 0 {
+				spec.Roles[d] = query.Attractive
+			} else {
+				spec.Roles[d] = query.Repulsive
+			}
+		}
+		got, err := e.TopK(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := truth.TopK(spec)
+		if len(got) != len(want) {
+			t.Fatalf("%d results, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("result %d: %v, want %v", i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+}
+
+func TestTAValidation(t *testing.T) {
+	if _, err := New([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+	e, _ := New([][]float64{{1}, {5}})
+	spec := query.Spec{Point: []float64{0}, K: 0,
+		Roles: []query.Role{query.Repulsive}, Weights: []float64{1}}
+	if _, err := e.TopK(spec); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+}

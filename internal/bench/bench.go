@@ -1,0 +1,189 @@
+// Package bench reproduces the paper's evaluation (§6): one experiment per
+// figure and table, each emitting the same series the paper plots. The
+// cmd/sdbench binary runs experiments at paper scale (adjustable with a
+// scale factor); the root bench_test.go exposes each experiment as a Go
+// benchmark at reduced scale.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Scale multiplies every dataset size (1.0 = paper scale). Sizes are
+	// floored at 1000 points.
+	Scale float64
+	// Seed drives all data and query generation.
+	Seed int64
+	// Queries is the number of query points per measurement (paper: 100).
+	Queries int
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Queries <= 0 {
+		c.Queries = 100
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+func (c Config) scaled(n int) int {
+	m := int(float64(n) * c.Scale)
+	if m < 1000 {
+		m = 1000
+	}
+	return m
+}
+
+// Report is a printable experiment result.
+type Report interface {
+	Print(w io.Writer)
+}
+
+// Series is one line of a figure: Y (milliseconds, megabytes, or seconds —
+// see the experiment's YLabel) against X.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// SeriesReport prints one or more series as an aligned table, X first.
+type SeriesReport struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Print writes the report as aligned columns.
+func (r *SeriesReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", r.Title)
+	fmt.Fprintf(w, "# y: %s\n", r.YLabel)
+	header := []string{r.XLabel}
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	if len(r.Series) > 0 {
+		for i := range r.Series[0].X {
+			row := []string{formatNum(r.Series[0].X[i])}
+			for _, s := range r.Series {
+				if i < len(s.Y) {
+					row = append(row, formatNum(s.Y[i]))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	printAligned(w, rows)
+}
+
+// TableReport prints labelled rows (used by Table 1).
+type TableReport struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Print writes the table with aligned columns.
+func (r *TableReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", r.Title)
+	rows := append([][]string{r.Columns}, r.Rows...)
+	printAligned(w, rows)
+}
+
+func printAligned(w io.Writer, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Experiment is one reproducible figure or table.
+type Experiment struct {
+	ID    string // e.g. "fig7a", "table1", "ablation-angles"
+	Title string
+	Run   func(Config) Report
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment, figures first, in publication order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return orderKey(out[i].ID) < orderKey(out[j].ID) })
+	return out
+}
+
+func orderKey(id string) string {
+	// fig7a..fig8j sort naturally; tables after figures, ablations last.
+	switch {
+	case strings.HasPrefix(id, "fig"):
+		return "0" + id
+	case strings.HasPrefix(id, "table"):
+		return "1" + id
+	default:
+		return "2" + id
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,66 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes points as CSV with an optional header row. Coordinates are
+// formatted with full float64 round-trip precision.
+func WriteCSV(w io.Writer, pts [][]float64, header []string) error {
+	cw := csv.NewWriter(w)
+	if len(header) > 0 {
+		if err := cw.Write(header); err != nil {
+			return fmt.Errorf("dataset: write header: %w", err)
+		}
+	}
+	record := make([]string, 0, 8)
+	for i, p := range pts {
+		record = record[:0]
+		for _, c := range p {
+			record = append(record, strconv.FormatFloat(c, 'g', -1, 64))
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("dataset: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads points from CSV. If hasHeader is true the first row is
+// skipped. All rows must have the same number of columns, all numeric.
+func ReadCSV(r io.Reader, hasHeader bool) ([][]float64, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var pts [][]float64
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv: %w", err)
+		}
+		row++
+		if hasHeader && row == 1 {
+			continue
+		}
+		p := make([]float64, len(rec))
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d column %d: %w", row, j+1, err)
+			}
+			p[j] = v
+		}
+		if len(pts) > 0 && len(p) != len(pts[0]) {
+			return nil, fmt.Errorf("dataset: row %d has %d columns, want %d", row, len(p), len(pts[0]))
+		}
+		pts = append(pts, p)
+	}
+	return pts, nil
+}

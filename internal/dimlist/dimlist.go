@@ -1,0 +1,178 @@
+// Package dimlist provides the per-dimension sorted access structure used by
+// the adapted Threshold Algorithm baseline, the Progressive Exploration
+// baseline, and the 1D subproblems of the §5 multi-dimensional engine: a
+// sorted array of (value, id) pairs per dimension with a bidirectional
+// iterator that yields points in decreasing score-contribution order.
+//
+// For a repulsive dimension the best unfetched point is the one farthest
+// from the query value — one of the two ends of the array, walked inward.
+// For an attractive dimension it is the closest — the two neighbors of the
+// query's insertion position, walked outward (§5's "bidirectional search").
+package dimlist
+
+import (
+	"math"
+	"sort"
+)
+
+// List is one dimension's sorted column.
+type List struct {
+	vals []float64
+	ids  []int32
+}
+
+// Build extracts and sorts column dim from the dataset.
+func Build(data [][]float64, dim int) *List {
+	l := &List{
+		vals: make([]float64, len(data)),
+		ids:  make([]int32, len(data)),
+	}
+	idx := make([]int32, len(data))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := data[idx[a]][dim], data[idx[b]][dim]
+		if va != vb {
+			return va < vb
+		}
+		return idx[a] < idx[b]
+	})
+	for i, id := range idx {
+		l.vals[i] = data[id][dim]
+		l.ids[i] = id
+	}
+	return l
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.vals) }
+
+// Insert adds a (value, id) pair, keeping the list sorted. O(n) splice.
+func (l *List) Insert(val float64, id int32) {
+	i := sort.Search(len(l.vals), func(i int) bool {
+		if l.vals[i] != val {
+			return l.vals[i] > val
+		}
+		return l.ids[i] >= id
+	})
+	l.vals = append(l.vals, 0)
+	l.ids = append(l.ids, 0)
+	copy(l.vals[i+1:], l.vals[i:])
+	copy(l.ids[i+1:], l.ids[i:])
+	l.vals[i], l.ids[i] = val, id
+}
+
+// Delete removes the (value, id) pair, reporting whether it was found.
+func (l *List) Delete(val float64, id int32) bool {
+	i := sort.Search(len(l.vals), func(i int) bool {
+		if l.vals[i] != val {
+			return l.vals[i] > val
+		}
+		return l.ids[i] >= id
+	})
+	if i == len(l.vals) || l.vals[i] != val || l.ids[i] != id {
+		return false
+	}
+	l.vals = append(l.vals[:i], l.vals[i+1:]...)
+	l.ids = append(l.ids[:i], l.ids[i+1:]...)
+	return true
+}
+
+// Iter is a one-query iterator over a List in decreasing contribution order.
+type Iter struct {
+	l          *List
+	attractive bool
+	qv         float64
+	weight     float64
+	lo, hi     int // repulsive: next candidates at the ends, moving inward;
+	//              attractive: next candidates around qv, moving outward
+}
+
+// NewIter starts an iterator for a query value on this dimension.
+// For attractive dimensions the contribution of point p is −weight·|p−qv|;
+// for repulsive ones +weight·|p−qv|. Contributions are non-increasing across
+// Next calls.
+func (l *List) NewIter(qv, weight float64, attractive bool) *Iter {
+	it := &Iter{l: l, attractive: attractive, qv: qv, weight: weight}
+	if attractive {
+		pos := sort.SearchFloat64s(l.vals, qv)
+		it.lo, it.hi = pos-1, pos
+	} else {
+		it.lo, it.hi = 0, len(l.vals)-1
+	}
+	return it
+}
+
+// contribution of index i (valid i only).
+func (it *Iter) contrib(i int) float64 {
+	d := math.Abs(it.l.vals[i] - it.qv)
+	if it.attractive {
+		return -it.weight * d
+	}
+	return it.weight * d
+}
+
+// Next returns the id and contribution of the best unfetched point, or
+// ok = false when the dimension is exhausted.
+func (it *Iter) Next() (id int32, contrib float64, ok bool) {
+	i, ok := it.peekIndex()
+	if !ok {
+		return 0, 0, false
+	}
+	id, contrib = it.l.ids[i], it.contrib(i)
+	if it.attractive {
+		if i == it.lo {
+			it.lo--
+		} else {
+			it.hi++
+		}
+	} else {
+		if i == it.lo {
+			it.lo++
+		} else {
+			it.hi--
+		}
+	}
+	return id, contrib, true
+}
+
+// Bound returns the contribution of the next unfetched point — an upper
+// bound on the contribution of every unfetched point in this dimension —
+// or −Inf when exhausted.
+func (it *Iter) Bound() float64 {
+	i, ok := it.peekIndex()
+	if !ok {
+		return math.Inf(-1)
+	}
+	return it.contrib(i)
+}
+
+// peekIndex picks the better of the two frontier candidates.
+func (it *Iter) peekIndex() (int, bool) {
+	loOK := it.lo >= 0 && it.lo < it.l.Len()
+	hiOK := it.hi >= 0 && it.hi < it.l.Len()
+	if it.attractive {
+		// moving outward: lo descends, hi ascends; also stop when the
+		// frontiers have crossed the array bounds
+		loOK = it.lo >= 0
+		hiOK = it.hi < it.l.Len()
+	} else {
+		// moving inward: stop when pointers cross
+		if it.lo > it.hi {
+			return 0, false
+		}
+	}
+	switch {
+	case !loOK && !hiOK:
+		return 0, false
+	case !loOK:
+		return it.hi, true
+	case !hiOK:
+		return it.lo, true
+	case it.contrib(it.lo) >= it.contrib(it.hi):
+		return it.lo, true
+	default:
+		return it.hi, true
+	}
+}

@@ -1,0 +1,211 @@
+package dimlist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func column(data [][]float64, d int) []float64 {
+	out := make([]float64, len(data))
+	for i, p := range data {
+		out[i] = p[d]
+	}
+	return out
+}
+
+func TestBuildSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	data := make([][]float64, 200)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	for d := 0; d < 2; d++ {
+		l := Build(data, d)
+		if l.Len() != len(data) {
+			t.Fatalf("Len = %d, want %d", l.Len(), len(data))
+		}
+		for i := 1; i < len(l.vals); i++ {
+			if l.vals[i] < l.vals[i-1] {
+				t.Fatalf("dim %d not sorted at %d", d, i)
+			}
+		}
+		for i, id := range l.ids {
+			if data[id][d] != l.vals[i] {
+				t.Fatalf("dim %d entry %d: id %d has value %v, list says %v",
+					d, i, id, data[id][d], l.vals[i])
+			}
+		}
+	}
+}
+
+// TestIterOrderAndBound: contributions are non-increasing, Bound always
+// equals the next contribution, and the full enumeration covers every point.
+func TestIterOrderAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(100) + 1
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = []float64{rng.NormFloat64() * 3}
+		}
+		l := Build(data, 0)
+		for _, attractive := range []bool{true, false} {
+			qv := rng.NormFloat64() * 4
+			w := rng.Float64() + 0.01
+			it := l.NewIter(qv, w, attractive)
+			var prev float64
+			first := true
+			seen := map[int32]bool{}
+			for {
+				b := it.Bound()
+				id, contrib, ok := it.Next()
+				if !ok {
+					if !math.IsInf(b, -1) {
+						t.Fatalf("Bound = %v on exhausted iter", b)
+					}
+					break
+				}
+				if b != contrib {
+					t.Fatalf("Bound %v != next contribution %v", b, contrib)
+				}
+				if seen[id] {
+					t.Fatalf("id %d emitted twice", id)
+				}
+				seen[id] = true
+				want := w * math.Abs(data[id][0]-qv)
+				if attractive {
+					want = -want
+				}
+				if math.Abs(contrib-want) > 1e-12 {
+					t.Fatalf("contribution %v, want %v", contrib, want)
+				}
+				if !first && contrib > prev+1e-12 {
+					t.Fatalf("contributions increased: %v after %v", contrib, prev)
+				}
+				prev, first = contrib, false
+			}
+			if len(seen) != n {
+				t.Fatalf("enumerated %d of %d points", len(seen), n)
+			}
+		}
+	}
+}
+
+func TestIterMatchesSortedContributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	data := make([][]float64, 300)
+	for i := range data {
+		data[i] = []float64{rng.Float64() * 10}
+	}
+	l := Build(data, 0)
+	for _, attractive := range []bool{true, false} {
+		qv := 4.2
+		it := l.NewIter(qv, 1, attractive)
+		var got []float64
+		for {
+			_, c, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, c)
+		}
+		want := make([]float64, len(data))
+		for i, p := range data {
+			want[i] = math.Abs(p[0] - qv)
+			if attractive {
+				want[i] = -want[i]
+			}
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(want)))
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("attractive=%v position %d: %v, want %v", attractive, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	data := [][]float64{{1}, {5}, {3}}
+	l := Build(data, 0)
+	l.Insert(2, 10)
+	l.Insert(4, 11)
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", l.Len())
+	}
+	for i := 1; i < len(l.vals); i++ {
+		if l.vals[i] < l.vals[i-1] {
+			t.Fatal("not sorted after inserts")
+		}
+	}
+	if !l.Delete(2, 10) {
+		t.Fatal("Delete(2, 10) = false")
+	}
+	if l.Delete(2, 10) {
+		t.Fatal("double delete succeeded")
+	}
+	if l.Delete(99, 0) {
+		t.Fatal("deleted a missing value")
+	}
+	if l.Delete(3, 999) {
+		t.Fatal("deleted with wrong id")
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	_ = rng
+}
+
+func TestEmptyList(t *testing.T) {
+	l := Build(nil, 0)
+	it := l.NewIter(0, 1, true)
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("empty list yielded a point")
+	}
+	if !math.IsInf(it.Bound(), -1) {
+		t.Fatal("empty list Bound not -Inf")
+	}
+}
+
+func TestQueryOutsideRange(t *testing.T) {
+	data := [][]float64{{1}, {2}, {3}}
+	l := Build(data, 0)
+	// Attractive query far left: nearest is 1, then 2, then 3.
+	it := l.NewIter(-10, 1, true)
+	wantOrder := []int32{0, 1, 2}
+	for _, want := range wantOrder {
+		id, _, ok := it.Next()
+		if !ok || id != want {
+			t.Fatalf("got id %d ok=%v, want %d", id, ok, want)
+		}
+	}
+	// Repulsive query in the middle: farthest first (ties by contribution).
+	it = l.NewIter(2, 1, false)
+	id, c, ok := it.Next()
+	if !ok || c != 1 || (id != 0 && id != 2) {
+		t.Fatalf("repulsive first = (%d, %v), want distance 1 from an end", id, c)
+	}
+}
+
+func TestDuplicateValues(t *testing.T) {
+	data := [][]float64{{2}, {2}, {2}, {2}}
+	l := Build(data, 0)
+	it := l.NewIter(2, 1, true)
+	count := 0
+	for {
+		_, c, ok := it.Next()
+		if !ok {
+			break
+		}
+		if c != 0 {
+			t.Fatalf("contribution %v, want 0", c)
+		}
+		count++
+	}
+	if count != 4 {
+		t.Fatalf("enumerated %d, want 4", count)
+	}
+}

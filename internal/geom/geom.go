@@ -1,0 +1,203 @@
+// Package geom implements the 2D projection geometry underlying the SD-Query
+// index structures of Ranu & Singh (PVLDB 2011): isoline projections at angle
+// θ = arctan(β/α), the projection-selection rule (Eqn. 6 of the paper), and
+// the score identities stated as Claims 1–4.
+//
+// # Convention
+//
+// Within a 2D subproblem the y dimension is repulsive (weight α ≥ 0, larger
+// |Δy| is better) and the x dimension is attractive (weight β ≥ 0, smaller
+// |Δx| is better):
+//
+//	SD-score(p, q) = α·|y_p − y_q| − β·|x_p − x_q|
+//
+// # The u/v reformulation
+//
+// Every point has four projections (llp, rlp, lup, rup) — rays leaving the
+// point at angle θ. Projections of the same kind are parallel, so their
+// relative order is captured by their intercepts. Scaling by α to stay finite
+// at θ = 90°, the two intercept values per point are
+//
+//	u(p) = α·y_p − β·x_p   (shared by llp and rup)
+//	v(p) = α·y_p + β·x_p   (shared by rlp and lup)
+//
+// For a query axis x = x_q, a projection of p meets the axis at scaled height
+// key = u(p) + β·x_q (llp, rup) or key = v(p) − β·x_q (rlp, lup), and
+//
+//	SD-score(p, q) = key_lower − α·y_q   when y_p ≥ y_q (lower projection)
+//	SD-score(p, q) = α·y_q − key_upper   when y_p <  y_q (upper projection)
+//
+// with no further case analysis: the "negative score" configurations of the
+// paper's Claims 1 and 3 satisfy the same identities.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2D point with an identifier into the owning dataset.
+type Point struct {
+	ID int
+	X  float64 // attractive dimension
+	Y  float64 // repulsive dimension
+}
+
+// Angle is a normalized projection angle. Alpha = cos θ weights the repulsive
+// (y) dimension, Beta = sin θ the attractive (x) dimension, with θ ∈ [0°, 90°].
+// Normalization only rescales scores (by 1/hypot(α, β)); it never changes the
+// ranking, and it keeps all intercept arithmetic finite at the endpoints.
+type Angle struct {
+	Alpha float64 // cos θ, weight of the repulsive dimension
+	Beta  float64 // sin θ, weight of the attractive dimension
+}
+
+// NewAngle normalizes arbitrary non-negative weights (alpha for the repulsive
+// dimension, beta for the attractive one) onto the unit circle. It returns an
+// error if either weight is negative, non-finite, or both are zero.
+func NewAngle(alpha, beta float64) (Angle, error) {
+	if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.IsNaN(beta) || math.IsInf(beta, 0) {
+		return Angle{}, fmt.Errorf("geom: non-finite weights alpha=%v beta=%v", alpha, beta)
+	}
+	if alpha < 0 || beta < 0 {
+		return Angle{}, fmt.Errorf("geom: negative weights alpha=%v beta=%v", alpha, beta)
+	}
+	h := math.Hypot(alpha, beta)
+	if h == 0 {
+		return Angle{}, fmt.Errorf("geom: both weights are zero")
+	}
+	return Angle{Alpha: alpha / h, Beta: beta / h}, nil
+}
+
+// MustAngle is NewAngle for statically known weights; it panics on error.
+func MustAngle(alpha, beta float64) Angle {
+	a, err := NewAngle(alpha, beta)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AngleFromDegrees returns the normalized angle for θ degrees in [0, 90].
+func AngleFromDegrees(deg float64) (Angle, error) {
+	if math.IsNaN(deg) || deg < 0 || deg > 90 {
+		return Angle{}, fmt.Errorf("geom: angle %v degrees outside [0, 90]", deg)
+	}
+	rad := deg * math.Pi / 180
+	// sin/cos of exact endpoints must be exact for the degenerate-angle
+	// code paths (β = 0 and α = 0) to behave as pure 1D scoring.
+	switch deg {
+	case 0:
+		return Angle{Alpha: 1, Beta: 0}, nil
+	case 90:
+		return Angle{Alpha: 0, Beta: 1}, nil
+	}
+	return Angle{Alpha: math.Cos(rad), Beta: math.Sin(rad)}, nil
+}
+
+// Degrees returns θ in degrees.
+func (a Angle) Degrees() float64 { return math.Atan2(a.Beta, a.Alpha) * 180 / math.Pi }
+
+// Scale returns the factor by which normalized scores must be multiplied to
+// recover scores under the original (alpha, beta) weights.
+func Scale(alpha, beta float64) float64 { return math.Hypot(alpha, beta) }
+
+// U returns the llp/rup intercept α·y − β·x.
+func (a Angle) U(x, y float64) float64 { return a.Alpha*y - a.Beta*x }
+
+// V returns the rlp/lup intercept α·y + β·x.
+func (a Angle) V(x, y float64) float64 { return a.Alpha*y + a.Beta*x }
+
+// Score returns the normalized SD-score α·|y_p − y_q| − β·|x_p − x_q|.
+func (a Angle) Score(p, q Point) float64 {
+	return a.Alpha*math.Abs(p.Y-q.Y) - a.Beta*math.Abs(p.X-q.X)
+}
+
+// Kind identifies one of the four projections of a point (Definition 4).
+type Kind uint8
+
+const (
+	// LLP is the left lower projection: the ray leaving the point toward
+	// smaller x and smaller y. It can only meet query axes at x_q ≤ x_p.
+	LLP Kind = iota
+	// RLP is the right lower projection (larger x, smaller y); x_q ≥ x_p.
+	RLP
+	// LUP is the left upper projection (smaller x, larger y); x_q ≤ x_p.
+	LUP
+	// RUP is the right upper projection (larger x, larger y); x_q ≥ x_p.
+	RUP
+)
+
+// String returns the paper's abbreviation for the projection kind.
+func (k Kind) String() string {
+	switch k {
+	case LLP:
+		return "llp"
+	case RLP:
+		return "rlp"
+	case LUP:
+		return "lup"
+	case RUP:
+		return "rup"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Lower reports whether the projection descends from the point.
+func (k Kind) Lower() bool { return k == LLP || k == RLP }
+
+// SelectProjection returns the projection of p that carries p's score onto
+// q's axis, following Eqn. 6 of the paper: points left of the axis use right
+// projections and vice versa; points at or above the query use lower
+// projections, points strictly below use upper ones.
+func SelectProjection(p, q Point) Kind {
+	if p.X >= q.X {
+		if p.Y >= q.Y {
+			return LLP
+		}
+		return LUP
+	}
+	if p.Y >= q.Y {
+		return RLP
+	}
+	return RUP
+}
+
+// Key returns the scaled height α·y′ at which projection kind of p meets the
+// axis x = xq. The caller is responsible for kind/axis compatibility (a left
+// projection only exists for xq ≤ p.X); Key extrapolates the ray's line
+// otherwise, which is exactly what the index bounds require.
+func (a Angle) Key(p Point, xq float64, kind Kind) float64 {
+	switch kind {
+	case LLP, RUP:
+		return a.U(p.X, p.Y) + a.Beta*xq
+	default: // RLP, LUP
+		return a.V(p.X, p.Y) - a.Beta*xq
+	}
+}
+
+// ScoreViaProjection recomputes the normalized SD-score of p against q using
+// only p's selected projection and q's axis, per Claims 2 and 3. It equals
+// Score(p, q) exactly (up to floating-point association).
+func (a Angle) ScoreViaProjection(p, q Point) float64 {
+	kind := SelectProjection(p, q)
+	key := a.Key(p, q.X, kind)
+	if kind.Lower() {
+		return key - a.Alpha*q.Y
+	}
+	return a.Alpha*q.Y - key
+}
+
+// StraddlesAxis reports the configuration of Claim 1: q lies on the axis
+// segment between p's upper and lower projected points, which guarantees
+// SD-score(p, q) ≤ 0.
+func (a Angle) StraddlesAxis(p, q Point) bool {
+	// α·y_p ± β·|x_p − x_q| are the two projected heights on the axis;
+	// which of the u- and v-based keys is the lower one depends on the
+	// side of the axis p lies on, so take min/max.
+	h1 := a.Key(p, q.X, LLP) // α·y_p + β·(x_q − x_p)
+	h2 := a.Key(p, q.X, LUP) // α·y_p − β·(x_q − x_p)
+	lower, upper := math.Min(h1, h2), math.Max(h1, h2)
+	qh := a.Alpha * q.Y
+	return lower <= qh && qh <= upper
+}

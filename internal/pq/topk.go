@@ -1,0 +1,98 @@
+package pq
+
+import (
+	"math"
+	"sort"
+)
+
+// Scored pairs an arbitrary payload with the score that ranks it.
+type Scored[T any] struct {
+	Item  T
+	Score float64
+}
+
+// TopK collects the k highest-scoring items seen so far. Ties on score are
+// broken by insertion order (earlier wins), which keeps engine outputs
+// deterministic for fixed inputs. The zero value is not usable; construct
+// with NewTopK.
+type TopK[T any] struct {
+	k    int
+	seq  int
+	heap *Heap[entry[T]]
+}
+
+type entry[T any] struct {
+	item  T
+	score float64
+	seq   int
+}
+
+// NewTopK returns a collector for the k best items. k must be positive.
+func NewTopK[T any](k int) *TopK[T] {
+	if k <= 0 {
+		panic("pq: TopK requires k > 0")
+	}
+	// Min-heap on (score, -seq): the weakest kept item is on top. A later
+	// arrival with an equal score is weaker than an earlier one.
+	less := func(a, b entry[T]) bool {
+		if a.score != b.score {
+			return a.score < b.score
+		}
+		return a.seq > b.seq
+	}
+	return &TopK[T]{k: k, heap: NewHeapCap(less, k)}
+}
+
+// K returns the collector's capacity.
+func (t *TopK[T]) K() int { return t.k }
+
+// Len returns the number of items currently kept.
+func (t *TopK[T]) Len() int { return t.heap.Len() }
+
+// Add offers an item; it is kept only if it ranks in the current top k.
+// It reports whether the item was kept.
+func (t *TopK[T]) Add(item T, score float64) bool {
+	e := entry[T]{item: item, score: score, seq: t.seq}
+	t.seq++
+	if t.heap.Len() < t.k {
+		t.heap.Push(e)
+		return true
+	}
+	weakest := t.heap.Peek()
+	if weakest.score > e.score || (weakest.score == e.score && weakest.seq < e.seq) {
+		return false
+	}
+	t.heap.ReplaceTop(e)
+	return true
+}
+
+// Threshold returns the score of the weakest kept item, or negative infinity
+// while fewer than k items are kept. An unseen item must strictly beat this
+// value to enter the collection once it is full.
+func (t *TopK[T]) Threshold() float64 {
+	if t.heap.Len() < t.k {
+		return math.Inf(-1)
+	}
+	return t.heap.Peek().score
+}
+
+// Full reports whether k items have been collected.
+func (t *TopK[T]) Full() bool { return t.heap.Len() == t.k }
+
+// Results returns the kept items ordered best-first. The collector remains
+// usable afterwards.
+func (t *TopK[T]) Results() []Scored[T] {
+	out := make([]Scored[T], 0, t.heap.Len())
+	entries := make([]entry[T], len(t.heap.items))
+	copy(entries, t.heap.items)
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].score != entries[j].score {
+			return entries[i].score > entries[j].score
+		}
+		return entries[i].seq < entries[j].seq
+	})
+	for _, e := range entries {
+		out = append(out, Scored[T]{Item: e.item, Score: e.score})
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package query defines the SD-Query specification shared by every engine
+// in this module: the query point, per-dimension roles (attractive /
+// repulsive / ignored), per-dimension weights, and the answer size k
+// (Definition 1 of the paper).
+package query
+
+import (
+	"fmt"
+	"math"
+)
+
+// Role classifies one dimension of a query.
+type Role uint8
+
+const (
+	// Ignored dimensions contribute nothing to the score.
+	Ignored Role = iota
+	// Attractive dimensions contribute −weight·|p_i − q_i| (set S): closer
+	// is better.
+	Attractive
+	// Repulsive dimensions contribute +weight·|p_i − q_i| (set D): farther
+	// is better.
+	Repulsive
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case Ignored:
+		return "ignored"
+	case Attractive:
+		return "attractive"
+	case Repulsive:
+		return "repulsive"
+	}
+	return fmt.Sprintf("Role(%d)", uint8(r))
+}
+
+// Spec is a complete SD-Query.
+type Spec struct {
+	// Point is the query object q.
+	Point []float64
+	// K is the answer size.
+	K int
+	// Roles assigns each dimension to D (Repulsive), S (Attractive), or
+	// neither. len(Roles) must equal len(Point).
+	Roles []Role
+	// Weights are the α (repulsive) and β (attractive) parameters, one per
+	// dimension, aligned with Roles. Weights of Ignored dimensions are not
+	// read. All weights must be ≥ 0 and finite.
+	Weights []float64
+}
+
+// Validate checks the spec against a dataset dimensionality.
+func (s Spec) Validate(dims int) error {
+	if s.K < 1 {
+		return fmt.Errorf("query: k must be ≥ 1, got %d", s.K)
+	}
+	if len(s.Point) != dims {
+		return fmt.Errorf("query: point has %d dims, dataset has %d", len(s.Point), dims)
+	}
+	if len(s.Roles) != dims || len(s.Weights) != dims {
+		return fmt.Errorf("query: roles/weights lengths (%d, %d) != dims %d",
+			len(s.Roles), len(s.Weights), dims)
+	}
+	active := 0
+	for i := range s.Roles {
+		switch s.Roles[i] {
+		case Attractive, Repulsive:
+			active++
+			if math.IsNaN(s.Weights[i]) || math.IsInf(s.Weights[i], 0) || s.Weights[i] < 0 {
+				return fmt.Errorf("query: dimension %d has invalid weight %v", i, s.Weights[i])
+			}
+		case Ignored:
+		default:
+			return fmt.Errorf("query: dimension %d has unknown role %d", i, s.Roles[i])
+		}
+		if math.IsNaN(s.Point[i]) || math.IsInf(s.Point[i], 0) {
+			return fmt.Errorf("query: dimension %d of the query point is %v", i, s.Point[i])
+		}
+	}
+	if active == 0 {
+		return fmt.Errorf("query: no attractive or repulsive dimensions")
+	}
+	return nil
+}
+
+// Dims returns the index sets D (repulsive) and S (attractive).
+func (s Spec) Dims() (repulsive, attractive []int) {
+	for i, r := range s.Roles {
+		switch r {
+		case Repulsive:
+			repulsive = append(repulsive, i)
+		case Attractive:
+			attractive = append(attractive, i)
+		}
+	}
+	return repulsive, attractive
+}
+
+// Score evaluates Eqn. 3 of the paper for a data point:
+//
+//	SD-score(p, q) = Σ_{i∈D} w_i·|p_i − q_i| − Σ_{j∈S} w_j·|p_j − q_j|.
+func (s Spec) Score(p []float64) float64 {
+	var score float64
+	for i, r := range s.Roles {
+		switch r {
+		case Repulsive:
+			score += s.Weights[i] * math.Abs(p[i]-s.Point[i])
+		case Attractive:
+			score -= s.Weights[i] * math.Abs(p[i]-s.Point[i])
+		}
+	}
+	return score
+}
+
+// Result is one answer: the index of the point in the dataset and its score.
+type Result struct {
+	ID    int
+	Score float64
+}

@@ -1,0 +1,80 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Point:   []float64{1, 2, 3},
+		K:       5,
+		Roles:   []Role{Repulsive, Attractive, Ignored},
+		Weights: []float64{1, 0.5, 0},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validSpec().Validate(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"k=0", func(s *Spec) { s.K = 0 }},
+		{"dims mismatch", func(s *Spec) { s.Point = []float64{1} }},
+		{"roles mismatch", func(s *Spec) { s.Roles = s.Roles[:2] }},
+		{"weights mismatch", func(s *Spec) { s.Weights = s.Weights[:2] }},
+		{"negative weight", func(s *Spec) { s.Weights[0] = -1 }},
+		{"NaN weight", func(s *Spec) { s.Weights[1] = math.NaN() }},
+		{"Inf point", func(s *Spec) { s.Point[0] = math.Inf(1) }},
+		{"all ignored", func(s *Spec) { s.Roles = []Role{Ignored, Ignored, Ignored} }},
+		{"unknown role", func(s *Spec) { s.Roles[0] = Role(99) }},
+	}
+	for _, c := range cases {
+		s := validSpec()
+		c.mutate(&s)
+		if err := s.Validate(3); err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+		}
+	}
+}
+
+func TestValidateIgnoredWeightNotChecked(t *testing.T) {
+	s := validSpec()
+	s.Weights[2] = math.NaN() // ignored dimension: weight unread
+	if err := s.Validate(3); err != nil {
+		t.Fatalf("NaN weight on ignored dim rejected: %v", err)
+	}
+}
+
+func TestScore(t *testing.T) {
+	s := validSpec()
+	p := []float64{4, 1, 100}
+	// repulsive dim 0: 1·|4−1| = 3; attractive dim 1: −0.5·|1−2| = −0.5
+	if got, want := s.Score(p), 2.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestDims(t *testing.T) {
+	s := validSpec()
+	rep, attr := s.Dims()
+	if len(rep) != 1 || rep[0] != 0 || len(attr) != 1 || attr[0] != 1 {
+		t.Fatalf("Dims = %v, %v", rep, attr)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Ignored.String() != "ignored" || Attractive.String() != "attractive" || Repulsive.String() != "repulsive" {
+		t.Fatal("Role.String misnames")
+	}
+	if !strings.Contains(Role(42).String(), "42") {
+		t.Fatal("unknown role string should carry the value")
+	}
+}

@@ -1,0 +1,48 @@
+package rstar
+
+import "repro/internal/pq"
+
+// BestFirst is a branch-and-bound iterator over the tree: entries are
+// expanded in decreasing order of an admissible upper bound computed on
+// their MBRs. If upper(pt, pt) equals the exact score of a point, Next
+// yields points in exact non-increasing score order — which is precisely the
+// BRS query algorithm: take the first k.
+type BestFirst struct {
+	upper func(lo, hi []float64) float64
+	h     *pq.Heap[bfEntry]
+}
+
+type bfEntry struct {
+	bound float64
+	e     entry
+}
+
+// BestFirst starts a traversal with the given bound function. upper must be
+// admissible: for any rectangle, no point inside may score higher.
+func (t *Tree) BestFirst(upper func(lo, hi []float64) float64) *BestFirst {
+	b := &BestFirst{
+		upper: upper,
+		h:     pq.NewHeap(func(x, y bfEntry) bool { return x.bound > y.bound }),
+	}
+	if t.size > 0 {
+		for _, e := range t.root.entries {
+			b.h.Push(bfEntry{bound: upper(e.lo, e.hi), e: e})
+		}
+	}
+	return b
+}
+
+// Next returns the next point in non-increasing score order, with its score
+// as computed by the bound function on the degenerate rectangle.
+func (b *BestFirst) Next() (pt []float64, id int32, score float64, ok bool) {
+	for b.h.Len() > 0 {
+		be := b.h.Pop()
+		if be.e.child == nil {
+			return be.e.lo, be.e.id, be.bound, true
+		}
+		for _, c := range be.e.child.entries {
+			b.h.Push(bfEntry{bound: b.upper(c.lo, c.hi), e: c})
+		}
+	}
+	return nil, 0, 0, false
+}

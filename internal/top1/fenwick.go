@@ -1,0 +1,33 @@
+package top1
+
+// fenwick is a 1-based binary indexed tree over int counts, used for the
+// k-skyband dominance filter.
+type fenwick struct {
+	tree []int
+	n    int
+	sum  int
+}
+
+func newFenwick(n int) *fenwick {
+	return &fenwick{tree: make([]int, n+1), n: n}
+}
+
+// add increments the count at 1-based index i.
+func (f *fenwick) add(i, delta int) {
+	f.sum += delta
+	for ; i <= f.n; i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of counts at indices 1..i. prefix(0) = 0.
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// total returns the sum over all indices.
+func (f *fenwick) total() int { return f.sum }

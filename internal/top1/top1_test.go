@@ -1,0 +1,417 @@
+package top1
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+const eps = 1e-9
+
+// scanTopK is the ground truth: exact scores for every point, best k.
+func scanTopK(pts []geom.Point, q geom.Point, alpha, beta float64, k int) []float64 {
+	scores := make([]float64, len(pts))
+	for i, p := range pts {
+		scores[i] = alpha*math.Abs(p.Y-q.Y) - beta*math.Abs(p.X-q.X)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	if len(scores) > k {
+		scores = scores[:k]
+	}
+	return scores
+}
+
+func randomPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{ID: i, X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+	}
+	return pts
+}
+
+func checkAgainstScan(t *testing.T, idx *Index, pts []geom.Point, q geom.Point, alpha, beta float64, k int) {
+	t.Helper()
+	got := idx.Query(q)
+	want := scanTopK(pts, q, alpha, beta, k)
+	if len(got) != len(want) {
+		t.Fatalf("query %+v: got %d results, want %d", q, len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i].Score-want[i]) > eps*math.Max(1, math.Abs(want[i])) {
+			t.Fatalf("query %+v result %d: score %v, want %v (point %+v)",
+				q, i, got[i].Score, want[i], got[i].Point)
+		}
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	good := []geom.Point{{ID: 0, X: 1, Y: 1}}
+	if _, err := Build(good, Config{Alpha: 1, Beta: 1, K: 0}); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := Build(good, Config{Alpha: -1, Beta: 1, K: 1}); err == nil {
+		t.Error("negative alpha: want error")
+	}
+	if _, err := Build([]geom.Point{{ID: 0, X: math.NaN(), Y: 0}}, Config{Alpha: 1, Beta: 1, K: 1}); err == nil {
+		t.Error("NaN coordinate: want error")
+	}
+	if _, err := Build([]geom.Point{{ID: -1, X: 0, Y: 0}}, Config{Alpha: 1, Beta: 1, K: 1}); err == nil {
+		t.Error("negative ID: want error")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	idx, err := Build(nil, Config{Alpha: 1, Beta: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := idx.Query(geom.Point{X: 0, Y: 0}); res != nil {
+		t.Fatalf("empty index query = %v, want nil", res)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	pts := []geom.Point{{ID: 7, X: 2, Y: 3}}
+	idx, err := Build(pts, Config{Alpha: 1, Beta: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := idx.Query(geom.Point{X: 0, Y: 0})
+	if len(res) != 1 || res[0].Point.ID != 7 {
+		t.Fatalf("got %+v, want the single point", res)
+	}
+	if want := 3.0 - 2.0; math.Abs(res[0].Score-want) > eps {
+		t.Fatalf("score = %v, want %v", res[0].Score, want)
+	}
+}
+
+// TestPaperFigure3Regions reproduces the worked example after Claim 5: with
+// the Figure-3 layout, the highest-lower-projection envelope has exactly
+// three regions led by p2, p1, p3, and p4/p5 are discarded.
+func TestPaperFigure3Regions(t *testing.T) {
+	// Reconstructed layout: p2 leftmost and high, p1 middle and highest,
+	// p3 right and high, p4/p5 low points dominated everywhere.
+	pts := []geom.Point{
+		{ID: 1, X: 4, Y: 10}, // p1: tallest apex
+		{ID: 2, X: -6, Y: 8}, // p2: leads far left
+		{ID: 3, X: 14, Y: 8}, // p3: leads far right
+		{ID: 4, X: -1, Y: 2}, // p4: dominated
+		{ID: 5, X: 9, Y: 1},  // p5: dominated
+	}
+	idx, err := Build(pts, Config{Alpha: 1, Beta: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, _ := idx.Regions()
+	if upper != 3 {
+		t.Fatalf("upper envelope has %d regions, want 3", upper)
+	}
+	var leaders []int
+	for _, r := range idx.upperRegions {
+		leaders = append(leaders, r.pts[0].ID)
+	}
+	want := []int{2, 1, 3}
+	for i := range want {
+		if leaders[i] != want[i] {
+			t.Fatalf("region leaders = %v, want %v", leaders, want)
+		}
+	}
+	if idx.upperLeaders[4] || idx.upperLeaders[5] {
+		t.Fatal("dominated points p4/p5 should not be envelope leaders")
+	}
+}
+
+func TestTop1MatchesScanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 120; trial++ {
+		n := rng.Intn(300) + 1
+		pts := randomPoints(rng, n)
+		alpha, beta := rng.Float64()+0.01, rng.Float64()+0.01
+		idx, err := Build(pts, Config{Alpha: alpha, Beta: beta, K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < 20; qi++ {
+			q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+			checkAgainstScan(t, idx, pts, q, alpha, beta, 1)
+		}
+	}
+}
+
+func TestTopKFixedMatchesScanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(200) + 1
+		k := rng.Intn(8) + 1
+		pts := randomPoints(rng, n)
+		alpha, beta := rng.Float64()+0.01, rng.Float64()+0.01
+		idx, err := Build(pts, Config{Alpha: alpha, Beta: beta, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < 15; qi++ {
+			q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+			checkAgainstScan(t, idx, pts, q, alpha, beta, k)
+		}
+	}
+}
+
+func TestDegenerateAngles(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts := randomPoints(rng, 200)
+	cases := []struct{ alpha, beta float64 }{
+		{1, 0}, // θ = 0°: pure repulsive 1D
+		{0, 1}, // θ = 90°: pure attractive 1D (nearest-x)
+	}
+	for _, c := range cases {
+		for _, k := range []int{1, 3} {
+			idx, err := Build(pts, Config{Alpha: c.alpha, Beta: c.beta, K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi := 0; qi < 25; qi++ {
+				q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+				checkAgainstScan(t, idx, pts, q, c.alpha, c.beta, k)
+			}
+		}
+	}
+}
+
+func TestDuplicateAndCollinearPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pts := []geom.Point{
+		{ID: 0, X: 1, Y: 1}, {ID: 1, X: 1, Y: 1}, {ID: 2, X: 1, Y: 1}, // exact duplicates
+		{ID: 3, X: 0, Y: 0}, {ID: 4, X: 2, Y: 2}, {ID: 5, X: 3, Y: 3}, // collinear at 45°
+		{ID: 6, X: -1, Y: 1}, {ID: 7, X: -2, Y: 2},
+	}
+	for _, k := range []int{1, 2, 4, 8} {
+		idx, err := Build(pts, Config{Alpha: 1, Beta: 1, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < 30; qi++ {
+			q := geom.Point{X: rng.NormFloat64() * 3, Y: rng.NormFloat64() * 3}
+			checkAgainstScan(t, idx, pts, q, 1, 1, k)
+		}
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	pts := randomPoints(rng, 5)
+	idx, err := Build(pts, Config{Alpha: 1, Beta: 1, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Point{X: 0, Y: 0}
+	res := idx.Query(q)
+	if len(res) != 5 {
+		t.Fatalf("got %d results, want all 5 points", len(res))
+	}
+	checkAgainstScan(t, idx, pts, q, 1, 1, 10)
+}
+
+func TestInsertMaintainsCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for _, k := range []int{1, 3} {
+		pts := randomPoints(rng, 50)
+		idx, err := Build(pts, Config{Alpha: 1, Beta: 0.5, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 120; i++ {
+			p := geom.Point{ID: 1000 + i, X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+			if err := idx.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			pts = append(pts, p)
+			q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+			checkAgainstScan(t, idx, pts, q, 1, 0.5, k)
+		}
+		if idx.Len() != len(pts) {
+			t.Fatalf("Len = %d, want %d", idx.Len(), len(pts))
+		}
+	}
+}
+
+func TestDeleteMaintainsCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for _, k := range []int{1, 3} {
+		pts := randomPoints(rng, 150)
+		idx, err := Build(pts, Config{Alpha: 0.7, Beta: 1, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for len(pts) > 1 {
+			victim := rng.Intn(len(pts))
+			if !idx.Delete(pts[victim]) {
+				t.Fatalf("Delete(%+v) = false, want true", pts[victim])
+			}
+			pts = append(pts[:victim], pts[victim+1:]...)
+			q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+			checkAgainstScan(t, idx, pts, q, 0.7, 1, k)
+			if len(pts)%37 != 0 {
+				continue
+			}
+		}
+	}
+}
+
+func TestDeleteUnknownPoint(t *testing.T) {
+	pts := []geom.Point{{ID: 0, X: 1, Y: 1}}
+	idx, err := Build(pts, Config{Alpha: 1, Beta: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Delete(geom.Point{ID: 99, X: 5, Y: 5}) {
+		t.Fatal("Delete of unknown point returned true")
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("Len = %d after failed delete, want 1", idx.Len())
+	}
+}
+
+func TestMixedInsertDeleteChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	pts := randomPoints(rng, 80)
+	idx, err := Build(pts, Config{Alpha: 1, Beta: 1, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextID := 1000
+	for step := 0; step < 200; step++ {
+		if len(pts) > 0 && rng.Intn(2) == 0 {
+			victim := rng.Intn(len(pts))
+			idx.Delete(pts[victim])
+			pts = append(pts[:victim], pts[victim+1:]...)
+		} else {
+			p := geom.Point{ID: nextID, X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+			nextID++
+			if err := idx.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			pts = append(pts, p)
+		}
+		if step%10 == 0 && len(pts) > 0 {
+			q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+			checkAgainstScan(t, idx, pts, q, 1, 1, 2)
+		}
+	}
+}
+
+func TestRegionBoundariesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		pts := randomPoints(rng, 400)
+		k := rng.Intn(5) + 1
+		idx, err := Build(pts, Config{Alpha: 1, Beta: 1, K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, regions := range [][]region{idx.upperRegions, idx.lowerRegions} {
+			if len(regions) == 0 {
+				t.Fatal("no regions for non-empty index")
+			}
+			for i := 1; i < len(regions); i++ {
+				if regions[i].xEnd < regions[i-1].xEnd {
+					t.Fatalf("region boundaries not sorted: %v then %v",
+						regions[i-1].xEnd, regions[i].xEnd)
+				}
+			}
+			if !math.IsInf(regions[len(regions)-1].xEnd, 1) {
+				t.Fatal("final region must extend to +Inf")
+			}
+			for _, r := range regions {
+				if len(r.pts) == 0 || len(r.pts) > k {
+					t.Fatalf("region holds %d leaders, want 1..%d", len(r.pts), k)
+				}
+			}
+		}
+	}
+}
+
+// TestLinearStorageBound checks the O(n) region-count guarantee for k=1
+// (Claim 5: at most one region per point and envelope).
+func TestLinearStorageBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	pts := randomPoints(rng, 3000)
+	idx, err := Build(pts, Config{Alpha: 1, Beta: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, lower := idx.Regions()
+	if upper > len(pts) || lower > len(pts) {
+		t.Fatalf("region counts (%d, %d) exceed n=%d", upper, lower, len(pts))
+	}
+	if idx.RegionBytes() <= 0 || idx.TotalBytes() <= idx.RegionBytes() {
+		t.Fatal("byte accounting inconsistent")
+	}
+}
+
+func TestSkybandFilter(t *testing.T) {
+	// Points on a descending staircase: nothing dominates anything.
+	var items []item
+	for i := 0; i < 10; i++ {
+		items = append(items, item{id: int32(i), u: float64(10 - i), v: float64(i)})
+	}
+	sortForSweep(items)
+	if got := len(skyband(items, 1)); got != 10 {
+		t.Fatalf("staircase skyband size = %d, want 10", got)
+	}
+	// A dominated point: u and v both below another's.
+	items = []item{{id: 0, u: 5, v: 5}, {id: 1, u: 4, v: 4}, {id: 2, u: 6, v: 3}}
+	sortForSweep(items)
+	kept := skyband(items, 1)
+	for _, it := range kept {
+		if it.id == 1 {
+			t.Fatal("dominated point survived 1-skyband")
+		}
+	}
+	// With k=2 the same point survives (only one dominator).
+	kept = skyband(items, 2)
+	found := false
+	for _, it := range kept {
+		if it.id == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("point with one dominator dropped from 2-skyband")
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(10)
+	f.add(3, 1)
+	f.add(7, 2)
+	f.add(10, 1)
+	if got := f.prefix(2); got != 0 {
+		t.Fatalf("prefix(2) = %d, want 0", got)
+	}
+	if got := f.prefix(3); got != 1 {
+		t.Fatalf("prefix(3) = %d, want 1", got)
+	}
+	if got := f.prefix(9); got != 3 {
+		t.Fatalf("prefix(9) = %d, want 3", got)
+	}
+	if got := f.total(); got != 4 {
+		t.Fatalf("total = %d, want 4", got)
+	}
+}
+
+func TestQueryAtRegionBoundary(t *testing.T) {
+	// Two apexes of equal height: the boundary is the midpoint; a query
+	// exactly there must still return a score-correct answer.
+	pts := []geom.Point{{ID: 0, X: -2, Y: 4}, {ID: 1, X: 2, Y: 4}}
+	idx, err := Build(pts, Config{Alpha: 1, Beta: 1, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstScan(t, idx, pts, geom.Point{X: 0, Y: 0}, 1, 1, 1)
+	checkAgainstScan(t, idx, pts, geom.Point{X: -2, Y: 0}, 1, 1, 1)
+	checkAgainstScan(t, idx, pts, geom.Point{X: 100, Y: 0}, 1, 1, 1)
+	checkAgainstScan(t, idx, pts, geom.Point{X: -100, Y: 0}, 1, 1, 1)
+}

@@ -1,0 +1,351 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Result is one query answer: a point and its SD-score under the query's raw
+// (unnormalized) weights.
+type Result struct {
+	Point geom.Point
+	Score float64
+}
+
+// Query returns the k highest-scoring points for query q under
+// SD-score(p, q) = alpha·|Δy| − beta·|Δx|, with alpha, beta ≥ 0 supplied at
+// query time.
+func (idx *Index) Query(q geom.Point, k int, alpha, beta float64) ([]Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topk: k must be ≥ 1, got %d", k)
+	}
+	st, err := idx.Stream(q, alpha, beta)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	var out []Result
+	for len(out) < k {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// matchAngle returns the index of an indexed angle within tolerance of deg,
+// or -1.
+func (idx *Index) matchAngle(deg float64) int {
+	i := sort.SearchFloat64s(idx.degrees, deg)
+	for _, j := range []int{i - 1, i} {
+		if j >= 0 && j < len(idx.degrees) && math.Abs(idx.degrees[j]-deg) < 1e-9 {
+			return j
+		}
+	}
+	return -1
+}
+
+// blend expresses an arbitrary query angle as a non-negative combination of
+// the two bracketing indexed angles: for θ_l ≤ θ_q ≤ θ_u,
+//
+//	(cos θ_q, sin θ_q) = λ·(cos θ_l, sin θ_l) + μ·(cos θ_u, sin θ_u)
+//	λ = sin(θ_u − θ_q)/sin(θ_u − θ_l) ≥ 0,  μ = sin(θ_q − θ_l)/sin(θ_u − θ_l) ≥ 0,
+//
+// so every projection intercept — and hence every per-node bound — at θ_q is
+// the same combination of the stored θ_l and θ_u values. This is the same
+// single-crossing geometry that underlies the paper's Claim 6 (observation 2
+// of §4.2), realized as an admissible per-node bound instead of the
+// two-merge enumeration of Algorithm 4; see DESIGN.md. Both paths are
+// implemented (Stream and StreamAlg4) and tested for agreement.
+type blend struct {
+	angle      geom.Angle // exact normalized query angle
+	al, au     int        // bracketing indexed-angle positions (al == au if exact)
+	lambda, mu float64
+}
+
+func (idx *Index) blendFor(qa geom.Angle) blend {
+	deg := qa.Degrees()
+	if ai := idx.matchAngle(deg); ai >= 0 {
+		return blend{angle: qa, al: ai, au: ai, lambda: 1, mu: 0}
+	}
+	au := sort.SearchFloat64s(idx.degrees, deg)
+	al := au - 1 // normalizeAngles guarantees 0° and 90° are present
+	tl := idx.degrees[al] * math.Pi / 180
+	tu := idx.degrees[au] * math.Pi / 180
+	tq := deg * math.Pi / 180
+	denom := math.Sin(tu - tl)
+	return blend{
+		angle:  qa,
+		al:     al,
+		au:     au,
+		lambda: math.Sin(tu-tq) / denom,
+		mu:     math.Sin(tq-tl) / denom,
+	}
+}
+
+// cursor materializes the separating path for one query: the subtrees
+// entirely right and entirely left of the query axis, plus the path leaf's
+// points classified by side. All per-query state lives here, so a shared
+// index serves concurrent queries.
+type cursor struct {
+	idx      *Index
+	q        geom.Point
+	right    []*node // subtrees with every point at x ≥ x_q
+	left     []*node // subtrees with every point at x < x_q
+	rightPts []geom.Point
+	leftPts  []geom.Point
+}
+
+func (idx *Index) newCursor(q geom.Point) *cursor {
+	c := &cursor{idx: idx, q: q}
+	nd := idx.root
+	for nd != nil && !nd.leaf() {
+		pos := sort.SearchFloat64s(nd.seps, q.X) // first separator ≥ x_q
+		c.left = append(c.left, nd.children[:pos]...)
+		if pos+1 < len(nd.children) {
+			c.right = append(c.right, nd.children[pos+1:]...)
+		}
+		nd = nd.children[pos]
+	}
+	if nd != nil {
+		for _, p := range nd.pts {
+			if p.X >= q.X {
+				c.rightPts = append(c.rightPts, p)
+			} else {
+				c.leftPts = append(c.leftPts, p)
+			}
+		}
+	}
+	return c
+}
+
+// stream enumerates one projection type in projection order via best-first
+// search over the per-node bounds. Each stream is restricted to the points
+// for which Eqn. 6 actually selects its projection kind: the x side is
+// enforced structurally by the separating path and the y side is filtered at
+// emission, so every point belongs to exactly one of the four streams and
+// its stream key differs from its normalized SD-score only by the additive
+// constant ±(β·x_q − α·y_q).
+//
+// Minimizing streams (upper projections) negate their keys so that a single
+// max-heap implementation serves all four kinds.
+type stream struct {
+	bl   blend
+	kind geom.Kind
+	yq   float64
+	neg  bool // keys stored negated (minimizing kinds)
+	h    sheap
+}
+
+// nodeKey returns the admissible (possibly negated) bound of an internal
+// node for this stream: the blended per-angle extreme of the subtree.
+// Points filtered out by the y-side rule only widen the bound, keeping it
+// admissible.
+func (s *stream) nodeKey(nd *node) float64 {
+	ol, ou := 4*s.bl.al, 4*s.bl.au
+	switch s.kind {
+	case geom.LLP: // maximize u among right-side points
+		return s.bl.lambda*nd.bounds[ol+0] + s.bl.mu*nd.bounds[ou+0]
+	case geom.RUP: // minimize u among left-side points
+		return -(s.bl.lambda*nd.bounds[ol+1] + s.bl.mu*nd.bounds[ou+1])
+	case geom.RLP: // maximize v among left-side points
+		return s.bl.lambda*nd.bounds[ol+2] + s.bl.mu*nd.bounds[ou+2]
+	default: // geom.LUP: minimize v among right-side points
+		return -(s.bl.lambda*nd.bounds[ol+3] + s.bl.mu*nd.bounds[ou+3])
+	}
+}
+
+// pointKey returns the exact (possibly negated) intercept of p at the query
+// angle.
+func (s *stream) pointKey(p geom.Point) float64 {
+	a := s.bl.angle
+	switch s.kind {
+	case geom.LLP:
+		return a.U(p.X, p.Y)
+	case geom.RUP:
+		return -a.U(p.X, p.Y)
+	case geom.RLP:
+		return a.V(p.X, p.Y)
+	default: // geom.LUP
+		return -a.V(p.X, p.Y)
+	}
+}
+
+// keeps reports whether p belongs to this stream under Eqn. 6's y rule.
+func (s *stream) keeps(p geom.Point) bool {
+	if s.kind.Lower() {
+		return p.Y >= s.yq
+	}
+	return p.Y < s.yq
+}
+
+// pushNode queues a subtree. Ordinary leaves become leaf cursors under
+// their stored node bound; oversized duplicate-x leaves (beyond the 64-bit
+// cursor mask) fall back to individual point entries.
+func (s *stream) pushNode(nd *node) {
+	if nd.leaf() && len(nd.pts) > 64 {
+		for _, p := range nd.pts {
+			if s.keeps(p) {
+				s.h.push(sentry{key: s.pointKey(p), pt: p})
+			}
+		}
+		return
+	}
+	s.h.push(sentry{key: s.nodeKey(nd), nd: nd})
+}
+
+func (c *cursor) newStream(bl blend, kind geom.Kind) *stream {
+	s := &stream{bl: bl, kind: kind, yq: c.q.Y,
+		neg: kind == geom.RUP || kind == geom.LUP}
+	nodes, pts := c.right, c.rightPts
+	if kind == geom.RLP || kind == geom.RUP {
+		nodes, pts = c.left, c.leftPts
+	}
+	s.h.acquire(len(nodes) + len(pts) + 8)
+	for _, nd := range nodes {
+		s.pushNode(nd)
+	}
+	for _, p := range pts {
+		if s.keeps(p) {
+			s.h.push(sentry{key: s.pointKey(p), pt: p})
+		}
+	}
+	return s
+}
+
+// next returns the stream's next point in projection order.
+func (s *stream) next() (geom.Point, bool) {
+	for s.h.len() > 0 {
+		e := s.h.pop()
+		if e.nd == nil {
+			return e.pt, true
+		}
+		if !e.nd.leaf() {
+			for _, child := range e.nd.children {
+				s.pushNode(child)
+			}
+			continue
+		}
+		// Leaf cursor: scan the unconsumed points once, filtering the
+		// wrong y side permanently and locating the best and second-best
+		// remaining keys.
+		pts := e.nd.pts
+		mask := e.mask
+		best, remaining := -1, 0
+		bestKey, secondKey := math.Inf(-1), math.Inf(-1)
+		for i := 0; i < len(pts); i++ {
+			if mask&(1<<uint(i)) != 0 {
+				continue
+			}
+			if !s.keeps(pts[i]) {
+				mask |= 1 << uint(i)
+				continue
+			}
+			remaining++
+			k := s.pointKey(pts[i])
+			if k > bestKey {
+				secondKey = bestKey
+				bestKey, best = k, i
+			} else if k > secondKey {
+				secondKey = k
+			}
+		}
+		if best < 0 {
+			continue // everything filtered or consumed
+		}
+		// The entry key was an upper bound (the node bound on the first
+		// visit); if the exact best no longer tops the heap, requeue.
+		if s.h.len() > 0 && bestKey < s.h.topKey() {
+			s.h.push(sentry{key: bestKey, nd: e.nd, mask: mask})
+			continue
+		}
+		mask |= 1 << uint(best)
+		if remaining > 1 {
+			s.h.push(sentry{key: secondKey, nd: e.nd, mask: mask})
+		}
+		return pts[best], true
+	}
+	return geom.Point{}, false
+}
+
+// merge is the four-way candidate merge of Algorithm 2: at every step the
+// best scorer among the four stream heads is emitted and only the winning
+// stream advances. Because each stream holds exactly the points whose
+// Eqn.-6 projection it enumerates, stream keys translate to exact
+// normalized scores and the greedy choice is optimal: the head of a point's
+// own stream always scores at least as high as the point itself.
+type merge struct {
+	angle   geom.Angle
+	q       geom.Point
+	streams [4]*stream
+	heads   [4]geom.Point
+	scores  [4]float64
+	valid   [4]bool
+}
+
+// newMerge builds the Algorithm-2 merge for the blended query angle,
+// ordered by the exact normalized score at that angle.
+func (c *cursor) newMerge(bl blend) *merge {
+	m := &merge{angle: bl.angle, q: c.q}
+	for i, kind := range []geom.Kind{geom.LLP, geom.LUP, geom.RLP, geom.RUP} {
+		s := c.newStream(bl, kind)
+		m.streams[i] = s
+		if p, ok := s.next(); ok {
+			m.heads[i] = p
+			m.scores[i] = m.angle.Score(p, m.q)
+			m.valid[i] = true
+		}
+	}
+	return m
+}
+
+// next emits the best remaining point by normalized angle score, returning
+// the point and its normalized score.
+func (m *merge) next() (geom.Point, float64, bool) {
+	best := -1
+	for i := 0; i < 4; i++ {
+		if m.valid[i] && (best == -1 || m.scores[i] > m.scores[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return geom.Point{}, 0, false
+	}
+	p, score := m.heads[best], m.scores[best]
+	if np, ok := m.streams[best].next(); ok {
+		m.heads[best] = np
+		m.scores[best] = m.angle.Score(np, m.q)
+	} else {
+		m.valid[best] = false
+	}
+	return p, score, true
+}
+
+// peekScore returns the normalized score the next emission will carry.
+func (m *merge) peekScore() (float64, bool) {
+	best := -1
+	for i := 0; i < 4; i++ {
+		if m.valid[i] && (best == -1 || m.scores[i] > m.scores[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return m.scores[best], true
+}
+
+// release returns the stream heap arrays to the pool. The merge must not be
+// used afterwards.
+func (m *merge) release() {
+	for _, s := range m.streams {
+		if s != nil {
+			s.h.release()
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// TestOversizedLeafFallback: leaf capacities beyond the 64-bit cursor mask
+// force the per-point fallback path; answers must stay scan-identical.
+func TestOversizedLeafFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	pts := randomPoints(rng, 500)
+	idx, err := Build(pts, Config{LeafCap: 100, Branching: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 30; qi++ {
+		q := geom.Point{X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+		alpha, beta := rng.Float64()+1e-6, rng.Float64()+1e-6
+		checkQuery(t, idx, pts, q, alpha, beta, rng.Intn(10)+1)
+	}
+}
+
+// TestMassiveDuplicateX: thousands of points sharing one x collapse into a
+// single unsplittable oversized leaf; queries and updates must survive.
+func TestMassiveDuplicateX(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	pts := make([]geom.Point, 300)
+	for i := range pts {
+		pts[i] = geom.Point{ID: i, X: 7, Y: rng.NormFloat64() * 5}
+	}
+	idx, err := Build(pts, Config{LeafCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 20; qi++ {
+		q := geom.Point{X: rng.NormFloat64() * 10, Y: rng.NormFloat64() * 5}
+		checkQuery(t, idx, pts, q, 1, 1, 5)
+	}
+	victim := pts[13]
+	if !idx.Delete(victim) {
+		t.Fatal("delete from duplicate-x leaf failed")
+	}
+	pts = append(pts[:13], pts[14:]...)
+	checkQuery(t, idx, pts, geom.Point{X: 3, Y: 0}, 0.5, 0.5, 5)
+}
+
+// TestQueryQuickProperty: randomized quick-check — the index agrees with a
+// brute-force scan for arbitrary point clouds, queries, and weights.
+func TestQueryQuickProperty(t *testing.T) {
+	property := func(coords []float64, qx, qy, aRaw, bRaw float64, kRaw uint8) bool {
+		sanitize := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0.5
+			}
+			return math.Mod(x, 100)
+		}
+		var pts []geom.Point
+		for i := 0; i+1 < len(coords); i += 2 {
+			pts = append(pts, geom.Point{
+				ID: i / 2, X: sanitize(coords[i]), Y: sanitize(coords[i+1]),
+			})
+		}
+		if len(pts) == 0 {
+			return true
+		}
+		idx, err := Build(pts, Config{Branching: 3, LeafCap: 2})
+		if err != nil {
+			return false
+		}
+		q := geom.Point{X: sanitize(qx), Y: sanitize(qy)}
+		alpha := math.Abs(sanitize(aRaw)) + 1e-3
+		beta := math.Abs(sanitize(bRaw)) + 1e-3
+		k := int(kRaw)%len(pts) + 1
+		got, err := idx.Query(q, k, alpha, beta)
+		if err != nil {
+			return false
+		}
+		want := scanTopK(pts, q, alpha, beta, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i].Score-want[i]) > 1e-9*math.Max(1, math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentTreeQueries: one tree, parallel streams.
+func TestConcurrentTreeQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	pts := randomPoints(rng, 2000)
+	idx, err := Build(pts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(seed int64) {
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				q := geom.Point{X: r.NormFloat64() * 5, Y: r.NormFloat64() * 5}
+				alpha, beta := r.Float64()+1e-6, r.Float64()+1e-6
+				res, err := idx.Query(q, 5, alpha, beta)
+				if err != nil {
+					done <- err
+					return
+				}
+				want := scanTopK(pts, q, alpha, beta, 5)
+				for j := range want {
+					if math.Abs(res[j].Score-want[j]) > 1e-9*math.Max(1, math.Abs(want[j])) {
+						done <- errMismatch
+						return
+					}
+				}
+			}
+			done <- nil
+		}(int64(w))
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent query mismatch" }

@@ -1,0 +1,118 @@
+package topk
+
+import (
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// sentry is a best-first stream entry, one of:
+//
+//   - an internal subtree (nd != nil, !nd.leaf()) under an admissible
+//     blended bound key;
+//   - a leaf cursor (nd != nil, nd.leaf()): mask marks the points already
+//     emitted or filtered out, and key bounds the best remaining point —
+//     exact after the first scan, the stored node bound before it;
+//   - a concrete point (nd == nil) with its exact key — used for the
+//     separating-path leaf and for oversized duplicate-x leaves whose
+//     occupancy exceeds the 64-bit mask.
+//
+// Leaf cursors are the reason the query path stays cheap: a leaf of 16
+// points costs one heap entry and O(LeafCap) scans instead of 16 heap
+// pushes.
+type sentry struct {
+	key  float64
+	nd   *node
+	pt   geom.Point
+	mask uint64
+}
+
+// sheap is a 4-ary max-heap over sentries specialized for the query hot
+// path: the comparison is a direct float compare (ascending streams negate
+// their keys), and the wide fan-out halves sift depth for the pop-heavy
+// best-first workload.
+type sheap struct {
+	a []sentry
+}
+
+// sentryPool recycles heap backing arrays across queries: the four stream
+// heaps of a merge grow to thousands of entries per query, and reusing their
+// arrays removes the dominant per-query allocation.
+var sentryPool = sync.Pool{
+	New: func() any {
+		s := make([]sentry, 0, 256)
+		return &s
+	},
+}
+
+func (h *sheap) acquire(capacity int) {
+	p := sentryPool.Get().(*[]sentry)
+	h.a = (*p)[:0]
+	if cap(h.a) < capacity {
+		h.a = make([]sentry, 0, capacity)
+	}
+}
+
+func (h *sheap) release() {
+	if h.a == nil {
+		return
+	}
+	a := h.a[:0]
+	h.a = nil
+	sentryPool.Put(&a)
+}
+
+func (h *sheap) len() int { return len(h.a) }
+
+// topKey returns the key of the maximum entry; callers guard with len.
+func (h *sheap) topKey() float64 { return h.a[0].key }
+
+func (h *sheap) push(e sentry) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if h.a[parent].key >= h.a[i].key {
+			break
+		}
+		h.a[parent], h.a[i] = h.a[i], h.a[parent]
+		i = parent
+	}
+}
+
+func (h *sheap) pop() sentry {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a[last] = sentry{}
+	h.a = h.a[:last]
+	if last > 1 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *sheap) down(i int) {
+	n := len(h.a)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		largest := first
+		for c := first + 1; c < end; c++ {
+			if h.a[c].key > h.a[largest].key {
+				largest = c
+			}
+		}
+		if h.a[i].key >= h.a[largest].key {
+			return
+		}
+		h.a[i], h.a[largest] = h.a[largest], h.a[i]
+		i = largest
+	}
+}

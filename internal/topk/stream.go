@@ -1,0 +1,160 @@
+package topk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/pq"
+)
+
+// Stream enumerates all indexed points in non-increasing SD-score order for
+// one query and one pair of raw weights — the incremental form the §5
+// multi-dimensional engine consumes as a 2D subproblem.
+//
+// The default implementation runs a single Algorithm-2 merge whose per-node
+// bounds are blended from the two indexed angles bracketing the query angle
+// (see blend). StreamAlg4 is the paper's literal Algorithm 4 — a θ_l merge
+// whose top set is progressively covered by a θ_u-ordered prefix (Claim 6) —
+// kept as an alternative and compared in tests and the ablation benchmarks.
+type Stream struct {
+	raw   func(geom.Point) float64
+	m     *merge // nil on an empty index
+	scale float64
+
+	// Algorithm-4 state (nil unless built by StreamAlg4).
+	alg4 *alg4State
+}
+
+// Stream returns an iterator over all points in descending
+// SD-score(·, q) = alpha·|Δy| − beta·|Δx| order.
+func (idx *Index) Stream(q geom.Point, alpha, beta float64) (*Stream, error) {
+	qa, err := streamChecks(q, alpha, beta)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{raw: rawScorer(q, alpha, beta), scale: geom.Scale(alpha, beta)}
+	if idx.root == nil {
+		return s, nil
+	}
+	cur := idx.newCursor(q)
+	s.m = cur.newMerge(idx.blendFor(qa))
+	return s, nil
+}
+
+func streamChecks(q geom.Point, alpha, beta float64) (geom.Angle, error) {
+	if math.IsNaN(q.X) || math.IsInf(q.X, 0) || math.IsNaN(q.Y) || math.IsInf(q.Y, 0) {
+		return geom.Angle{}, fmt.Errorf("topk: query has non-finite coordinates (%v, %v)", q.X, q.Y)
+	}
+	qa, err := geom.NewAngle(alpha, beta)
+	if err != nil {
+		return geom.Angle{}, fmt.Errorf("topk: %w", err)
+	}
+	return qa, nil
+}
+
+func rawScorer(q geom.Point, alpha, beta float64) func(geom.Point) float64 {
+	return func(p geom.Point) float64 {
+		return alpha*math.Abs(p.Y-q.Y) - beta*math.Abs(p.X-q.X)
+	}
+}
+
+// Next returns the next point in non-increasing score order.
+func (s *Stream) Next() (Result, bool) {
+	if s.alg4 != nil {
+		return s.alg4.next(s.raw)
+	}
+	if s.m == nil {
+		return Result{}, false
+	}
+	p, score, ok := s.m.next()
+	if !ok {
+		return Result{}, false
+	}
+	// The raw score is the normalized one rescaled by hypot(α, β).
+	return Result{Point: p, Score: score * s.scale}, true
+}
+
+// Close releases pooled per-query buffers. Optional but recommended on hot
+// paths; the stream must not be used afterwards. Safe to call more than
+// once.
+func (s *Stream) Close() {
+	if s.m != nil {
+		s.m.release()
+		s.m = nil
+	}
+	if s.alg4 != nil {
+		s.alg4.lower.release()
+		s.alg4.upper.release()
+		s.alg4 = nil
+	}
+}
+
+// alg4State implements the paper's Algorithm 4 incrementally: before the
+// i-th emission the θ_u-ordered prefix is extended until it covers the top-i
+// points at θ_l; by Claim 6 the prefix then contains the top-i points at the
+// query angle. Coverage is decided by score comparison — the θ_u merge is
+// advanced while its next normalized score is at least that of the θ_l point
+// being covered, which necessarily emits the point itself — so no identity
+// bookkeeping is needed.
+type alg4State struct {
+	q          geom.Point
+	upperAngle geom.Angle
+	lower      *merge           // at θ_l, ordered by θ_l score
+	upper      *merge           // at θ_u, ordered by θ_u score
+	cands      *pq.Heap[Result] // fetched but unemitted, by raw score desc
+	lowerDone  bool
+}
+
+// StreamAlg4 returns a Stream driven by the literal Algorithm 4 instead of
+// blended node bounds. Results are identical; the blended stream fetches
+// fewer points (no θ_u over-fetch), which the ablation benchmarks quantify.
+func (idx *Index) StreamAlg4(q geom.Point, alpha, beta float64) (*Stream, error) {
+	qa, err := streamChecks(q, alpha, beta)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{raw: rawScorer(q, alpha, beta), scale: geom.Scale(alpha, beta)}
+	if idx.root == nil {
+		return s, nil
+	}
+	bl := idx.blendFor(qa)
+	cur := idx.newCursor(q)
+	if bl.al == bl.au {
+		s.m = cur.newMerge(bl) // exact indexed angle: no bracketing needed
+		return s, nil
+	}
+	exact := func(ai int) blend {
+		return blend{angle: idx.angles[ai], al: ai, au: ai, lambda: 1, mu: 0}
+	}
+	s.alg4 = &alg4State{
+		q:          q,
+		upperAngle: idx.angles[bl.au],
+		lower:      cur.newMerge(exact(bl.al)),
+		upper:      cur.newMerge(exact(bl.au)),
+		cands:      pq.NewHeap(func(a, b Result) bool { return a.Score > b.Score }),
+	}
+	return s, nil
+}
+
+func (a *alg4State) next(raw func(geom.Point) float64) (Result, bool) {
+	if !a.lowerDone {
+		if lp, _, ok := a.lower.next(); ok {
+			target := a.upperAngle.Score(lp, a.q)
+			for {
+				peek, ok := a.upper.peekScore()
+				if !ok || peek < target {
+					break
+				}
+				up, _, _ := a.upper.next()
+				a.cands.Push(Result{Point: up, Score: raw(up)})
+			}
+		} else {
+			a.lowerDone = true
+		}
+	}
+	if a.cands.Len() == 0 {
+		return Result{}, false
+	}
+	return a.cands.Pop(), true
+}

@@ -1,0 +1,197 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestStreamFullEnumerationSorted: the stream must enumerate every point in
+// non-increasing raw-score order, for both indexed and bracketed angles.
+func TestStreamFullEnumerationSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(300) + 1
+		pts := randomPoints(rng, n)
+		idx, err := Build(pts, Config{Branching: 2 + rng.Intn(6), LeafCap: 1 + rng.Intn(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := geom.Point{X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+		var alpha, beta float64
+		if trial%3 == 0 {
+			a, _ := geom.AngleFromDegrees([]float64{0, 23, 45, 67, 90}[rng.Intn(5)])
+			alpha, beta = a.Alpha, a.Beta
+		} else {
+			alpha, beta = rng.Float64()+1e-6, rng.Float64()+1e-6
+		}
+		st, err := idx.Stream(q, alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []float64
+		for {
+			r, ok := st.Next()
+			if !ok {
+				break
+			}
+			got = append(got, r.Score)
+		}
+		want := scanTopK(pts, q, alpha, beta, n)
+		if len(got) != len(want) {
+			t.Fatalf("stream enumerated %d of %d points", len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > eps*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("position %d: score %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAlg4AgreesWithBlendedStream: the literal Algorithm 4 and the
+// blended-bound stream must yield identical score sequences.
+func TestAlg4AgreesWithBlendedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(400) + 1
+		pts := randomPoints(rng, n)
+		idx, err := Build(pts, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := geom.Point{X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+		alpha, beta := rng.Float64()+1e-6, rng.Float64()+1e-6
+		s1, err := idx.Stream(q, alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := idx.StreamAlg4(q, alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; ; i++ {
+			r1, ok1 := s1.Next()
+			r2, ok2 := s2.Next()
+			if ok1 != ok2 {
+				t.Fatalf("trial %d position %d: blended ok=%v alg4 ok=%v", trial, i, ok1, ok2)
+			}
+			if !ok1 {
+				break
+			}
+			if math.Abs(r1.Score-r2.Score) > eps*math.Max(1, math.Abs(r1.Score)) {
+				t.Fatalf("trial %d position %d: blended %v, alg4 %v", trial, i, r1.Score, r2.Score)
+			}
+		}
+	}
+}
+
+// TestBlendCoefficients: λ and μ reconstruct the query angle exactly and are
+// non-negative across the bracket.
+func TestBlendCoefficients(t *testing.T) {
+	idx, err := Build(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 2000; trial++ {
+		alpha, beta := rng.Float64()+1e-9, rng.Float64()+1e-9
+		qa := geom.MustAngle(alpha, beta)
+		bl := idx.blendFor(qa)
+		if bl.lambda < 0 || bl.mu < 0 {
+			t.Fatalf("negative blend: %+v", bl)
+		}
+		al, au := idx.angles[bl.al], idx.angles[bl.au]
+		gotCos := bl.lambda*al.Alpha + bl.mu*au.Alpha
+		gotSin := bl.lambda*al.Beta + bl.mu*au.Beta
+		if math.Abs(gotCos-qa.Alpha) > 1e-9 || math.Abs(gotSin-qa.Beta) > 1e-9 {
+			t.Fatalf("blend does not reconstruct the angle: got (%v, %v), want (%v, %v)",
+				gotCos, gotSin, qa.Alpha, qa.Beta)
+		}
+	}
+}
+
+// TestBlendExactMatch: indexed angles blend to themselves.
+func TestBlendExactMatch(t *testing.T) {
+	idx, err := Build(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, deg := range []float64{0, 23, 45, 67, 90} {
+		a, _ := geom.AngleFromDegrees(deg)
+		bl := idx.blendFor(a)
+		if bl.al != bl.au || bl.lambda != 1 || bl.mu != 0 {
+			t.Fatalf("angle %v°: blend %+v, want exact match", deg, bl)
+		}
+	}
+}
+
+// TestStreamEmptyIndex: both stream variants terminate immediately.
+func TestStreamEmptyIndex(t *testing.T) {
+	idx, err := Build(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() (*Stream, error){
+		func() (*Stream, error) { return idx.Stream(geom.Point{}, 1, 1) },
+		func() (*Stream, error) { return idx.StreamAlg4(geom.Point{}, 0.3, 0.7) },
+	} {
+		st, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := st.Next(); ok {
+			t.Fatal("empty index emitted a point")
+		}
+	}
+}
+
+// TestQueryViaAlg4MatchesScan: end-to-end answers through the Algorithm 4
+// path agree with scan.
+func TestQueryViaAlg4MatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	pts := randomPoints(rng, 500)
+	idx, err := Build(pts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 30; qi++ {
+		q := geom.Point{X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+		alpha, beta := rng.Float64()+1e-6, rng.Float64()+1e-6
+		k := rng.Intn(10) + 1
+		st, err := idx.StreamAlg4(q, alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []float64
+		for len(got) < k {
+			r, ok := st.Next()
+			if !ok {
+				break
+			}
+			got = append(got, r.Score)
+		}
+		want := scanTopK(pts, q, alpha, beta, k)
+		if len(got) != len(want) {
+			t.Fatalf("%d results, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > eps*math.Max(1, math.Abs(want[i])) {
+				t.Fatalf("result %d: %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// sortedScores is a helper mirroring the scan ground truth for streams.
+func sortedScores(pts []geom.Point, q geom.Point, alpha, beta float64) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = alpha*math.Abs(p.Y-q.Y) - beta*math.Abs(p.X-q.X)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

@@ -1,0 +1,549 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+const eps = 1e-9
+
+func scanTopK(pts []geom.Point, q geom.Point, alpha, beta float64, k int) []float64 {
+	scores := make([]float64, len(pts))
+	for i, p := range pts {
+		scores[i] = alpha*math.Abs(p.Y-q.Y) - beta*math.Abs(p.X-q.X)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	if len(scores) > k {
+		scores = scores[:k]
+	}
+	return scores
+}
+
+func randomPoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{ID: i, X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+	}
+	return pts
+}
+
+func checkQuery(t *testing.T, idx *Index, pts []geom.Point, q geom.Point, alpha, beta float64, k int) {
+	t.Helper()
+	got, err := idx.Query(q, k, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scanTopK(pts, q, alpha, beta, k)
+	if len(got) != len(want) {
+		t.Fatalf("query %+v k=%d α=%v β=%v: %d results, want %d", q, k, alpha, beta, len(got), len(want))
+	}
+	for i := range want {
+		tol := eps * math.Max(1, math.Abs(want[i]))
+		if math.Abs(got[i].Score-want[i]) > tol {
+			t.Fatalf("query %+v k=%d α=%v β=%v result %d: score %v, want %v (point %+v)",
+				q, k, alpha, beta, i, got[i].Score, want[i], got[i].Point)
+		}
+	}
+	// Results must be distinct points.
+	seen := map[int]bool{}
+	for _, r := range got {
+		if seen[r.Point.ID] {
+			t.Fatalf("duplicate point %d in results", r.Point.ID)
+		}
+		seen[r.Point.ID] = true
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	pts := []geom.Point{{ID: 0, X: 1, Y: 1}}
+	if _, err := Build(pts, Config{Branching: 1}); err == nil {
+		t.Error("branching 1: want error")
+	}
+	if _, err := Build(pts, Config{LeafCap: -1}); err == nil {
+		t.Error("negative leaf cap: want error")
+	}
+	if _, err := Build(pts, Config{RebuildThreshold: 2}); err == nil {
+		t.Error("threshold > 1: want error")
+	}
+	if _, err := Build([]geom.Point{{ID: 0, X: math.Inf(1), Y: 0}}, Config{}); err == nil {
+		t.Error("infinite coordinate: want error")
+	}
+	if _, err := Build([]geom.Point{{ID: -3, X: 0, Y: 0}}, Config{}); err == nil {
+		t.Error("negative ID: want error")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	idx, err := Build(randomPoints(rand.New(rand.NewSource(1)), 10), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Point{X: 0, Y: 0}
+	if _, err := idx.Query(q, 0, 1, 1); err == nil {
+		t.Error("k=0: want error")
+	}
+	if _, err := idx.Query(q, 1, -1, 1); err == nil {
+		t.Error("negative weight: want error")
+	}
+	if _, err := idx.Query(q, 1, 0, 0); err == nil {
+		t.Error("zero weights: want error")
+	}
+	if _, err := idx.Query(geom.Point{X: math.NaN(), Y: 0}, 1, 1, 1); err == nil {
+		t.Error("NaN query: want error")
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	idx, err := Build(nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.Query(geom.Point{X: 0, Y: 0}, 5, 1, 1)
+	if err != nil || res != nil {
+		t.Fatalf("empty index: got %v, %v; want nil, nil", res, err)
+	}
+}
+
+func TestAnglesNormalized(t *testing.T) {
+	idx, err := Build(nil, Config{Angles: anglesFromDegrees(45)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.Angles()
+	if len(got) != 3 {
+		t.Fatalf("angle set size %d, want 3 (0, 45, 90 after completion)", len(got))
+	}
+	degs := []float64{got[0].Degrees(), got[1].Degrees(), got[2].Degrees()}
+	want := []float64{0, 45, 90}
+	for i := range want {
+		if math.Abs(degs[i]-want[i]) > 1e-9 {
+			t.Fatalf("angles = %v, want %v", degs, want)
+		}
+	}
+}
+
+// TestIndexedAngleMatchesScan exercises the direct Algorithm 2/3 path: the
+// query angle coincides with an indexed angle.
+func TestIndexedAngleMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, branching := range []int{2, 3, 8} {
+		for _, leafCap := range []int{1, 4} {
+			for trial := 0; trial < 20; trial++ {
+				n := rng.Intn(400) + 1
+				pts := randomPoints(rng, n)
+				idx, err := Build(pts, Config{Branching: branching, LeafCap: leafCap})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, deg := range []float64{0, 23, 45, 67, 90} {
+					a, _ := geom.AngleFromDegrees(deg)
+					for qi := 0; qi < 5; qi++ {
+						q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+						k := rng.Intn(10) + 1
+						checkQuery(t, idx, pts, q, a.Alpha, a.Beta, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestArbitraryWeightsMatchesScan exercises the Claim 6 / Algorithm 4 path:
+// weights drawn uniformly, as in the paper's workload.
+func TestArbitraryWeightsMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(500) + 1
+		pts := randomPoints(rng, n)
+		idx, err := Build(pts, Config{Branching: 2 + rng.Intn(7), LeafCap: 1 + rng.Intn(4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < 10; qi++ {
+			q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+			alpha, beta := rng.Float64()+1e-6, rng.Float64()+1e-6
+			k := rng.Intn(12) + 1
+			checkQuery(t, idx, pts, q, alpha, beta, k)
+		}
+	}
+}
+
+func TestFewIndexedAnglesStillExact(t *testing.T) {
+	// Only the mandatory 0° and 90°: every query angle is bracketed by the
+	// widest possible interval — the stress case for Claim 6.
+	rng := rand.New(rand.NewSource(33))
+	pts := randomPoints(rng, 300)
+	idx, err := Build(pts, Config{Angles: anglesFromDegrees(0, 90)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 60; qi++ {
+		q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+		alpha, beta := rng.Float64()+1e-6, rng.Float64()+1e-6
+		checkQuery(t, idx, pts, q, alpha, beta, 5)
+	}
+}
+
+func TestDegenerateWeightQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	pts := randomPoints(rng, 200)
+	idx, err := Build(pts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 20; qi++ {
+		q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+		checkQuery(t, idx, pts, q, 1, 0, 3) // pure repulsive (θ=0°)
+		checkQuery(t, idx, pts, q, 0, 1, 3) // pure attractive (θ=90°)
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	var pts []geom.Point
+	for i := 0; i < 120; i++ {
+		pts = append(pts, geom.Point{ID: i, X: float64(rng.Intn(5)), Y: float64(rng.Intn(5))})
+	}
+	idx, err := Build(pts, Config{Branching: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 40; qi++ {
+		q := geom.Point{X: rng.NormFloat64() * 3, Y: rng.NormFloat64() * 3}
+		alpha, beta := rng.Float64()+1e-6, rng.Float64()+1e-6
+		checkQuery(t, idx, pts, q, alpha, beta, rng.Intn(8)+1)
+	}
+}
+
+func TestAllPointsIdentical(t *testing.T) {
+	pts := make([]geom.Point, 50)
+	for i := range pts {
+		pts[i] = geom.Point{ID: i, X: 3, Y: 4}
+	}
+	idx, err := Build(pts, Config{LeafCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkQuery(t, idx, pts, geom.Point{X: 0, Y: 0}, 1, 1, 5)
+	checkQuery(t, idx, pts, geom.Point{X: 3, Y: 4}, 0.3, 0.7, 50)
+}
+
+func TestKLargerThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	pts := randomPoints(rng, 7)
+	idx, err := Build(pts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.Query(geom.Point{X: 0, Y: 0}, 100, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 7 {
+		t.Fatalf("got %d results, want all 7", len(res))
+	}
+	checkQuery(t, idx, pts, geom.Point{X: 1, Y: 1}, 0.4, 0.9, 100)
+}
+
+func TestInsertMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	pts := randomPoints(rng, 60)
+	idx, err := Build(pts, Config{Branching: 4, LeafCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i++ {
+		p := geom.Point{ID: 1000 + i, X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+		if err := idx.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, p)
+		if i%5 == 0 {
+			q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+			alpha, beta := rng.Float64()+1e-6, rng.Float64()+1e-6
+			checkQuery(t, idx, pts, q, alpha, beta, 5)
+		}
+	}
+	if idx.Len() != len(pts) {
+		t.Fatalf("Len = %d, want %d", idx.Len(), len(pts))
+	}
+}
+
+func TestDeleteMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	pts := randomPoints(rng, 250)
+	idx, err := Build(pts, Config{Branching: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(pts) > 0 {
+		victim := rng.Intn(len(pts))
+		if !idx.Delete(pts[victim]) {
+			t.Fatalf("Delete(%+v) = false", pts[victim])
+		}
+		pts = append(pts[:victim], pts[victim+1:]...)
+		if len(pts)%10 == 0 && len(pts) > 0 {
+			q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+			checkQuery(t, idx, pts, q, rng.Float64()+1e-6, rng.Float64()+1e-6, 5)
+		}
+	}
+	if idx.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", idx.Len())
+	}
+	res, err := idx.Query(geom.Point{}, 3, 1, 1)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("query on emptied index: %v, %v", res, err)
+	}
+}
+
+func TestDeleteUnknown(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	pts := randomPoints(rng, 30)
+	idx, err := Build(pts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Delete(geom.Point{ID: 999, X: 0.123, Y: 0.456}) {
+		t.Fatal("deleted a point that was never inserted")
+	}
+	if idx.Len() != 30 {
+		t.Fatalf("Len changed to %d", idx.Len())
+	}
+}
+
+func TestChurnTriggersRebuildAndStaysCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	pts := randomPoints(rng, 100)
+	idx, err := Build(pts, Config{Branching: 2, RebuildThreshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtDepth := idx.BuiltDepth()
+	nextID := 1000
+	for step := 0; step < 600; step++ {
+		if len(pts) > 10 && rng.Intn(3) == 0 {
+			victim := rng.Intn(len(pts))
+			idx.Delete(pts[victim])
+			pts = append(pts[:victim], pts[victim+1:]...)
+		} else {
+			p := geom.Point{ID: nextID, X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+			nextID++
+			if err := idx.Insert(p); err != nil {
+				t.Fatal(err)
+			}
+			pts = append(pts, p)
+		}
+		if step%25 == 0 {
+			q := geom.Point{X: rng.NormFloat64() * 8, Y: rng.NormFloat64() * 8}
+			checkQuery(t, idx, pts, q, rng.Float64()+1e-6, rng.Float64()+1e-6, 5)
+		}
+	}
+	// With a 5% threshold and 500+ inserts into a b=2 tree, at least one
+	// rebuild must have occurred (depth reset to the balanced height).
+	if idx.Depth() > builtDepth+400 {
+		t.Fatalf("tree degenerated to depth %d; rebuild policy inert", idx.Depth())
+	}
+	if idx.OverlongLeaves() > int(0.05*float64(idx.Len()))+1 {
+		t.Fatalf("overlong set %d exceeds threshold on %d points", idx.OverlongLeaves(), idx.Len())
+	}
+}
+
+func TestStreamMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := randomPoints(rng, 300)
+	idx, err := Build(pts, Config{Branching: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Point{X: 0.5, Y: -0.5}
+	cur := idx.newCursor(q)
+	for ai := range idx.angles {
+		bl := blend{angle: idx.angles[ai], al: ai, au: ai, lambda: 1, mu: 0}
+		for _, kind := range []geom.Kind{geom.LLP, geom.LUP, geom.RLP, geom.RUP} {
+			s := cur.newStream(bl, kind)
+			var prev float64
+			first := true
+			count := 0
+			for {
+				p, ok := s.next()
+				if !ok {
+					break
+				}
+				count++
+				// Side constraint (Eqn. 6): left projections only from
+				// right-side points and vice versa.
+				if (kind == geom.LLP || kind == geom.LUP) && p.X < q.X {
+					t.Fatalf("%v stream emitted left-side point %+v", kind, p)
+				}
+				if (kind == geom.RLP || kind == geom.RUP) && p.X >= q.X {
+					t.Fatalf("%v stream emitted right-side point %+v", kind, p)
+				}
+				// The y rule (Eqn. 6): lower kinds carry points at or
+				// above the query, upper kinds strictly below.
+				if kind.Lower() != (p.Y >= q.Y) {
+					t.Fatalf("%v stream emitted wrong-y point %+v", kind, p)
+				}
+				// Keys are negated for minimizing kinds, so every stream
+				// emits in non-increasing key order.
+				key := s.pointKey(p)
+				if !first && key > prev+eps {
+					t.Fatalf("%v stream not non-increasing: %v after %v", kind, key, prev)
+				}
+				prev, first = key, false
+			}
+			if count == 0 {
+				continue
+			}
+		}
+	}
+}
+
+func TestBytesGrowsWithAnglesAndShrinksWithBranching(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := randomPoints(rng, 2000)
+	idx2, _ := Build(pts, Config{Angles: anglesFromDegrees(0, 90), Branching: 8})
+	idx5, _ := Build(pts, Config{Branching: 8})
+	if idx5.Bytes() <= idx2.Bytes() {
+		t.Fatalf("5-angle index (%d B) not larger than 2-angle (%d B)", idx5.Bytes(), idx2.Bytes())
+	}
+	idxWide, _ := Build(pts, Config{Branching: 32, LeafCap: 8})
+	if idxWide.Bytes() >= idx5.Bytes() {
+		t.Fatalf("wide/bulk index (%d B) not smaller than b=8/leaf=1 (%d B)", idxWide.Bytes(), idx5.Bytes())
+	}
+}
+
+func TestPointsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pts := randomPoints(rng, 500)
+	idx, err := Build(pts, Config{Branching: 5, LeafCap: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := idx.Points()
+	if len(got) != len(pts) {
+		t.Fatalf("Points() returned %d, want %d", len(got), len(pts))
+	}
+	seen := map[int]bool{}
+	for _, p := range got {
+		seen[p.ID] = true
+	}
+	for _, p := range pts {
+		if !seen[p.ID] {
+			t.Fatalf("point %d missing from Points()", p.ID)
+		}
+	}
+}
+
+// TestSeparatorInvariant: after arbitrary churn, every internal node's
+// children respect the separator partition (child i ⊆ (sep[i-1], sep[i]]).
+func TestSeparatorInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	pts := randomPoints(rng, 200)
+	idx, err := Build(pts, Config{Branching: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if rng.Intn(2) == 0 && len(pts) > 1 {
+			v := rng.Intn(len(pts))
+			idx.Delete(pts[v])
+			pts = append(pts[:v], pts[v+1:]...)
+		} else {
+			p := geom.Point{ID: 10000 + i, X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+			idx.Insert(p)
+			pts = append(pts, p)
+		}
+	}
+	var check func(nd *node, lo, hi float64)
+	check = func(nd *node, lo, hi float64) {
+		if nd == nil {
+			return
+		}
+		if nd.leaf() {
+			for _, p := range nd.pts {
+				if p.X <= lo || p.X > hi {
+					t.Fatalf("leaf point x=%v outside (%v, %v]", p.X, lo, hi)
+				}
+			}
+			return
+		}
+		if len(nd.seps) != len(nd.children)-1 {
+			t.Fatalf("node has %d seps for %d children", len(nd.seps), len(nd.children))
+		}
+		prev := lo
+		for i, c := range nd.children {
+			end := hi
+			if i < len(nd.seps) {
+				end = nd.seps[i]
+			}
+			check(c, prev, end)
+			prev = end
+		}
+	}
+	check(idx.root, math.Inf(-1), math.Inf(1))
+}
+
+// TestBoundsInvariant: every node's stored bounds equal the true extrema of
+// its subtree, after churn.
+func TestBoundsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	pts := randomPoints(rng, 150)
+	idx, err := Build(pts, Config{Branching: 4, LeafCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if rng.Intn(2) == 0 && len(pts) > 1 {
+			v := rng.Intn(len(pts))
+			idx.Delete(pts[v])
+			pts = append(pts[:v], pts[v+1:]...)
+		} else {
+			p := geom.Point{ID: 20000 + i, X: rng.NormFloat64() * 5, Y: rng.NormFloat64() * 5}
+			idx.Insert(p)
+			pts = append(pts, p)
+		}
+	}
+	var check func(nd *node)
+	check = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		sub := subtreePoints(nd)
+		for ai, a := range idx.angles {
+			maxU, minU := math.Inf(-1), math.Inf(1)
+			maxV, minV := math.Inf(-1), math.Inf(1)
+			for _, p := range sub {
+				u, v := a.U(p.X, p.Y), a.V(p.X, p.Y)
+				maxU, minU = math.Max(maxU, u), math.Min(minU, u)
+				maxV, minV = math.Max(maxV, v), math.Min(minV, v)
+			}
+			o := 4 * ai
+			// Insert widens exactly and delete recomputes, so bounds must
+			// be tight (not merely admissible).
+			for j, want := range []float64{maxU, minU, maxV, minV} {
+				if math.Abs(nd.bounds[o+j]-want) > eps {
+					t.Fatalf("angle %d bound %d: stored %v, true %v", ai, j, nd.bounds[o+j], want)
+				}
+			}
+		}
+		for _, c := range nd.children {
+			check(c)
+		}
+	}
+	check(idx.root)
+}
+
+func subtreePoints(nd *node) []geom.Point {
+	if nd.leaf() {
+		return nd.pts
+	}
+	var out []geom.Point
+	for _, c := range nd.children {
+		out = append(out, subtreePoints(c)...)
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+// Package topk implements the paper's §4 index structure for top-k SD-queries
+// with k and the weighting parameters supplied at query time.
+//
+// The index is a balanced b-ary tree over the x-values of the points (a 1D
+// KD-tree in the paper's terms). Every non-leaf node stores, for each indexed
+// projection angle, bounds on the four projection intercepts within its
+// subtree:
+//
+//	maxU = max α·y − β·x   (highest llp — and lowest rup is minU)
+//	maxV = max α·y + β·x   (highest rlp — and lowest lup is minV)
+//
+// Given a query axis x = x_q, the root-to-leaf "separating path" splits the
+// tree into subtrees entirely left and entirely right of the axis. Left
+// projections (llp, lup) of right-side points and right projections (rlp,
+// rup) of left-side points intersect the axis; four best-first streams over
+// the per-node bounds then enumerate each projection type in score order
+// (Algorithms 2 and 3). Arbitrary query weights are answered by bracketing
+// the query angle between two indexed angles (Claim 6, Algorithm 4).
+//
+// Departure from the paper's presentation: rather than destructively
+// updating bounds along the separating path and undoing them after the
+// query, each query materializes the path once into pure one-side subtree
+// seeds and runs lazy best-first heaps over them. Visit order and
+// asymptotics are identical, and a shared index serves concurrent queries.
+package topk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// DefaultAngles returns the paper's recommended five indexed angles,
+// uniformly covering [0°, 90°]: 0, 23, 45, 67, 90 (§6.1).
+func DefaultAngles() []geom.Angle {
+	return anglesFromDegrees(0, 23, 45, 67, 90)
+}
+
+func anglesFromDegrees(degs ...float64) []geom.Angle {
+	out := make([]geom.Angle, len(degs))
+	for i, d := range degs {
+		a, err := geom.AngleFromDegrees(d)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// Config controls index construction.
+type Config struct {
+	// Branching is the tree fan-out b ≥ 2. Default 8.
+	Branching int
+	// LeafCap is the number of points a leaf may hold. 1 reproduces the
+	// paper's in-memory layout; larger values give the §4 disk-style
+	// bulk-loaded packing. Default 1.
+	LeafCap int
+	// Angles are the indexed projection angles. The set is sorted,
+	// deduplicated, and extended with 0° and 90° if absent (the paper's
+	// recommendation, and required for Claim 6 to bracket every query).
+	// Default: DefaultAngles().
+	Angles []geom.Angle
+	// RebuildThreshold is θ of §4: when the fraction of leaves on
+	// overlong paths exceeds it, the index is rebuilt. Default 0.25.
+	RebuildThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Branching == 0 {
+		c.Branching = 8
+	}
+	if c.LeafCap == 0 {
+		c.LeafCap = 1
+	}
+	if len(c.Angles) == 0 {
+		c.Angles = DefaultAngles()
+	}
+	if c.RebuildThreshold == 0 {
+		c.RebuildThreshold = 0.25
+	}
+	return c
+}
+
+// node is both internal node and leaf. For leaves pts != nil; for internal
+// nodes children is non-empty and seps holds len(children)-1 separators:
+// child i contains exactly the points with x in (seps[i-1], seps[i]].
+type node struct {
+	seps     []float64
+	children []*node
+	pts      []geom.Point
+	// bounds holds 4 values per indexed angle:
+	// [4a+0] maxU, [4a+1] minU, [4a+2] maxV, [4a+3] minV.
+	bounds []float64
+	depth  int
+}
+
+func (n *node) leaf() bool { return n.pts != nil }
+
+// Index is the §4 top-k structure. It is safe for concurrent queries;
+// updates require external synchronization.
+type Index struct {
+	cfg     Config
+	angles  []geom.Angle
+	degrees []float64
+	root    *node
+	size    int
+	// rebalance bookkeeping (§4): leaves deeper than the as-built height.
+	builtDepth int
+	overlong   map[*node]bool
+}
+
+// Build constructs the index. Points must have finite coordinates and IDs
+// representable as int32 (they are caller-assigned and not checked for
+// uniqueness). An empty point set is allowed.
+func Build(points []geom.Point, cfg Config) (*Index, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Branching < 2 {
+		return nil, fmt.Errorf("topk: branching factor %d < 2", cfg.Branching)
+	}
+	if cfg.LeafCap < 1 {
+		return nil, fmt.Errorf("topk: leaf capacity %d < 1", cfg.LeafCap)
+	}
+	if cfg.RebuildThreshold < 0 || cfg.RebuildThreshold > 1 {
+		return nil, fmt.Errorf("topk: rebuild threshold %v outside [0, 1]", cfg.RebuildThreshold)
+	}
+	for _, p := range points {
+		if err := checkPoint(p); err != nil {
+			return nil, err
+		}
+	}
+	angles, degrees, err := normalizeAngles(cfg.Angles)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Angles = angles
+	idx := &Index{cfg: cfg, angles: angles, degrees: degrees, overlong: make(map[*node]bool)}
+	idx.rebuild(points)
+	return idx, nil
+}
+
+func checkPoint(p geom.Point) error {
+	if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+		return fmt.Errorf("topk: point %d has non-finite coordinates (%v, %v)", p.ID, p.X, p.Y)
+	}
+	if p.ID < 0 || int64(p.ID) > math.MaxInt32 {
+		return fmt.Errorf("topk: point ID %d outside int32 range", p.ID)
+	}
+	return nil
+}
+
+// normalizeAngles sorts, deduplicates, and completes the angle set so that
+// it covers [0°, 90°].
+func normalizeAngles(in []geom.Angle) ([]geom.Angle, []float64, error) {
+	degs := make([]float64, 0, len(in)+2)
+	for _, a := range in {
+		d := a.Degrees()
+		if math.IsNaN(d) || d < -1e-9 || d > 90+1e-9 {
+			return nil, nil, fmt.Errorf("topk: indexed angle %v° outside [0, 90]", d)
+		}
+		degs = append(degs, d)
+	}
+	degs = append(degs, 0, 90)
+	sort.Float64s(degs)
+	outD := degs[:0]
+	for _, d := range degs {
+		if len(outD) == 0 || d-outD[len(outD)-1] > 1e-9 {
+			outD = append(outD, d)
+		}
+	}
+	out := make([]geom.Angle, len(outD))
+	for i, d := range outD {
+		a, err := geom.AngleFromDegrees(math.Min(math.Max(d, 0), 90))
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i] = a
+		outD[i] = a.Degrees()
+	}
+	return out, outD, nil
+}
+
+// rebuild reconstructs the tree from the given points (bulk load: sort by x,
+// split bottom-up balanced, then fill bounds).
+func (idx *Index) rebuild(points []geom.Point) {
+	pts := append([]geom.Point(nil), points...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		if pts[i].Y != pts[j].Y {
+			return pts[i].Y < pts[j].Y
+		}
+		return pts[i].ID < pts[j].ID
+	})
+	idx.size = len(pts)
+	idx.overlong = make(map[*node]bool)
+	if len(pts) == 0 {
+		idx.root = nil
+		idx.builtDepth = 0
+		return
+	}
+	idx.root = idx.buildNode(pts, 0)
+	idx.builtDepth = treeDepth(idx.root)
+}
+
+// buildNode recursively splits a sorted slice into at most b children. Runs
+// of equal x never straddle a separator, so delete/insert routing by x is
+// exact.
+func (idx *Index) buildNode(pts []geom.Point, depth int) *node {
+	n := len(pts)
+	if n <= idx.cfg.LeafCap {
+		return idx.newLeaf(pts, depth)
+	}
+	b := idx.cfg.Branching
+	cuts := []int{0}
+	for i := 1; i < b; i++ {
+		e := i * n / b
+		if e <= cuts[len(cuts)-1] {
+			continue
+		}
+		for e < n && pts[e].X == pts[e-1].X {
+			e++
+		}
+		if e >= n {
+			break
+		}
+		cuts = append(cuts, e)
+	}
+	cuts = append(cuts, n)
+	if len(cuts) == 2 {
+		// All points share one x (or ties defeated every cut): unsplittable.
+		return idx.newLeaf(pts, depth)
+	}
+	nd := &node{depth: depth}
+	for ci := 0; ci+1 < len(cuts); ci++ {
+		chunk := pts[cuts[ci]:cuts[ci+1]]
+		nd.children = append(nd.children, idx.buildNode(chunk, depth+1))
+		if ci+2 < len(cuts) {
+			nd.seps = append(nd.seps, chunk[len(chunk)-1].X)
+		}
+	}
+	nd.bounds = make([]float64, 4*len(idx.angles))
+	idx.refreshBounds(nd)
+	return nd
+}
+
+func (idx *Index) newLeaf(pts []geom.Point, depth int) *node {
+	leaf := &node{pts: append([]geom.Point(nil), pts...), depth: depth}
+	leaf.bounds = make([]float64, 4*len(idx.angles))
+	idx.refreshBounds(leaf)
+	return leaf
+}
+
+// refreshBounds recomputes a node's per-angle bounds from its children (or
+// its points, for a leaf).
+func (idx *Index) refreshBounds(nd *node) {
+	for i := range nd.bounds {
+		if i%4 == 0 || i%4 == 2 { // maxima
+			nd.bounds[i] = math.Inf(-1)
+		} else {
+			nd.bounds[i] = math.Inf(1)
+		}
+	}
+	if nd.leaf() {
+		for _, p := range nd.pts {
+			idx.mergePointBounds(nd, p)
+		}
+		return
+	}
+	for _, c := range nd.children {
+		for ai := range idx.angles {
+			o := 4 * ai
+			nd.bounds[o+0] = math.Max(nd.bounds[o+0], c.bounds[o+0])
+			nd.bounds[o+1] = math.Min(nd.bounds[o+1], c.bounds[o+1])
+			nd.bounds[o+2] = math.Max(nd.bounds[o+2], c.bounds[o+2])
+			nd.bounds[o+3] = math.Min(nd.bounds[o+3], c.bounds[o+3])
+		}
+	}
+}
+
+// mergePointBounds widens nd's bounds to cover point p. Used by refresh and
+// by the O(log n) insert path.
+func (idx *Index) mergePointBounds(nd *node, p geom.Point) {
+	for ai, a := range idx.angles {
+		u, v := a.U(p.X, p.Y), a.V(p.X, p.Y)
+		o := 4 * ai
+		nd.bounds[o+0] = math.Max(nd.bounds[o+0], u)
+		nd.bounds[o+1] = math.Min(nd.bounds[o+1], u)
+		nd.bounds[o+2] = math.Max(nd.bounds[o+2], v)
+		nd.bounds[o+3] = math.Min(nd.bounds[o+3], v)
+	}
+}
+
+func treeDepth(nd *node) int {
+	if nd == nil {
+		return 0
+	}
+	if nd.leaf() {
+		return nd.depth
+	}
+	d := nd.depth
+	for _, c := range nd.children {
+		if cd := treeDepth(c); cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// Len returns the number of indexed points.
+func (idx *Index) Len() int { return idx.size }
+
+// Angles returns the indexed projection angles (sorted by degree).
+func (idx *Index) Angles() []geom.Angle { return idx.angles }
+
+// Points returns a copy of all indexed points (used for rebuilds and tests).
+func (idx *Index) Points() []geom.Point {
+	out := make([]geom.Point, 0, idx.size)
+	var walk func(*node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		if nd.leaf() {
+			out = append(out, nd.pts...)
+			return
+		}
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(idx.root)
+	return out
+}

@@ -1,0 +1,210 @@
+package topk
+
+import (
+	"sort"
+	"unsafe"
+
+	"repro/internal/geom"
+)
+
+// Insert adds a point in O(b·log_b n): it descends by x, appends to (or
+// splits) the target leaf, and widens the per-angle bounds along the path.
+// Repeated inserts can unbalance the tree; when the fraction of leaves on
+// paths longer than the as-built height exceeds the configured threshold θ,
+// the index rebuilds itself (§4's |U|/n policy).
+func (idx *Index) Insert(p geom.Point) error {
+	if err := checkPoint(p); err != nil {
+		return err
+	}
+	idx.size++
+	if idx.root == nil {
+		idx.root = idx.newLeaf([]geom.Point{p}, 0)
+		idx.builtDepth = 0
+		return nil
+	}
+	// Descend, widening bounds as we go (pure additions can only widen).
+	nd := idx.root
+	var path []*node
+	for !nd.leaf() {
+		idx.mergePointBounds(nd, p)
+		path = append(path, nd)
+		pos := sort.SearchFloat64s(nd.seps, p.X)
+		nd = nd.children[pos]
+	}
+	if len(nd.pts) < idx.cfg.LeafCap || allSameX(nd.pts, p) {
+		nd.pts = append(nd.pts, p)
+		idx.mergePointBounds(nd, p)
+	} else {
+		// Split the full leaf into a small subtree (the paper's "a new
+		// non-leaf node replaces l"); equal-x runs stay in one leaf.
+		sub := idx.buildNode(sortedWith(nd.pts, p), nd.depth)
+		idx.replaceChild(path, nd, sub)
+		idx.markOverlong(sub)
+	}
+	idx.maybeRebuild()
+	return nil
+}
+
+// allSameX reports whether every existing leaf point and the newcomer share
+// one x — such leaves cannot be split and may exceed LeafCap.
+func allSameX(pts []geom.Point, p geom.Point) bool {
+	for _, q := range pts {
+		if q.X != p.X {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedWith(pts []geom.Point, p geom.Point) []geom.Point {
+	out := make([]geom.Point, 0, len(pts)+1)
+	out = append(out, pts...)
+	out = append(out, p)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func (idx *Index) replaceChild(path []*node, old, new *node) {
+	if len(path) == 0 {
+		idx.root = new
+		return
+	}
+	parent := path[len(path)-1]
+	for i, c := range parent.children {
+		if c == old {
+			parent.children[i] = new
+			return
+		}
+	}
+}
+
+// markOverlong records leaves of the subtree that exceed the as-built depth.
+func (idx *Index) markOverlong(nd *node) {
+	if nd.leaf() {
+		if nd.depth > idx.builtDepth {
+			idx.overlong[nd] = true
+		}
+		return
+	}
+	for _, c := range nd.children {
+		idx.markOverlong(c)
+	}
+}
+
+func (idx *Index) maybeRebuild() {
+	if idx.size == 0 || idx.cfg.RebuildThreshold >= 1 {
+		return
+	}
+	if float64(len(idx.overlong))/float64(idx.size) > idx.cfg.RebuildThreshold {
+		idx.rebuild(idx.Points())
+	}
+}
+
+// Delete removes the point matching p's ID at p's coordinates, reporting
+// whether it was found. It descends by x, removes the point from its leaf,
+// drops empty leaves (collapsing single-child internals), and recomputes the
+// bounds along the path in O(b·log_b n).
+func (idx *Index) Delete(p geom.Point) bool {
+	if idx.root == nil {
+		return false
+	}
+	nd := idx.root
+	var path []*node
+	for !nd.leaf() {
+		path = append(path, nd)
+		pos := sort.SearchFloat64s(nd.seps, p.X)
+		nd = nd.children[pos]
+	}
+	at := -1
+	for i, q := range nd.pts {
+		if q.ID == p.ID && q.X == p.X && q.Y == p.Y {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return false
+	}
+	nd.pts = append(nd.pts[:at], nd.pts[at+1:]...)
+	idx.size--
+	if len(nd.pts) == 0 {
+		delete(idx.overlong, nd)
+		idx.removeEmpty(path, nd)
+	} else {
+		idx.refreshBounds(nd)
+	}
+	// Bounds along the path can only have shrunk: recompute bottom-up.
+	for i := len(path) - 1; i >= 0; i-- {
+		idx.refreshBounds(path[i])
+	}
+	return true
+}
+
+// removeEmpty splices an empty leaf out of its parent, collapsing
+// single-child internal nodes.
+func (idx *Index) removeEmpty(path []*node, empty *node) {
+	if len(path) == 0 {
+		idx.root = nil
+		return
+	}
+	parent := path[len(path)-1]
+	for i, c := range parent.children {
+		if c != empty {
+			continue
+		}
+		parent.children = append(parent.children[:i], parent.children[i+1:]...)
+		if len(parent.seps) > 0 {
+			s := i
+			if s >= len(parent.seps) {
+				s = len(parent.seps) - 1
+			}
+			parent.seps = append(parent.seps[:s], parent.seps[s+1:]...)
+		}
+		break
+	}
+	if len(parent.children) == 1 {
+		// Collapse: the lone child replaces the parent. Stored depths
+		// become stale, which only makes imbalance accounting
+		// conservative.
+		idx.replaceChild(path[:len(path)-1], parent, parent.children[0])
+	}
+}
+
+// OverlongLeaves reports the size of the §4 imbalance set U; exposed for
+// tests and the update experiments.
+func (idx *Index) OverlongLeaves() int { return len(idx.overlong) }
+
+// Bytes estimates the resident size of the index structure: nodes,
+// separators, per-angle bounds, and leaf points. This is the quantity
+// Figures 8h and 8i plot.
+func (idx *Index) Bytes() int {
+	var total int
+	nodeSize := int(unsafe.Sizeof(node{}))
+	ptSize := int(unsafe.Sizeof(geom.Point{}))
+	var walk func(*node)
+	walk = func(nd *node) {
+		if nd == nil {
+			return
+		}
+		total += nodeSize + len(nd.bounds)*8 + len(nd.seps)*8 + len(nd.children)*8 + len(nd.pts)*ptSize
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(idx.root)
+	return total
+}
+
+// Depth returns the maximum leaf depth (root = 0); exposed for tests.
+func (idx *Index) Depth() int { return treeDepth(idx.root) }
+
+// BuiltDepth returns the depth of the last full (re)build.
+func (idx *Index) BuiltDepth() int { return idx.builtDepth }

@@ -1,0 +1,243 @@
+package sdquery
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestPublicEnginesAgree runs every public engine on the same workload and
+// demands identical score sequences.
+func TestPublicEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	data := dataset.Generate(dataset.Uniform, 400, 4, 1)
+	roles := []Role{Repulsive, Attractive, Repulsive, Attractive}
+
+	scanEng, err := NewScan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taEng, err := NewTA(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brsEng, err := NewBRS(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peEng, err := NewPE(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdEng, err := NewSDIndex(data, roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := map[string]Engine{"ta": taEng, "brs": brsEng, "pe": peEng, "sd": sdEng}
+
+	for qi := 0; qi < 15; qi++ {
+		q := Query{
+			Point:   []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+			K:       rng.Intn(8) + 1,
+			Roles:   roles,
+			Weights: []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+		}
+		want, err := scanEng.TopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, eng := range engines {
+			got, err := eng.TopK(q)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d results, want %d", name, len(got), len(want))
+			}
+			for i := range want {
+				if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+					t.Fatalf("%s result %d: score %v, want %v", name, i, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryScoreMatchesDefinition(t *testing.T) {
+	q := Query{
+		Point:   []float64{0, 10},
+		K:       1,
+		Roles:   []Role{Attractive, Repulsive},
+		Weights: []float64{2, 3},
+	}
+	// p = (1, 14): −2·|1−0| + 3·|14−10| = −2 + 12 = 10
+	if got := q.Score([]float64{1, 14}); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("Score = %v, want 10", got)
+	}
+}
+
+func TestSDIndexOptions(t *testing.T) {
+	data := dataset.Generate(dataset.Correlated, 300, 4, 2)
+	roles := []Role{Repulsive, Attractive, Repulsive, Attractive}
+	scanEng, _ := NewScan(data)
+	variants := map[string]*SDIndex{}
+	for name, opts := range map[string][]SDOption{
+		"default":     nil,
+		"correlation": {WithPairing(PairByCorrelation)},
+		"variance":    {WithPairing(PairByVariance)},
+		"nopairs":     {WithPairing(PairNone)},
+		"branch32":    {WithBranching(32), WithLeafCapacity(8)},
+		"angles2":     {WithAngles(0, 90)},
+		"angles9":     {WithAngles(0, 11, 22, 33, 45, 56, 67, 79, 90)},
+		"rebuild":     {WithRebuildThreshold(0.9)},
+	} {
+		idx, err := NewSDIndex(data, roles, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		variants[name] = idx
+	}
+	rng := rand.New(rand.NewSource(92))
+	for qi := 0; qi < 10; qi++ {
+		q := Query{
+			Point:   []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+			K:       5,
+			Roles:   roles,
+			Weights: []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+		}
+		want, _ := scanEng.TopK(q)
+		for name, idx := range variants {
+			got, err := idx.TopK(q)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			for i := range want {
+				if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+					t.Fatalf("%s result %d: %v, want %v", name, i, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestSDIndexBadAngles(t *testing.T) {
+	data := dataset.Generate(dataset.Uniform, 10, 2, 3)
+	if _, err := NewSDIndex(data, []Role{Repulsive, Attractive}, WithAngles(120)); err == nil {
+		t.Fatal("angle 120° accepted")
+	}
+	if _, err := NewSDIndex(data, []Role{Repulsive, Attractive}, WithAngles(-5)); err == nil {
+		t.Fatal("angle -5° accepted")
+	}
+}
+
+func TestSDIndexUpdates(t *testing.T) {
+	data := dataset.Generate(dataset.Uniform, 100, 2, 4)
+	roles := []Role{Attractive, Repulsive}
+	idx, err := NewSDIndex(data, roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := idx.Insert([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 101 {
+		t.Fatalf("Len = %d, want 101", idx.Len())
+	}
+	if !idx.Remove(id) {
+		t.Fatal("Remove of fresh insert failed")
+	}
+	if idx.Remove(id) {
+		t.Fatal("double Remove succeeded")
+	}
+	if idx.Bytes() <= 0 {
+		t.Fatal("Bytes not positive")
+	}
+	if got := idx.Roles(); len(got) != 2 || got[0] != Attractive {
+		t.Fatalf("Roles = %v", got)
+	}
+}
+
+func TestTop1IndexPublic(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	data := dataset.Generate(dataset.Uniform, 500, 2, 5)
+	cfg := Top1Config{AttractiveWeight: 1, RepulsiveWeight: 1, K: 3}
+	idx, err := NewTop1Index(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.K() != 3 || idx.Len() != 500 {
+		t.Fatalf("K=%d Len=%d", idx.K(), idx.Len())
+	}
+	scanEng, _ := NewScan(data)
+	roles := []Role{Attractive, Repulsive}
+	for qi := 0; qi < 25; qi++ {
+		pt := []float64{rng.Float64(), rng.Float64()}
+		got, err := idx.TopK(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := scanEng.TopK(Query{Point: pt, K: 3, Roles: roles, Weights: []float64{1, 1}})
+		if len(got) != len(want) {
+			t.Fatalf("%d results, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+				t.Fatalf("result %d: %v, want %v", i, got[i].Score, want[i].Score)
+			}
+		}
+	}
+	// Update path.
+	if err := idx.Insert(1000, []float64{0.5, 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := idx.TopK([]float64{0.5, 0})
+	if res[0].ID != 1000 {
+		t.Fatalf("dominant inserted point not top-1: %+v", res[0])
+	}
+	if !idx.Delete(1000, []float64{0.5, 2}) {
+		t.Fatal("Delete failed")
+	}
+	if _, err := idx.TopK([]float64{0.5}); err == nil {
+		t.Fatal("1-coordinate query accepted")
+	}
+	if err := idx.Insert(1, []float64{1}); err == nil {
+		t.Fatal("1-coordinate insert accepted")
+	}
+	if idx.Delete(1, []float64{1}) {
+		t.Fatal("1-coordinate delete succeeded")
+	}
+}
+
+func TestTop1IndexValidation(t *testing.T) {
+	if _, err := NewTop1Index([][]float64{{1, 2, 3}}, Top1Config{AttractiveWeight: 1, RepulsiveWeight: 1, K: 1}); err == nil {
+		t.Fatal("3-column data accepted")
+	}
+	if _, err := NewTop1Index(nil, Top1Config{AttractiveWeight: 1, RepulsiveWeight: 1, K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestEngineErrorsSurface(t *testing.T) {
+	data := dataset.Generate(dataset.Uniform, 10, 2, 6)
+	for name, mk := range map[string]func() (Engine, error){
+		"scan": func() (Engine, error) { return NewScan(data) },
+		"ta":   func() (Engine, error) { return NewTA(data) },
+		"brs":  func() (Engine, error) { return NewBRS(data, 0) },
+		"pe":   func() (Engine, error) { return NewPE(data) },
+	} {
+		eng, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := eng.TopK(Query{Point: []float64{1}, K: 1,
+			Roles: []Role{Repulsive}, Weights: []float64{1}}); err == nil {
+			t.Fatalf("%s accepted mismatched dims", name)
+		}
+		if eng.Len() != 10 {
+			t.Fatalf("%s Len = %d", name, eng.Len())
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package sdquery
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/top1"
+)
+
+// Top1Index is the paper's §3 structure: a two-dimensional SD-Query index
+// for workloads where the answer size k and the weights are known before the
+// index is built (for example, a screening pipeline that always asks for the
+// single best candidate). Queries cost O(log n + k); the index stores only
+// envelope-region leaders plus the point set needed for updates.
+//
+// The first data column is the attractive dimension, the second the
+// repulsive one.
+type Top1Index struct {
+	idx *top1.Index
+}
+
+// Top1Config fixes the build-time parameters of a Top1Index.
+type Top1Config struct {
+	// AttractiveWeight is β, the weight of column 0 (closeness rewarded).
+	AttractiveWeight float64
+	// RepulsiveWeight is α, the weight of column 1 (distance rewarded).
+	RepulsiveWeight float64
+	// K is the fixed answer size (≥ 1).
+	K int
+}
+
+// NewTop1Index builds the index over two-column data: column 0 attractive,
+// column 1 repulsive.
+func NewTop1Index(data [][]float64, cfg Top1Config) (*Top1Index, error) {
+	pts := make([]geom.Point, len(data))
+	for i, p := range data {
+		if len(p) != 2 {
+			return nil, fmt.Errorf("sdquery: Top1Index requires 2 columns, row %d has %d", i, len(p))
+		}
+		pts[i] = geom.Point{ID: i, X: p[0], Y: p[1]}
+	}
+	idx, err := top1.Build(pts, top1.Config{
+		Alpha: cfg.RepulsiveWeight,
+		Beta:  cfg.AttractiveWeight,
+		K:     cfg.K,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Top1Index{idx: idx}, nil
+}
+
+// TopK returns the fixed-k answer set for a 2-coordinate query point
+// (column order as in the data: attractive, repulsive), best first.
+func (t *Top1Index) TopK(point []float64) ([]Result, error) {
+	if len(point) != 2 {
+		return nil, fmt.Errorf("sdquery: Top1Index query needs 2 coordinates, got %d", len(point))
+	}
+	res := t.idx.Query(geom.Point{X: point[0], Y: point[1]})
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{ID: r.Point.ID, Score: r.Score}
+	}
+	return out, nil
+}
+
+// Len reports the number of indexed points.
+func (t *Top1Index) Len() int { return t.idx.Len() }
+
+// K returns the fixed answer size.
+func (t *Top1Index) K() int { return t.idx.K() }
+
+// Insert adds a point (2 columns, attractive then repulsive) with the given
+// ID. IDs are caller-managed; reusing a live ID leads to ambiguous deletes.
+func (t *Top1Index) Insert(id int, point []float64) error {
+	if len(point) != 2 {
+		return fmt.Errorf("sdquery: Top1Index insert needs 2 coordinates, got %d", len(point))
+	}
+	return t.idx.Insert(geom.Point{ID: id, X: point[0], Y: point[1]})
+}
+
+// Delete removes the point with the given ID at the given coordinates,
+// reporting whether it was found.
+func (t *Top1Index) Delete(id int, point []float64) bool {
+	if len(point) != 2 {
+		return false
+	}
+	return t.idx.Delete(geom.Point{ID: id, X: point[0], Y: point[1]})
+}
+
+// Bytes estimates the size of the query-time region index (the quantity the
+// paper's storage analysis bounds by O(kn)).
+func (t *Top1Index) Bytes() int { return t.idx.RegionBytes() }
