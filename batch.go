@@ -4,9 +4,111 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
+
+// workerPool is a reusable fixed set of goroutines executing submitted
+// closures. It backs every parallel execution path in the package: a
+// ShardedIndex keeps one for the lifetime of the index (per-query shard
+// fan-out and batch pipelining), and SDIndex.TopKBatch spins up a transient
+// one per batch.
+type workerPool struct {
+	tasks   chan func()
+	quit    chan struct{}
+	workers int
+	once    sync.Once
+}
+
+// defaultParallelism is the pool and shard-count default.
+func defaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+func newWorkerPool(workers int) *workerPool {
+	if workers <= 0 {
+		workers = defaultParallelism()
+	}
+	p := &workerPool{
+		tasks:   make(chan func()),
+		quit:    make(chan struct{}),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for {
+				select {
+				case <-p.quit:
+					return
+				case f := <-p.tasks:
+					f()
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// do runs f(0), …, f(n−1) on the pool and blocks until all have finished.
+// Tasks must not themselves call do on the same pool (the nested wait could
+// starve). After close, tasks degrade to running inline on the caller's
+// goroutine, so a closed pool stays correct — just sequential.
+func (p *workerPool) do(n int, f func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		task := func() {
+			defer wg.Done()
+			f(i)
+		}
+		select {
+		case p.tasks <- task:
+		case <-p.quit:
+			task()
+		}
+	}
+	wg.Wait()
+}
+
+// close releases the worker goroutines. Idempotent.
+func (p *workerPool) close() {
+	p.once.Do(func() { close(p.quit) })
+}
+
+// batchErr tracks the first error of a parallel batch deterministically: the
+// error with the smallest task index wins regardless of goroutine timing.
+// Once any error is recorded, tasks with larger indices than the recorded
+// one skip their remaining work — tasks with smaller indices still run, so
+// the smallest-index error is always the one that could still displace the
+// record, keeping the reported failure schedule-independent.
+type batchErr struct {
+	mu     sync.Mutex
+	index  int
+	err    error
+	failed atomic.Bool
+}
+
+func (b *batchErr) record(index int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err == nil || index < b.index {
+		b.index, b.err = index, err
+	}
+	b.failed.Store(true)
+}
+
+// shouldSkip reports whether the task at index may be abandoned: only when
+// an error at a strictly smaller index is already recorded, which this task
+// could not displace.
+func (b *batchErr) shouldSkip(index int) bool {
+	if !b.failed.Load() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err != nil && b.index < index
+}
+
+func (b *batchErr) first() error { return b.err }
 
 // QueryStats reports the work one query performed — the quantities the
 // paper's analysis reasons about when comparing subproblem granularities.
@@ -33,62 +135,34 @@ func (s *SDIndex) TopKWithStats(q Query) ([]Result, QueryStats, error) {
 
 // TopKBatch answers many queries concurrently on the shared index using up
 // to parallelism goroutines (≤ 0 selects GOMAXPROCS). Results are returned
-// in query order; the first error aborts the batch.
+// in query order; the first error (lowest query index) aborts the batch.
 func (s *SDIndex) TopKBatch(queries []Query, parallelism int) ([][]Result, error) {
+	out := make([][]Result, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > len(queries) {
 		parallelism = len(queries)
 	}
-	out := make([][]Result, len(queries))
-	if len(queries) == 0 {
-		return out, nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	claim := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil || next >= len(queries) {
-			return -1
+	pool := newWorkerPool(parallelism)
+	defer pool.close()
+	var be batchErr
+	pool.do(len(queries), func(i int) {
+		if be.shouldSkip(i) {
+			return
 		}
-		i := next
-		next++
-		return i
-	}
-	fail := func(i int, err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr == nil {
-			firstErr = fmt.Errorf("query %d: %w", i, err)
+		res, err := s.TopK(queries[i])
+		if err != nil {
+			be.record(i, fmt.Errorf("query %d: %w", i, err))
+			return
 		}
-	}
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := claim()
-				if i < 0 {
-					return
-				}
-				res, err := s.TopK(queries[i])
-				if err != nil {
-					fail(i, err)
-					return
-				}
-				out[i] = res
-			}
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+		out[i] = res
+	})
+	if err := be.first(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package sdquery
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -65,5 +66,153 @@ func TestConcurrentQueries(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestShardedIndexConcurrentStress hammers one ShardedIndex with concurrent
+// TopK, BatchTopK, Insert, and Remove from many goroutines — the workload
+// the per-shard locking exists for. In-flight answers can interleave with
+// updates arbitrarily, so they are only sanity-checked; once every goroutine
+// has joined, the index must agree with the scan oracle over the mirrored
+// live set exactly. Run under -race this doubles as the memory-model check.
+func TestShardedIndexConcurrentStress(t *testing.T) {
+	roles := []Role{Repulsive, Attractive, Repulsive}
+	data := dataset.Generate(dataset.Uniform, 2_000, len(roles), 33)
+	idx, err := NewShardedIndex(data, roles, WithShards(4), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	// mirror tracks every row ever indexed; markers record which inserts
+	// and removes actually happened, under one lock shared by the writers.
+	var mirrorMu sync.Mutex
+	mirror := append([][]float64(nil), data...)
+	dead := make([]bool, len(mirror))
+
+	newQuery := func(rng *rand.Rand) Query {
+		q := Query{
+			Point:   make([]float64, len(roles)),
+			K:       1 + rng.Intn(12),
+			Roles:   roles,
+			Weights: make([]float64, len(roles)),
+		}
+		for d := range q.Point {
+			q.Point[d] = rng.Float64()
+			q.Weights[d] = rng.Float64()
+		}
+		return q
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	const steps = 150
+	for w := 0; w < 4; w++ { // query goroutines
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for i := 0; i < steps; i++ {
+				res, err := idx.TopK(newQuery(rng))
+				if err != nil {
+					fail(err)
+					return
+				}
+				for j := 1; j < len(res); j++ {
+					if res[j].Score > res[j-1].Score {
+						fail(fmt.Errorf("unsorted concurrent answer: %v", res))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ { // batch goroutines
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + w)))
+			for i := 0; i < steps/10; i++ {
+				queries := make([]Query, 8)
+				for j := range queries {
+					queries[j] = newQuery(rng)
+				}
+				if _, err := idx.BatchTopK(queries); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ { // insert goroutines
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(3000 + w)))
+			for i := 0; i < steps; i++ {
+				p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+				mirrorMu.Lock()
+				id, err := idx.Insert(p)
+				if err == nil && id != len(mirror) {
+					err = fmt.Errorf("Insert returned id %d, want %d", id, len(mirror))
+				}
+				if err == nil {
+					mirror = append(mirror, p)
+					dead = append(dead, false)
+				}
+				mirrorMu.Unlock()
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ { // remove goroutines
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(4000 + w)))
+			for i := 0; i < steps; i++ {
+				mirrorMu.Lock()
+				id := rng.Intn(len(mirror))
+				if idx.Remove(id) {
+					dead[id] = true
+				}
+				mirrorMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Post-hoc consistency: the settled index must answer exactly like the
+	// scan oracle over the mirrored live rows.
+	live := 0
+	for _, d := range dead {
+		if !d {
+			live++
+		}
+	}
+	if idx.Len() != live {
+		t.Fatalf("Len = %d, mirror has %d live rows", idx.Len(), live)
+	}
+	rng := rand.New(rand.NewSource(5000))
+	for i := 0; i < 30; i++ {
+		q := newQuery(rng)
+		got, err := idx.TopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "post-stress", got, oracleTopK(mirror, dead, q))
 	}
 }

@@ -21,6 +21,20 @@
 //   - Top1Index — the specialized 2D structure (§3) for workloads where k
 //     and the weights are fixed up front: O(log n) queries over precomputed
 //     envelope regions.
+//   - ShardedIndex — the parallel execution layer: the dataset is
+//     partitioned across P shards (WithShards, default GOMAXPROCS), each
+//     backed by an independent SD-Index engine; TopK fans out to per-shard
+//     goroutines on a reusable worker pool (WithWorkers) and a bounded
+//     k-way merge recovers the exact global answer, byte-identical to the
+//     single engine's. BatchTopK pipelines whole query batches across the
+//     (query × shard) grid, and Insert/Remove lock only the shard they
+//     touch, so reads and writes proceed concurrently.
+//
+// Scan, SDIndex, TA, and ShardedIndex break score ties by ascending dataset
+// ID, so their answers are byte-identical to each other; BRS and PE resolve
+// exact ties at the k-th rank arbitrarily but return the same score
+// sequence. The internal/enginetest differential harness (and a native fuzz
+// target) enforces both contracts against an exhaustive-scan oracle.
 //
 // The baselines the paper evaluates against are included, sharing the same
 // Query/Result API, so applications can benchmark on their own data:

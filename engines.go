@@ -34,6 +34,29 @@ type sdConfig struct {
 	tree         topk.Config
 	angleDegrees []float64
 	useAngles    bool
+	shards       int
+	workers      int
+}
+
+// coreConfig materializes the option set into the internal engine
+// configuration for one (sub-)dataset with the given roles.
+func (c *sdConfig) coreConfig(roles []Role) (core.Config, error) {
+	cfg := core.Config{Roles: roles, Pairing: c.pairing, Tree: c.tree}
+	if c.useAngles {
+		cfg.Tree.Angles = nil
+		for _, d := range c.angleDegrees {
+			a, err := geom.AngleFromDegrees(d)
+			if err != nil {
+				return core.Config{}, err
+			}
+			cfg.Tree.Angles = append(cfg.Tree.Angles, a)
+		}
+		if len(cfg.Tree.Angles) == 0 {
+			// An explicit empty set falls back to 0° and 90° only.
+			cfg.Tree.Angles = []geom.Angle{{Alpha: 1, Beta: 0}, {Alpha: 0, Beta: 1}}
+		}
+	}
+	return cfg, nil
 }
 
 // WithPairing selects the dimension-pairing strategy (default PairInOrder).
@@ -68,6 +91,19 @@ func WithRebuildThreshold(theta float64) SDOption {
 	return func(c *sdConfig) { c.tree.RebuildThreshold = theta }
 }
 
+// WithShards sets the number of data shards NewShardedIndex partitions the
+// dataset into (≤ 0 selects GOMAXPROCS; the count is capped at the dataset
+// size). NewSDIndex ignores it.
+func WithShards(n int) SDOption {
+	return func(c *sdConfig) { c.shards = n }
+}
+
+// WithWorkers sets the size of the worker pool a ShardedIndex fans queries
+// out on (≤ 0 selects GOMAXPROCS). NewSDIndex ignores it.
+func WithWorkers(n int) SDOption {
+	return func(c *sdConfig) { c.workers = n }
+}
+
 // SDIndex is the paper's SD-Index: the general top-k engine with k and
 // weights supplied at query time.
 type SDIndex struct {
@@ -83,25 +119,11 @@ func NewSDIndex(data [][]float64, roles []Role, opts ...SDOption) (*SDIndex, err
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.useAngles {
-		cfg.tree.Angles = nil
-		for _, d := range cfg.angleDegrees {
-			a, err := geom.AngleFromDegrees(d)
-			if err != nil {
-				return nil, err
-			}
-			cfg.tree.Angles = append(cfg.tree.Angles, a)
-		}
-		if len(cfg.tree.Angles) == 0 {
-			// An explicit empty set falls back to 0° and 90° only.
-			cfg.tree.Angles = []geom.Angle{{Alpha: 1, Beta: 0}, {Alpha: 0, Beta: 1}}
-		}
+	coreCfg, err := cfg.coreConfig(roles)
+	if err != nil {
+		return nil, err
 	}
-	eng, err := core.New(data, core.Config{
-		Roles:   roles,
-		Pairing: cfg.pairing,
-		Tree:    cfg.tree,
-	})
+	eng, err := core.New(data, coreCfg)
 	if err != nil {
 		return nil, err
 	}

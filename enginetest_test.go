@@ -1,0 +1,94 @@
+// Cross-engine differential tests: every public engine, and the sharded
+// execution layer at several shard counts, runs the internal/enginetest
+// oracle workloads. This is the module's §6 validation strategy as a
+// first-class harness — any engine change that perturbs an answer fails
+// here with the workload and rank that diverged.
+package sdquery_test
+
+import (
+	"testing"
+
+	sdquery "repro"
+	"repro/internal/enginetest"
+)
+
+func TestDifferentialScan(t *testing.T) {
+	enginetest.Run(t, enginetest.Factory{
+		Name:          "scan",
+		Deterministic: true,
+		New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+			return sdquery.NewScan(data)
+		},
+	})
+}
+
+func TestDifferentialSDIndex(t *testing.T) {
+	enginetest.Run(t, enginetest.Factory{
+		Name:          "sdindex",
+		Deterministic: true,
+		New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+			return sdquery.NewSDIndex(data, roles)
+		},
+	})
+}
+
+func TestDifferentialSDIndexPairings(t *testing.T) {
+	for _, p := range []sdquery.PairingStrategy{
+		sdquery.PairByCorrelation, sdquery.PairByVariance, sdquery.PairNone,
+	} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			enginetest.Run(t, enginetest.Factory{
+				Name:          "sdindex-" + p.String(),
+				Deterministic: true,
+				New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+					return sdquery.NewSDIndex(data, roles, sdquery.WithPairing(p))
+				},
+			})
+		})
+	}
+}
+
+func TestDifferentialTA(t *testing.T) {
+	enginetest.Run(t, enginetest.Factory{
+		Name:          "ta",
+		Deterministic: true,
+		New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+			return sdquery.NewTA(data)
+		},
+	})
+}
+
+func TestDifferentialBRS(t *testing.T) {
+	enginetest.Run(t, enginetest.Factory{
+		Name: "brs", // best-first heap order resolves ties arbitrarily
+		New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+			return sdquery.NewBRS(data, 0)
+		},
+	})
+}
+
+func TestDifferentialPE(t *testing.T) {
+	enginetest.Run(t, enginetest.Factory{
+		Name: "pe", // NRA lower-bound ties resolve arbitrarily at the k-th rank
+		New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+			return sdquery.NewPE(data)
+		},
+	})
+}
+
+func TestDifferentialShardedIndex(t *testing.T) {
+	for _, shards := range []int{1, 2, 5} {
+		shards := shards
+		t.Run(map[int]string{1: "one", 2: "two", 5: "five"}[shards], func(t *testing.T) {
+			enginetest.Run(t, enginetest.Factory{
+				Name:          "sharded",
+				Deterministic: true,
+				New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+					return sdquery.NewShardedIndex(data, roles,
+						sdquery.WithShards(shards), sdquery.WithWorkers(3))
+				},
+			})
+		})
+	}
+}

@@ -38,7 +38,10 @@ func (e *Engine) TopK(spec query.Spec) ([]query.Result, error) {
 	if err := spec.Validate(e.dims); err != nil {
 		return nil, err
 	}
-	collector := pq.NewTopK[int](spec.K)
+	// Scan iterates in ID order, so insertion-order tie-breaking already is
+	// ascending-ID tie-breaking; the explicit order documents the contract
+	// every other engine is held to.
+	collector := pq.NewTopKOrdered[int](spec.K, func(a, b int) bool { return a < b })
 	for i, p := range e.data {
 		collector.Add(i, spec.Score(p))
 	}

@@ -60,7 +60,8 @@ func (e *Engine) TopK(spec query.Spec) ([]query.Result, error) {
 			iters = append(iters, e.lists[d].NewIter(spec.Point[d], spec.Weights[d], false))
 		}
 	}
-	collector := pq.NewTopK[int](spec.K)
+	// Ascending-ID tie-breaking matches the sequential scan byte for byte.
+	collector := pq.NewTopKOrdered[int](spec.K, func(a, b int) bool { return a < b })
 	seen := make(map[int32]bool)
 	for {
 		exhausted := true
@@ -87,7 +88,9 @@ func (e *Engine) TopK(spec query.Spec) ([]query.Result, error) {
 		for _, it := range iters {
 			threshold += it.Bound()
 		}
-		if collector.Full() && (math.IsInf(threshold, -1) || collector.Threshold() >= threshold) {
+		// Strict: an unseen point tying the k-th best could still enter
+		// through the ID tie-break.
+		if collector.Full() && (math.IsInf(threshold, -1) || collector.Threshold() > threshold) {
 			break
 		}
 	}

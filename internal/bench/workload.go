@@ -43,6 +43,16 @@ func makeSpecs(roles []query.Role, k, count int, seed int64) []query.Spec {
 	return specs
 }
 
+// BatchSpecs exposes the evaluation's query workload to external drivers —
+// cmd/sdbench's shard-count sweep runs it through the public ShardedIndex,
+// which this internal package cannot import. The roles split the first
+// `attractive` dimensions into S and the rest into D; query points are
+// uniform and weights U(0, 1), exactly as makeSpecs draws them.
+func BatchSpecs(dims, attractive, k, count int, seed int64) ([]query.Spec, []query.Role) {
+	roles := rolesSplit(dims, attractive)
+	return makeSpecs(roles, k, count, seed), roles
+}
+
 // timeMS runs f and returns elapsed wall time in milliseconds.
 func timeMS(f func()) float64 {
 	start := time.Now()

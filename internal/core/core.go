@@ -94,6 +94,10 @@ type Engine struct {
 	dead     []bool // tombstones for removed rows
 	live     int
 	seenPool sync.Pool // *[]uint64 bitsets over dataset rows
+	// Per-dimension coordinate extrema over every row ever indexed
+	// (removals keep them, which only loosens the bound). They size the
+	// float-error pad that keeps tie-breaking deterministic — see slack.
+	minVal, maxVal []float64
 }
 
 // New builds the SD-Index over the dataset.
@@ -123,6 +127,17 @@ func New(data [][]float64, cfg Config) (*Engine, error) {
 		lists:   make(map[int]*dimlist.List),
 		dead:    make([]bool, len(data)),
 		live:    len(data),
+		minVal:  make([]float64, dims),
+		maxVal:  make([]float64, dims),
+	}
+	for d := 0; d < dims; d++ {
+		e.minVal[d], e.maxVal[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, p := range data {
+		for d, c := range p {
+			e.minVal[d] = math.Min(e.minVal[d], c)
+			e.maxVal[d] = math.Max(e.maxVal[d], c)
+		}
 	}
 	var repulsive, attractive []int
 	for d, r := range cfg.Roles {
@@ -255,6 +270,23 @@ func greedyCorrelationPairs(data [][]float64, rep, attr []int, n int) []Pair {
 	return pairs
 }
 
+// floatSlack, times a query's weighted coordinate reach, bounds the drift
+// between the pair trees' projection-space score arithmetic (normalize,
+// blend, rescale: a handful of roundings per term) and the exact
+// contribution. 64 ulps per unit of term magnitude is far above anything
+// the ~10-operation chain can accumulate while staying many orders of
+// magnitude below real score gaps.
+const floatSlack = 64 * 0x1p-52
+
+// reach returns an upper bound on |p_d − q_d| over every indexed row —
+// the magnitude that scales dimension d's score terms.
+func (e *Engine) reach(d int, qv float64) float64 {
+	if e.minVal[d] > e.maxVal[d] { // no rows indexed yet
+		return 0
+	}
+	return math.Max(math.Abs(e.minVal[d]-qv), math.Abs(e.maxVal[d]-qv))
+}
+
 // Pairs returns the chosen dimension pairing (for inspection and tests).
 func (e *Engine) Pairs() []Pair { return append([]Pair(nil), e.pairs...) }
 
@@ -361,6 +393,16 @@ func (e *Engine) TopKWithStats(spec query.Spec) ([]query.Result, Stats, error) {
 			ps.close()
 		}
 	}()
+	// pad bounds the absolute floating-point error between a pair stream's
+	// emitted scores/bounds (computed in normalized projection space and
+	// rescaled) and the exact contribution α·|Δy| − β·|Δx| the random-access
+	// rescoring uses. Points are only discarded, and iteration only stopped,
+	// when they are worse than the k-th best by more than this pad — so a
+	// point in an exact tie at the k-th rank can never be lost to an ulp of
+	// projection arithmetic, and answers stay byte-identical to the scan
+	// oracle. The 1D list subproblems use the exact arithmetic directly and
+	// need no pad.
+	var pad float64
 	for i, pr := range e.pairs {
 		if w[pr.Rep] == 0 && w[pr.Attr] == 0 {
 			continue // contributes nothing; bound is 0 by omission
@@ -370,6 +412,8 @@ func (e *Engine) TopKWithStats(spec query.Spec) ([]query.Result, Stats, error) {
 		if err != nil {
 			return nil, stats, fmt.Errorf("core: pair (%d, %d): %w", pr.Rep, pr.Attr, err)
 		}
+		pad += floatSlack * (w[pr.Rep]*e.reach(pr.Rep, spec.Point[pr.Rep]) +
+			w[pr.Attr]*e.reach(pr.Attr, spec.Point[pr.Attr]))
 		ps := &pairSub{st: st}
 		pairSubs = append(pairSubs, ps)
 		subs = append(subs, ps)
@@ -400,7 +444,10 @@ func (e *Engine) TopKWithStats(spec query.Spec) ([]query.Result, Stats, error) {
 		return s
 	}
 
-	collector := pq.NewTopK[int](spec.K)
+	// Ties are broken by ascending dataset ID, exactly like the sequential
+	// scan: every engine answer is then byte-identical to the oracle's, and
+	// per-shard answers merge into the exact global top-k.
+	collector := pq.NewTopKOrdered[int](spec.K, func(a, b int) bool { return a < b })
 	stats.Subproblems = len(subs)
 	if len(subs) == 0 {
 		// Every active dimension weighs zero: all live points tie at 0.
@@ -443,12 +490,26 @@ func (e *Engine) TopKWithStats(spec query.Spec) ([]query.Result, Stats, error) {
 	// access, and re-evaluates the threshold. Two standard refinements
 	// keep the loop lean without changing the answer:
 	//
-	//   - a fetched point whose best possible full score (its contribution
-	//     plus the other subproblems' frontier bounds) cannot beat the
-	//     current k-th best is discarded unscored — the bounds only
-	//     decrease, so it can never qualify later either;
-	//   - points are scored at most once (the seen bitset).
+	//   - at a point's FIRST emission from any subproblem, if its best
+	//     possible full score (its contribution plus the other
+	//     subproblems' frontier bounds) is strictly below the current k-th
+	//     best by more than the float pad, it is discarded unscored and
+	//     for good — the decision is sound exactly there, because a point
+	//     no frontier has passed is bounded by every frontier, and the
+	//     k-th best only rises;
+	//   - every point is handled (scored or discarded) at most once (the
+	//     seen bitset), so later emissions of the same point are dropped
+	//     without re-deciding against frontiers that have already moved
+	//     past it and no longer bound its contributions.
+	//
+	// Bounds start at +Inf: until a subproblem has emitted once, nothing
+	// may be pruned against it. (A subproblem exhausts — bound −Inf — only
+	// after emitting every live point, so an exhausted sibling can never
+	// appear in a first-emission prune.)
 	bounds := make([]float64, len(subs))
+	for i := range bounds {
+		bounds[i] = math.Inf(1)
+	}
 	var otherBounds float64 // Σ bounds − bounds[i], maintained per fetch
 	for {
 		progressed := false
@@ -461,6 +522,9 @@ func (e *Engine) TopKWithStats(spec query.Spec) ([]query.Result, Stats, error) {
 			}
 			progressed = true
 			stats.Fetched++
+			if !markSeen(id) {
+				continue // already scored or soundly discarded
+			}
 			if collector.Full() {
 				otherBounds = 0
 				for j, b := range bounds {
@@ -468,14 +532,12 @@ func (e *Engine) TopKWithStats(spec query.Spec) ([]query.Result, Stats, error) {
 						otherBounds += b
 					}
 				}
-				if contrib+otherBounds <= collector.Threshold() {
+				if contrib+otherBounds+pad < collector.Threshold() {
 					continue // cannot enter the top k, now or later
 				}
 			}
-			if markSeen(id) {
-				stats.Scored++
-				collector.Add(int(id), scoreOf(id))
-			}
+			stats.Scored++
+			collector.Add(int(id), scoreOf(id))
 		}
 		if !progressed {
 			break // every subproblem exhausted: all points were seen
@@ -483,7 +545,11 @@ func (e *Engine) TopKWithStats(spec query.Spec) ([]query.Result, Stats, error) {
 		for _, b := range bounds {
 			threshold += b
 		}
-		if collector.Full() && (math.IsInf(threshold, -1) || collector.Threshold() >= threshold) {
+		// Stop only once the k-th best strictly beats the padded frontier:
+		// an unseen point that could tie it (exactly, or within the float
+		// slack of the projection bounds) might still displace a kept one
+		// through the ID tie-break.
+		if collector.Full() && (math.IsInf(threshold, -1) || collector.Threshold() > threshold+pad) {
 			break
 		}
 	}
@@ -515,6 +581,10 @@ func (e *Engine) Insert(p []float64) (int, error) {
 	e.flat = append(e.flat, p...)
 	e.dead = append(e.dead, false)
 	e.live++
+	for d, c := range p {
+		e.minVal[d] = math.Min(e.minVal[d], c)
+		e.maxVal[d] = math.Max(e.maxVal[d], c)
+	}
 	for i, pr := range e.pairs {
 		if err := e.trees[i].Insert(geom.Point{ID: id, X: p[pr.Attr], Y: p[pr.Rep]}); err != nil {
 			return 0, err

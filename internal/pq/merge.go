@@ -1,0 +1,56 @@
+package pq
+
+// MergeSorted merges already-sorted lists into a single sorted prefix of at
+// most limit elements — the bounded k-way heap merge the sharded execution
+// layer uses to combine per-shard top-k streams into the exact global top-k.
+// Every list must be sorted best-first under less (less(a, b) reports that a
+// ranks strictly before b); the output is sorted the same way. A negative
+// limit merges everything.
+//
+// The merge keeps one cursor per non-empty list in a heap keyed by the
+// cursor's head element, so the cost is O(out · log(len(lists))) and the
+// lists themselves are never copied or mutated. Elements that compare equal
+// under less are emitted in ascending list order, which keeps the merge
+// deterministic when the caller's less is not a total order.
+func MergeSorted[T any](lists [][]T, less func(a, b T) bool, limit int) []T {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	if limit < 0 || limit > total {
+		limit = total
+	}
+	if limit == 0 {
+		return nil
+	}
+	type cursor struct {
+		list int
+		pos  int
+	}
+	h := NewHeapCap(func(a, b cursor) bool {
+		x, y := lists[a.list][a.pos], lists[b.list][b.pos]
+		if less(x, y) {
+			return true
+		}
+		if less(y, x) {
+			return false
+		}
+		return a.list < b.list
+	}, len(lists))
+	for i, l := range lists {
+		if len(l) > 0 {
+			h.Push(cursor{list: i})
+		}
+	}
+	out := make([]T, 0, limit)
+	for len(out) < limit && h.Len() > 0 {
+		c := h.Peek()
+		out = append(out, lists[c.list][c.pos])
+		if c.pos+1 < len(lists[c.list]) {
+			h.ReplaceTop(cursor{list: c.list, pos: c.pos + 1})
+		} else {
+			h.Pop()
+		}
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package pq
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestMergeSortedBasics(t *testing.T) {
+	cases := []struct {
+		name  string
+		lists [][]int
+		limit int
+		want  []int
+	}{
+		{"empty", nil, 5, nil},
+		{"empty lists", [][]int{{}, {}}, 5, nil},
+		{"single", [][]int{{1, 3, 5}}, 5, []int{1, 3, 5}},
+		{"two", [][]int{{1, 4}, {2, 3}}, -1, []int{1, 2, 3, 4}},
+		{"limit truncates", [][]int{{1, 4}, {2, 3}}, 3, []int{1, 2, 3}},
+		{"limit zero", [][]int{{1}}, 0, nil},
+		{"limit beyond total", [][]int{{2}, {1}}, 10, []int{1, 2}},
+		{"uneven", [][]int{{9}, {1, 2, 3, 4}, {}, {5}}, 4, []int{1, 2, 3, 4}},
+	}
+	for _, c := range cases {
+		got := MergeSorted(c.lists, intLess, c.limit)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: MergeSorted = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// Equal elements must come out in ascending list order so the merge is
+// deterministic even when less is only a partial order.
+func TestMergeSortedTiesByListOrder(t *testing.T) {
+	type el struct{ key, list int }
+	lists := [][]el{
+		{{1, 0}, {2, 0}},
+		{{1, 1}, {1, 1}},
+		{{0, 2}, {2, 2}},
+	}
+	got := MergeSorted(lists, func(a, b el) bool { return a.key < b.key }, -1)
+	want := []el{{0, 2}, {1, 0}, {1, 1}, {1, 1}, {2, 0}, {2, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeSorted = %v, want %v", got, want)
+	}
+}
+
+func TestMergeSortedRandomizedAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nLists := rng.Intn(6)
+		lists := make([][]int, nLists)
+		var all []int
+		for i := range lists {
+			n := rng.Intn(8)
+			lists[i] = make([]int, n)
+			for j := range lists[i] {
+				lists[i][j] = rng.Intn(10)
+			}
+			sort.Ints(lists[i])
+			all = append(all, lists[i]...)
+		}
+		sort.Ints(all)
+		limit := rng.Intn(len(all) + 2)
+		got := MergeSorted(lists, intLess, limit)
+		want := all
+		if limit < len(all) {
+			want = all[:limit]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d elements, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: MergeSorted = %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// With an ID tie order, the collected set must be independent of insertion
+// order: feed the same multiset in many shuffles and demand one answer.
+func TestTopKOrderedInsertionOrderIndependent(t *testing.T) {
+	type item struct {
+		id    int
+		score float64
+	}
+	items := []item{
+		{0, 1}, {1, 1}, {2, 1}, {3, 0.5}, {4, 0.5}, {5, 2}, {6, 1}, {7, 0.5},
+	}
+	var want []Scored[int]
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		shuffled := append([]item(nil), items...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		tk := NewTopKOrdered[int](4, func(a, b int) bool { return a < b })
+		for _, it := range shuffled {
+			tk.Add(it.id, it.score)
+		}
+		got := tk.Results()
+		if want == nil {
+			want = got
+			// Smallest IDs must win ties: 5 (score 2), then 0, 1, 2 (score 1).
+			wantIDs := []int{5, 0, 1, 2}
+			for i, w := range wantIDs {
+				if got[i].Item != w {
+					t.Fatalf("Results ids = %v, want %v", got, wantIDs)
+				}
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Results = %v, want %v (insertion-order dependent)", trial, got, want)
+		}
+	}
+}
+
+func TestTopKOrderedThresholdTie(t *testing.T) {
+	tk := NewTopKOrdered[int](2, func(a, b int) bool { return a < b })
+	tk.Add(3, 1)
+	tk.Add(4, 1)
+	if !tk.Add(1, 1) {
+		t.Fatal("equal-score smaller id must displace the weakest kept item")
+	}
+	if tk.Add(9, 1) {
+		t.Fatal("equal-score larger id must be rejected")
+	}
+	res := tk.Results()
+	if res[0].Item != 1 || res[1].Item != 3 {
+		t.Fatalf("Results = %v, want ids [1 3]", res)
+	}
+}

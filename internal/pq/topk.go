@@ -13,12 +13,14 @@ type Scored[T any] struct {
 
 // TopK collects the k highest-scoring items seen so far. Ties on score are
 // broken by insertion order (earlier wins), which keeps engine outputs
-// deterministic for fixed inputs. The zero value is not usable; construct
-// with NewTopK.
+// deterministic for fixed inputs; NewTopKOrdered substitutes an explicit
+// tie order that also makes the output independent of insertion order. The
+// zero value is not usable; construct with NewTopK or NewTopKOrdered.
 type TopK[T any] struct {
-	k    int
-	seq  int
-	heap *Heap[entry[T]]
+	k        int
+	seq      int
+	outranks func(a, b T) bool // nil: fall back to insertion order
+	heap     *Heap[entry[T]]
 }
 
 type entry[T any] struct {
@@ -29,18 +31,41 @@ type entry[T any] struct {
 
 // NewTopK returns a collector for the k best items. k must be positive.
 func NewTopK[T any](k int) *TopK[T] {
+	return NewTopKOrdered[T](k, nil)
+}
+
+// NewTopKOrdered returns a collector whose score ties are broken by
+// outranks: among equal scores, an item for which outranks(new, kept) holds
+// displaces the kept one, and Results orders outranking items first. When
+// outranks is a strict total order over the items offered (engines pass
+// "smaller dataset ID wins"), the collected set and its order are fully
+// determined by the input multiset, independent of insertion order — the
+// property the cross-engine differential harness relies on. A nil outranks
+// falls back to insertion order (NewTopK's behavior).
+func NewTopKOrdered[T any](k int, outranks func(a, b T) bool) *TopK[T] {
 	if k <= 0 {
 		panic("pq: TopK requires k > 0")
 	}
-	// Min-heap on (score, -seq): the weakest kept item is on top. A later
-	// arrival with an equal score is weaker than an earlier one.
+	t := &TopK[T]{k: k, outranks: outranks}
+	// Min-heap on strength: the weakest kept item is on top. Among equal
+	// scores the outranked item (or, without a tie order, the later
+	// arrival) is the weaker one.
 	less := func(a, b entry[T]) bool {
 		if a.score != b.score {
 			return a.score < b.score
 		}
+		if outranks != nil {
+			if outranks(b.item, a.item) {
+				return true
+			}
+			if outranks(a.item, b.item) {
+				return false
+			}
+		}
 		return a.seq > b.seq
 	}
-	return &TopK[T]{k: k, heap: NewHeapCap(less, k)}
+	t.heap = NewHeapCap(less, k)
+	return t
 }
 
 // K returns the collector's capacity.
@@ -59,16 +84,22 @@ func (t *TopK[T]) Add(item T, score float64) bool {
 		return true
 	}
 	weakest := t.heap.Peek()
-	if weakest.score > e.score || (weakest.score == e.score && weakest.seq < e.seq) {
+	if weakest.score > e.score {
 		return false
+	}
+	if weakest.score == e.score {
+		if t.outranks == nil || !t.outranks(e.item, weakest.item) {
+			return false
+		}
 	}
 	t.heap.ReplaceTop(e)
 	return true
 }
 
 // Threshold returns the score of the weakest kept item, or negative infinity
-// while fewer than k items are kept. An unseen item must strictly beat this
-// value to enter the collection once it is full.
+// while fewer than k items are kept. Once the collection is full an unseen
+// item must strictly beat this value to enter — or, under NewTopKOrdered,
+// tie it and outrank the weakest kept item.
 func (t *TopK[T]) Threshold() float64 {
 	if t.heap.Len() < t.k {
 		return math.Inf(-1)
@@ -88,6 +119,14 @@ func (t *TopK[T]) Results() []Scored[T] {
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].score != entries[j].score {
 			return entries[i].score > entries[j].score
+		}
+		if t.outranks != nil {
+			if t.outranks(entries[i].item, entries[j].item) {
+				return true
+			}
+			if t.outranks(entries[j].item, entries[i].item) {
+				return false
+			}
 		}
 		return entries[i].seq < entries[j].seq
 	})

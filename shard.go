@@ -1,0 +1,289 @@
+package sdquery
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pq"
+	"repro/internal/query"
+)
+
+// ShardedIndex is the parallel execution layer over the SD-Index: the
+// dataset is partitioned round-robin across P shards, each backed by an
+// independent core engine, and every query fans out to per-shard goroutines
+// on a reusable worker pool. Because the SD-score of a point depends only on
+// that point, the exact global top-k is contained in the union of the
+// per-shard top-k answers; a bounded k-way heap merge recovers it, with ties
+// broken by ascending dataset ID exactly like the sequential scan — the
+// sharded answer is byte-identical to the single-engine one.
+//
+// Unlike SDIndex, a ShardedIndex interleaves reads and writes: TopK and
+// BatchTopK take per-shard read locks while Insert and Remove lock only the
+// shard they touch, so queries keep flowing on the other shards during an
+// update. Dataset IDs are global: build rows keep their row index, Insert
+// returns the next global ID, and results from every engine in the package
+// refer to the same points.
+//
+// Close releases the worker pool's goroutines; the index remains usable
+// afterwards, degrading to sequential execution on the caller's goroutine.
+type ShardedIndex struct {
+	roles []Role
+	pool  *workerPool
+
+	// mu guards the global ID table and the insert cursor. Per-shard state
+	// is guarded by each shard's own lock, so queries never take mu.
+	mu       sync.Mutex
+	byGlobal []shardLoc
+	next     int // round-robin insert cursor
+
+	shards []*shard
+}
+
+// shardLoc addresses one point inside the sharded layout.
+type shardLoc struct {
+	shard int32
+	local int32
+}
+
+type shard struct {
+	mu  sync.RWMutex
+	eng *core.Engine
+	// globalIDs maps the shard engine's local row IDs back to global
+	// dataset IDs. Inserts are serialized by ShardedIndex.mu, so the
+	// mapping is monotone increasing — within a shard, ascending local ID
+	// is ascending global ID, which the ID tie-break of the merge relies
+	// on.
+	globalIDs []int
+}
+
+// NewShardedIndex builds a sharded SD-Index over data (row-major, n × d)
+// with the given build-time roles. WithShards and WithWorkers size the
+// partition and the pool; the remaining SDOptions configure every per-shard
+// engine exactly as they configure NewSDIndex. Shard engines are built
+// concurrently.
+//
+// Points are dealt round-robin: global row i lives on shard i mod P. Data-
+// dependent pairing strategies (PairByCorrelation, PairByVariance) are
+// computed per shard and may choose different pairings on different shards;
+// answers are unaffected, only per-shard convergence speed.
+func NewShardedIndex(data [][]float64, roles []Role, opts ...SDOption) (*ShardedIndex, error) {
+	var cfg sdConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p := cfg.shards
+	if p <= 0 {
+		p = defaultParallelism()
+	}
+	if p > len(data) {
+		p = len(data)
+	}
+	if p < 1 {
+		p = 1
+	}
+	coreCfg, err := cfg.coreConfig(roles)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardedIndex{
+		roles:    append([]Role(nil), roles...),
+		byGlobal: make([]shardLoc, len(data)),
+		shards:   make([]*shard, p),
+	}
+	parts := make([][][]float64, p)
+	for i, row := range data {
+		si := i % p
+		parts[si] = append(parts[si], row)
+		s.byGlobal[i] = shardLoc{shard: int32(si), local: int32(len(parts[si]) - 1)}
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for si := 0; si < p; si++ {
+		sh := &shard{}
+		for g := si; g < len(data); g += p {
+			sh.globalIDs = append(sh.globalIDs, g)
+		}
+		s.shards[si] = sh
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			eng, err := core.New(parts[si], coreCfg)
+			if err != nil {
+				errs[si] = fmt.Errorf("shard %d: %w", si, err)
+				return
+			}
+			s.shards[si].eng = eng
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.pool = newWorkerPool(cfg.workers)
+	return s, nil
+}
+
+// resultBetter is the global answer order: score descending, dataset ID
+// ascending — the scan baseline's order, which every deterministic engine in
+// the package reproduces.
+func resultBetter(a, b query.Result) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// topKShard answers spec on one shard under its read lock, translating the
+// engine's local IDs to global ones.
+func (sh *shard) topKShard(spec query.Spec) ([]query.Result, error) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	res, err := sh.eng.TopK(spec)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res {
+		res[i].ID = sh.globalIDs[res[i].ID]
+	}
+	return res, nil
+}
+
+// TopK answers the query, fanning out to every shard on the worker pool and
+// merging the per-shard streams into the exact global top k. See Engine.
+func (s *ShardedIndex) TopK(q Query) ([]Result, error) {
+	spec := q.spec()
+	perShard := make([][]query.Result, len(s.shards))
+	var be batchErr
+	s.pool.do(len(s.shards), func(si int) {
+		if be.shouldSkip(si) {
+			return
+		}
+		res, err := s.shards[si].topKShard(spec)
+		if err != nil {
+			be.record(si, err)
+			return
+		}
+		perShard[si] = res
+	})
+	if err := be.first(); err != nil {
+		return nil, err
+	}
+	return convertResults(pq.MergeSorted(perShard, resultBetter, q.K)), nil
+}
+
+// BatchTopK answers many queries, pipelining every (query, shard) unit of
+// work across the pool at once rather than looping over queries serially:
+// with Q queries and P shards, up to Q·P independent tasks keep every worker
+// busy even when individual shard scans are short. Results are returned in
+// query order; the first error (lowest query index, then lowest shard)
+// aborts the batch.
+func (s *ShardedIndex) BatchTopK(queries []Query) ([][]Result, error) {
+	out := make([][]Result, len(queries))
+	if len(queries) == 0 {
+		return out, nil
+	}
+	p := len(s.shards)
+	specs := make([]query.Spec, len(queries))
+	for i, q := range queries {
+		specs[i] = q.spec()
+	}
+	perTask := make([][]query.Result, len(queries)*p)
+	var be batchErr
+	s.pool.do(len(perTask), func(t int) {
+		if be.shouldSkip(t) {
+			return
+		}
+		qi, si := t/p, t%p
+		res, err := s.shards[si].topKShard(specs[qi])
+		if err != nil {
+			be.record(t, fmt.Errorf("query %d: %w", qi, err))
+			return
+		}
+		perTask[t] = res
+	})
+	if err := be.first(); err != nil {
+		return nil, err
+	}
+	s.pool.do(len(queries), func(qi int) {
+		out[qi] = convertResults(pq.MergeSorted(perTask[qi*p:(qi+1)*p], resultBetter, queries[qi].K))
+	})
+	return out, nil
+}
+
+// Insert adds a point to the next shard in round-robin order and returns its
+// global dataset ID. Inserts are serialized with each other but only lock
+// one shard, so queries on the remaining shards proceed concurrently.
+func (s *ShardedIndex) Insert(p []float64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	si := s.next
+	sh := s.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	local, err := sh.eng.Insert(p)
+	if err != nil {
+		return 0, err
+	}
+	global := len(s.byGlobal)
+	s.byGlobal = append(s.byGlobal, shardLoc{shard: int32(si), local: int32(local)})
+	sh.globalIDs = append(sh.globalIDs, global)
+	s.next = (si + 1) % len(s.shards)
+	return global, nil
+}
+
+// Remove deletes a point by global dataset ID, reporting whether it was
+// live. Only the owning shard is locked.
+func (s *ShardedIndex) Remove(id int) bool {
+	s.mu.Lock()
+	if id < 0 || id >= len(s.byGlobal) {
+		s.mu.Unlock()
+		return false
+	}
+	loc := s.byGlobal[id]
+	s.mu.Unlock()
+	sh := s.shards[loc.shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.Remove(int(loc.local))
+}
+
+// Len reports the number of live points across all shards.
+func (s *ShardedIndex) Len() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += sh.eng.Len()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Bytes estimates the resident size of all per-shard index structures.
+func (s *ShardedIndex) Bytes() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += sh.eng.Bytes()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Roles returns the build-time dimension roles.
+func (s *ShardedIndex) Roles() []Role { return append([]Role(nil), s.roles...) }
+
+// Shards reports the number of data shards.
+func (s *ShardedIndex) Shards() int { return len(s.shards) }
+
+// Workers reports the size of the worker pool.
+func (s *ShardedIndex) Workers() int { return s.pool.workers }
+
+// Close releases the worker pool's goroutines. The index remains usable;
+// subsequent queries execute sequentially on the caller's goroutine. Close
+// is idempotent and safe to call concurrently with queries.
+func (s *ShardedIndex) Close() { s.pool.close() }
+
+var _ Engine = (*ShardedIndex)(nil)
