@@ -1,0 +1,136 @@
+package sdquery
+
+// Steady-state allocation tests: the batched hot path promises that once
+// the per-engine context pools are warm, a query performs zero heap
+// allocations. These assertions are what keeps future changes honest — a
+// regression here silently re-introduces per-query GC pressure long before
+// it shows up in wall-clock benchmarks.
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+func allocRoles() []Role {
+	return []Role{Repulsive, Attractive, Repulsive, Attractive}
+}
+
+func allocQuery() Query {
+	return Query{
+		Point:   []float64{0.3, 0.7, 0.1, 0.9},
+		K:       10,
+		Roles:   allocRoles(),
+		Weights: []float64{0.8, 0.5, 0.3, 0.9},
+	}
+}
+
+// measureAllocs warms f, forces a GC so pool clearing cannot land inside the
+// measurement window, and returns the average allocations per run.
+func measureAllocs(f func()) float64 {
+	for i := 0; i < 20; i++ {
+		f()
+	}
+	runtime.GC()
+	return testing.AllocsPerRun(100, f)
+}
+
+func TestTopKAppendZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on otherwise alloc-free paths")
+	}
+	data := dataset.Generate(dataset.Uniform, 10_000, 4, 1)
+	idx, err := NewSDIndex(data, allocRoles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := allocQuery()
+	var buf []Result
+	avg := measureAllocs(func() {
+		var err error
+		buf, err = idx.TopKAppend(buf[:0], q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("SDIndex.TopKAppend allocates %.2f objects per query in steady state, want 0", avg)
+	}
+	if len(buf) != q.K {
+		t.Fatalf("got %d results, want %d", len(buf), q.K)
+	}
+}
+
+func TestShardQueryPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on otherwise alloc-free paths")
+	}
+	data := dataset.Generate(dataset.Uniform, 10_000, 4, 1)
+	idx, err := NewShardedIndex(data, allocRoles(), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	spec := query.Spec{
+		Point:   []float64{0.3, 0.7, 0.1, 0.9},
+		K:       10,
+		Roles:   allocRoles(),
+		Weights: []float64{0.8, 0.5, 0.3, 0.9},
+	}
+	// The per-shard query path — shard-local top-k into a reused buffer with
+	// global ID translation — is the unit BatchTopK schedules Q×P times; it
+	// must stay allocation-free for the batch layer's pooling to matter.
+	for si, sh := range idx.shards {
+		var buf []query.Result
+		avg := measureAllocs(func() {
+			var err error
+			buf, err = sh.topKShardAppend(spec, buf[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg != 0 {
+			t.Fatalf("shard %d query path allocates %.2f objects per query in steady state, want 0", si, avg)
+		}
+	}
+}
+
+// TestTopKAppendZeroAllocsAfterInsert pins the satellite fix for the stale
+// pooled bitset: rows appended by Insert must be covered by regrown pooled
+// bitsets, not by the per-query overflow map (which allocates).
+func TestTopKAppendZeroAllocsAfterInsert(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on otherwise alloc-free paths")
+	}
+	data := dataset.Generate(dataset.Uniform, 2_000, 4, 1)
+	idx, err := NewSDIndex(data, allocRoles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := allocQuery()
+	// Warm the context pool at the build-time dataset size, then grow the
+	// dataset well past the original bitset coverage.
+	var buf []Result
+	for i := 0; i < 8; i++ {
+		if buf, err = idx.TopKAppend(buf[:0], q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1_000; i++ {
+		if _, err := idx.Insert([]float64{0.5, 0.5, 0.5, 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := measureAllocs(func() {
+		var err error
+		buf, err = idx.TopKAppend(buf[:0], q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("post-Insert queries allocate %.2f objects per query (stale bitset falling back to the overflow map?), want 0", avg)
+	}
+}

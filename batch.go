@@ -13,7 +13,9 @@ import (
 // closures. It backs every parallel execution path in the package: a
 // ShardedIndex keeps one for the lifetime of the index (per-query shard
 // fan-out and batch pipelining), and SDIndex.TopKBatch spins up a transient
-// one per batch.
+// one per batch. The pool bounds the helper goroutines only — every do
+// caller works through its own task list too (see do), so one call runs on
+// up to workers+1 goroutines and concurrent calls add their callers on top.
 type workerPool struct {
 	tasks   chan func()
 	quit    chan struct{}
@@ -49,22 +51,87 @@ func newWorkerPool(workers int) *workerPool {
 }
 
 // do runs f(0), …, f(n−1) on the pool and blocks until all have finished.
-// Tasks must not themselves call do on the same pool (the nested wait could
-// starve). After close, tasks degrade to running inline on the caller's
-// goroutine, so a closed pool stays correct — just sequential.
+// Indices are claimed from a shared atomic counter by up to workers idle
+// goroutines plus the caller itself, so a call costs one closure and one
+// wait group however large n is — the per-task closure the previous
+// implementation allocated was a measurable share of the batched query
+// path. Tasks must not themselves call do on the same pool (the nested
+// wait could starve). After close — or when every worker is busy — the
+// claim loop runs entirely on the caller's goroutine, so the pool degrades
+// to sequential execution rather than blocking.
 func (p *workerPool) do(n int, f func(i int)) {
+	if n == 0 {
+		return
+	}
 	var wg sync.WaitGroup
 	wg.Add(n)
-	for i := 0; i < n; i++ {
-		task := func() {
-			defer wg.Done()
+	var next atomic.Int64
+	task := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
 			f(i)
+			wg.Done()
 		}
+	}
+	// Recruitment: burst-dispatch the claim loop to every idle worker up
+	// front (an idle pool reaches full parallelism immediately), then keep
+	// retrying one non-blocking send per caller-claimed index (workers
+	// freed mid-batch — say, by a concurrent call finishing — still join
+	// instead of the rest of the batch running sequentially). A send only
+	// succeeds when a worker is parked in receive, so a busy or closed
+	// pool costs one failed non-blocking send per task and the caller,
+	// which always participates, keeps the call live. At most n−1 recruits:
+	// the last index might as well run here.
+	recruited := 0
+	limit := p.workers
+	if limit > n-1 {
+		limit = n - 1
+	}
+burst:
+	for ; recruited < limit; recruited++ {
 		select {
 		case p.tasks <- task:
-		case <-p.quit:
-			task()
+		default:
+			break burst
 		}
+	}
+	// Panic containment: if f panics on the caller's goroutine and some
+	// upstream caller recovers, the unwind must not race recruited workers
+	// still claiming indices — callers like TopKAppend return pooled
+	// contexts in defers that would run while workers keep writing into
+	// them. Poison the counter, settle the wait group's accounting (the
+	// panicked index plus every never-claimed one), wait for in-flight
+	// workers to drain, then re-panic. (A panic inside a pool worker is
+	// unrecovered and crashes the process, as before.)
+	defer func() {
+		if r := recover(); r != nil {
+			claimed := next.Swap(int64(n))
+			if claimed > int64(n) {
+				claimed = int64(n)
+			}
+			wg.Add(-(n - int(claimed))) // indices no one will ever claim
+			wg.Done()                   // the index whose f panicked
+			wg.Wait()
+			panic(r)
+		}
+	}()
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		if recruited < limit {
+			select {
+			case p.tasks <- task:
+				recruited++
+			default:
+			}
+		}
+		f(i)
+		wg.Done()
 	}
 	wg.Wait()
 }
@@ -134,8 +201,9 @@ func (s *SDIndex) TopKWithStats(q Query) ([]Result, QueryStats, error) {
 }
 
 // TopKBatch answers many queries concurrently on the shared index using up
-// to parallelism goroutines (≤ 0 selects GOMAXPROCS). Results are returned
-// in query order; the first error (lowest query index) aborts the batch.
+// to parallelism pool goroutines plus the calling goroutine, which always
+// participates (≤ 0 selects GOMAXPROCS). Results are returned in query
+// order; the first error (lowest query index) aborts the batch.
 func (s *SDIndex) TopKBatch(queries []Query, parallelism int) ([][]Result, error) {
 	out := make([][]Result, len(queries))
 	if len(queries) == 0 {

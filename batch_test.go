@@ -3,6 +3,7 @@ package sdquery
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/dataset"
@@ -101,5 +102,44 @@ func TestTopKWithStats(t *testing.T) {
 	if _, _, err := idx.TopKWithStats(Query{Point: []float64{1}, K: 1,
 		Roles: roles[:1], Weights: []float64{1}}); err == nil {
 		t.Fatal("invalid query accepted")
+	}
+}
+
+// TestWorkerPoolDoPanicContainment: a panic in f on the caller's goroutine
+// must re-propagate only after the pool's accounting is settled, so a
+// recovering caller cannot race still-running workers over pooled state.
+// A closed pool makes the path deterministic: everything runs inline.
+func TestWorkerPoolDoPanicContainment(t *testing.T) {
+	p := newWorkerPool(2)
+	p.close()
+	ran := make([]bool, 8)
+	got := func() (r any) {
+		defer func() { r = recover() }()
+		p.do(len(ran), func(i int) {
+			if i == 3 {
+				panic("boom")
+			}
+			ran[i] = true
+		})
+		return nil
+	}()
+	if got != "boom" {
+		t.Fatalf("recovered %v, want the original panic value", got)
+	}
+	for i := 0; i < 3; i++ {
+		if !ran[i] {
+			t.Fatalf("index %d did not run before the panic", i)
+		}
+	}
+	for i := 4; i < len(ran); i++ {
+		if ran[i] {
+			t.Fatalf("index %d ran after the panic on a closed pool", i)
+		}
+	}
+	// The pool (and a fresh do call) keeps working after the failure.
+	var n atomic.Int32
+	p.do(5, func(i int) { n.Add(1) })
+	if n.Load() != 5 {
+		t.Fatalf("follow-up do ran %d of 5 tasks", n.Load())
 	}
 }

@@ -102,6 +102,33 @@ func BenchmarkQuerySDIndex(b *testing.B) {
 	})
 }
 
+// BenchmarkTopK is the zero-allocation steady-state hot path: TopKAppend
+// into a reused buffer on the default workload (50k × 6, k = 5). This is the
+// benchmark the BENCH_sdbench.json trajectory records; it must stay at
+// 0 allocs/op.
+func BenchmarkTopK(b *testing.B) {
+	data := dataset.Generate(dataset.Uniform, 50_000, 6, 1)
+	idx, err := NewSDIndex(data, []Role{Repulsive, Attractive, Repulsive, Attractive, Repulsive, Attractive})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := benchQueries(64, 2)
+	var buf []Result
+	for i := 0; i < len(queries); i++ { // warm the context pools
+		if buf, err = idx.TopKAppend(buf[:0], queries[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = idx.TopKAppend(buf[:0], queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkQueryScan(b *testing.B) { benchEngine(b, NewScan) }
 func BenchmarkQueryTA(b *testing.B)   { benchEngine(b, NewTA) }
 func BenchmarkQueryBRS(b *testing.B) {
@@ -178,6 +205,10 @@ func benchmarkBatchSharded(b *testing.B, shards int) {
 		b.Fatal(err)
 	}
 	defer idx.Close()
+	if _, err := idx.BatchTopK(queries); err != nil { // warm the context pools
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := idx.BatchTopK(queries); err != nil {

@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	sdquery "repro"
+	"repro/internal/bench"
+	"repro/internal/dataset"
+)
+
+// benchJSON is the machine-readable benchmark report written by -json: the
+// perf trajectory future PRs compare against (BENCH_sdbench.json at the repo
+// root holds the committed baseline). Absolute numbers are
+// hardware-dependent; the trajectory of ns/op and the allocs/op invariants
+// are the regression signal.
+type benchJSON struct {
+	Schema     string         `json:"schema"`
+	Generated  string         `json:"generated"`
+	GoVersion  string         `json:"go"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Scale      float64        `json:"scale"`
+	Workloads  []workloadJSON `json:"workloads"`
+}
+
+type workloadJSON struct {
+	Name    string `json:"name"`
+	N       int    `json:"n"`
+	Dims    int    `json:"dims"`
+	K       int    `json:"k"`
+	Queries int    `json:"queries"`
+	// Per-op figures from testing.Benchmark; for batch workloads one op is
+	// the whole batch.
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Work counters averaged over the query set (single-engine workloads).
+	FetchedMean     float64 `json:"fetched_mean,omitempty"`
+	ScoredMean      float64 `json:"scored_mean,omitempty"`
+	SubproblemsMean float64 `json:"subproblems_mean,omitempty"`
+}
+
+const benchJSONSchema = "sdbench/v1"
+
+// runBenchJSON measures the core micro-workloads and writes the JSON report.
+// Workload sizes follow the default evaluation shape (uniform data, mixed
+// roles, U(0,1) weights) scaled by -scale.
+func runBenchJSON(path string, scale float64, queryCount int, seed int64) error {
+	n := int(50_000 * scale)
+	if n < 1000 {
+		n = 1000
+	}
+	if queryCount <= 0 {
+		queryCount = 64
+	}
+	const dims, attractive, k = 6, 3, 5
+	data := dataset.Generate(dataset.Uniform, n, dims, seed)
+	specs, roles := bench.BatchSpecs(dims, attractive, k, queryCount, seed+1)
+	queries := make([]sdquery.Query, len(specs))
+	for i, sp := range specs {
+		queries[i] = sdquery.Query{Point: sp.Point, K: sp.K, Roles: sp.Roles, Weights: sp.Weights}
+	}
+
+	report := benchJSON{
+		Schema:     benchJSONSchema,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+	}
+	add := func(name string, qCount int, r testing.BenchmarkResult, st *sdquery.QueryStats) {
+		w := workloadJSON{
+			Name: name, N: n, Dims: dims, K: k, Queries: qCount,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if st != nil {
+			w.FetchedMean = float64(st.Fetched) / float64(qCount)
+			w.ScoredMean = float64(st.Scored) / float64(qCount)
+			w.SubproblemsMean = float64(st.Subproblems) / float64(qCount)
+		}
+		report.Workloads = append(report.Workloads, w)
+	}
+
+	// Single-query hot path: TopKAppend into a reused buffer (the
+	// zero-allocation guarantee), plus the work counters of the query set.
+	idx, err := sdquery.NewSDIndex(data, roles)
+	if err != nil {
+		return err
+	}
+	var total sdquery.QueryStats
+	for _, q := range queries {
+		_, st, err := idx.TopKWithStats(q)
+		if err != nil {
+			return err
+		}
+		total.Fetched += st.Fetched
+		total.Scored += st.Scored
+		total.Subproblems += st.Subproblems
+	}
+	var buf []sdquery.Result
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			buf, err = idx.TopKAppend(buf[:0], queries[i%len(queries)])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("topk/sdindex-append", len(queries), r, &total)
+
+	// The allocating convenience API, for the conversion-cost trajectory.
+	r = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.TopK(queries[i%len(queries)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("topk/sdindex", len(queries), r, nil)
+
+	// Sharded batch pipeline: one op = the whole batch, at 1 shard (pure
+	// overhead measurement) and at GOMAXPROCS shards.
+	for _, shards := range []int{1, 0} {
+		sidx, err := sdquery.NewShardedIndex(data, roles, sdquery.WithShards(shards))
+		if err != nil {
+			return err
+		}
+		if _, err := sidx.BatchTopK(queries); err != nil { // warm pools
+			sidx.Close()
+			return err
+		}
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sidx.BatchTopK(queries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		name := fmt.Sprintf("batch/sharded-%d", sidx.Shards())
+		if shards == 0 {
+			name = "batch/sharded-gomaxprocs"
+		}
+		add(name, len(queries), r, nil)
+		sidx.Close()
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

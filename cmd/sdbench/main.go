@@ -9,6 +9,7 @@
 //	sdbench -list
 //	sdbench -exp fig7a [-scale 0.25] [-queries 100] [-seed 1] [-v]
 //	sdbench -all -scale 0.1
+//	sdbench -json BENCH_sdbench.json [-scale 1] [-queries 64]
 package main
 
 import (
@@ -30,12 +31,29 @@ func main() {
 		exp        = flag.String("exp", "", "experiment id to run (e.g. fig7a, table1, ablation-angles)")
 		all        = flag.Bool("all", false, "run every experiment")
 		shardSweep = flag.Bool("shardsweep", false, "sweep shard counts for the sharded batch execution layer")
+		jsonOut    = flag.String("json", "", "write the machine-readable micro-benchmark report to this path (\"-\" for stdout)")
 		scale      = flag.Float64("scale", 1.0, "dataset size multiplier (1.0 = paper scale)")
 		queries    = flag.Int("queries", 100, "query points per measurement")
 		seed       = flag.Int64("seed", 1, "random seed")
 		verbose    = flag.Bool("v", false, "log progress to stderr")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		// The micro-benchmark default (64 queries) differs from the
+		// figures' (100); an explicit -queries always wins.
+		qn := 64
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "queries" {
+				qn = *queries
+			}
+		})
+		if err := runBenchJSON(*jsonOut, *scale, qn, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "sdbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *shardSweep {
 		runShardSweep(*scale, *queries, *seed)

@@ -41,6 +41,31 @@
 // sequential scan, the adapted Threshold Algorithm (TA), branch-and-bound
 // ranked search over an R*-tree (BRS), and progressive exploration (PE).
 //
+// # Performance
+//
+// The query hot path is batched and allocation-free in steady state. Every
+// subproblem of the §5 aggregation (2D projection streams and 1D list
+// iterators) implements a bulk fetch that drains whole runs — the winning
+// merge stream while it stays ahead of the runner-up, whole leaf-cursor
+// runs below it, and both list frontiers — and the Threshold-Algorithm
+// round-robin fetches an adaptive batch per subproblem (starting at 1 and
+// doubling toward the leaf cap while the subproblem's frontier stays above
+// the prune line). All per-query state — weights, bounds, emission buffers,
+// the seen bitset, stream cursors and heaps, the result collector — lives
+// in per-engine sync.Pool contexts.
+//
+// SDIndex.TopKAppend and ShardedIndex.TopKAppend append results into a
+// caller-reused buffer; with warm pools they perform zero heap allocations
+// per query, which alloc_test.go asserts with testing.AllocsPerRun. The
+// TopK convenience forms allocate only the returned slice. Batched answers
+// are byte-identical to the unbatched (and scan-oracle) answers; the
+// differential harness and fuzz corpus enforce this.
+//
+// Reproduce the numbers with `go test -bench 'BenchmarkTopK$' -benchmem .`
+// or regenerate the machine-readable trajectory with
+// `go run ./cmd/sdbench -json BENCH_sdbench.json`; the committed
+// BENCH_sdbench.json is the baseline future changes compare against.
+//
 // # Quick start
 //
 //	data := [][]float64{ ... }            // n × d

@@ -1,6 +1,8 @@
 package sdquery
 
 import (
+	"sync"
+
 	"repro/internal/baseline/brs"
 	"repro/internal/baseline/pe"
 	"repro/internal/baseline/scan"
@@ -99,7 +101,11 @@ func WithShards(n int) SDOption {
 }
 
 // WithWorkers sets the size of the worker pool a ShardedIndex fans queries
-// out on (≤ 0 selects GOMAXPROCS). NewSDIndex ignores it.
+// out on (≤ 0 selects GOMAXPROCS). The calling goroutine always
+// participates in its own query's fan-out, so the effective parallelism of
+// one call is up to workers+1, and concurrent calls each add their calling
+// goroutine on top of the shared pool — the pool bounds the extra
+// goroutines, not total CPU use. NewSDIndex ignores it.
 func WithWorkers(n int) SDOption {
 	return func(c *sdConfig) { c.workers = n }
 }
@@ -109,6 +115,7 @@ func WithWorkers(n int) SDOption {
 type SDIndex struct {
 	eng   *core.Engine
 	roles []Role
+	buf   sync.Pool // *[]query.Result scratch for the Append paths
 }
 
 // NewSDIndex builds the SD-Index over data (row-major, n × d) with the
@@ -132,11 +139,30 @@ func NewSDIndex(data [][]float64, roles []Role, opts ...SDOption) (*SDIndex, err
 
 // TopK answers the query. See Engine.
 func (s *SDIndex) TopK(q Query) ([]Result, error) {
-	res, err := s.eng.TopK(q.spec())
-	if err != nil {
-		return nil, err
+	return s.TopKAppend(nil, q)
+}
+
+// TopKAppend answers the query, appending the results (best first) to dst
+// and returning the extended slice. With a caller-reused dst the
+// steady-state query path performs no allocation: all per-query state lives
+// in pooled contexts inside the engine. dst's existing elements are
+// preserved; a nil dst behaves like TopK.
+func (s *SDIndex) TopKAppend(dst []Result, q Query) ([]Result, error) {
+	bp, _ := s.buf.Get().(*[]query.Result)
+	if bp == nil {
+		bp = new([]query.Result)
 	}
-	return convertResults(res), nil
+	res, _, err := s.eng.TopKAppend((*bp)[:0], q.spec())
+	*bp = res[:0] // keep the grown capacity pooled either way
+	if err != nil {
+		s.buf.Put(bp)
+		return dst, err
+	}
+	for _, r := range res {
+		dst = append(dst, Result{ID: r.ID, Score: r.Score})
+	}
+	s.buf.Put(bp)
+	return dst, nil
 }
 
 // Len reports the number of live points.

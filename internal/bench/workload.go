@@ -65,10 +65,30 @@ type engine interface {
 	TopK(query.Spec) ([]query.Result, error)
 }
 
+// appendEngine is the zero-allocation query surface (core.Engine): results
+// appended into a reused buffer, no per-query garbage.
+type appendEngine interface {
+	TopKAppend([]query.Result, query.Spec) ([]query.Result, core.Stats, error)
+}
+
 // runQueries executes all specs and returns total wall milliseconds.
+// Engines exposing the append path are measured through it with a reused
+// buffer, so the figures time the algorithms rather than the allocator.
 // Engines are pre-validated by construction; errors here are programming
 // errors in the harness and panic.
 func runQueries(eng engine, specs []query.Spec) float64 {
+	if ae, ok := eng.(appendEngine); ok {
+		var buf []query.Result
+		return timeMS(func() {
+			for _, s := range specs {
+				var err error
+				buf, _, err = ae.TopKAppend(buf[:0], s)
+				if err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
 	return timeMS(func() {
 		for _, s := range specs {
 			if _, err := eng.TopK(s); err != nil {

@@ -21,7 +21,6 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dimlist"
 	"repro/internal/geom"
-	"repro/internal/pq"
 	"repro/internal/query"
 	"repro/internal/topk"
 )
@@ -82,18 +81,18 @@ type Config struct {
 
 // Engine is the SD-Index.
 type Engine struct {
-	data     [][]float64
-	flat     []float64 // row-major copy, stride dims: one cache line per random access
-	dims     int
-	roles    []query.Role
-	pairing  Pairing
-	pairs    []Pair
-	trees    []*topk.Index
-	lone     []int // dimensions solved as 1D subproblems
-	lists    map[int]*dimlist.List
-	dead     []bool // tombstones for removed rows
-	live     int
-	seenPool sync.Pool // *[]uint64 bitsets over dataset rows
+	data    [][]float64
+	flat    []float64 // row-major copy, stride dims: one cache line per random access
+	dims    int
+	roles   []query.Role
+	pairing Pairing
+	pairs   []Pair
+	trees   []*topk.Index
+	lone    []int // dimensions solved as 1D subproblems
+	lists   map[int]*dimlist.List
+	dead    []bool // tombstones for removed rows
+	live    int
+	ctxPool sync.Pool // *queryCtx — see hotpath.go
 	// Per-dimension coordinate extrema over every row ever indexed
 	// (removals keep them, which only loosens the bound). They size the
 	// float-error pad that keeps tie-breaking deterministic — see slack.
@@ -160,10 +159,6 @@ func New(data [][]float64, cfg Config) (*Engine, error) {
 	if cfg.Tree.LeafCap == 0 {
 		cfg.Tree.LeafCap = 64
 	}
-	e.seenPool.New = func() any {
-		s := make([]uint64, (len(data)+63)/64)
-		return &s
-	}
 	if dims > 0 {
 		e.flat = make([]float64, 0, len(data)*dims)
 		for _, p := range data {
@@ -194,6 +189,7 @@ func New(data [][]float64, cfg Config) (*Engine, error) {
 		}
 		e.trees = append(e.trees, tree)
 	}
+	e.initCtxPool()
 	return e, nil
 }
 
@@ -293,9 +289,13 @@ func (e *Engine) Pairs() []Pair { return append([]Pair(nil), e.pairs...) }
 // Len returns the number of live points.
 func (e *Engine) Len() int { return e.live }
 
-// Bytes estimates the resident size of the index structures (trees + lists).
+// Bytes estimates the resident size of the engine: the per-pair trees, the
+// per-dimension sorted lists, the flat row-major copy backing random
+// accesses, the tombstone array, and the per-dimension extrema — everything
+// the engine itself retains beyond the caller's dataset, so capacity
+// planning numbers are honest.
 func (e *Engine) Bytes() int {
-	total := 0
+	total := 8*len(e.flat) + len(e.dead) + 8*(len(e.minVal)+len(e.maxVal))
 	for _, t := range e.trees {
 		total += t.Bytes()
 	}
@@ -304,49 +304,6 @@ func (e *Engine) Bytes() int {
 	}
 	return total
 }
-
-// subproblem is one term of Eqn. 10: an iterator over points in decreasing
-// contribution order plus an upper bound on the contribution of any point it
-// has not yet produced.
-type subproblem interface {
-	next() (id int32, contrib float64, ok bool)
-	bound() float64
-}
-
-type pairSub struct {
-	st   *topk.Stream
-	last float64
-	done bool
-}
-
-func (p *pairSub) next() (int32, float64, bool) {
-	r, ok := p.st.Next()
-	if !ok {
-		p.done = true
-		return 0, 0, false
-	}
-	p.last = r.Score
-	return int32(r.Point.ID), r.Score, true
-}
-
-func (p *pairSub) bound() float64 {
-	if p.done {
-		return math.Inf(-1)
-	}
-	return p.last
-}
-
-func (p *pairSub) close() { p.st.Close() }
-
-type dimSub struct {
-	it *dimlist.Iter
-}
-
-func (d *dimSub) next() (int32, float64, bool) {
-	return d.it.Next()
-}
-
-func (d *dimSub) bound() float64 { return d.it.Bound() }
 
 // Stats reports the work one query performed — the quantities the paper's
 // analysis argues about (fetches per subproblem versus a full scan).
@@ -367,202 +324,14 @@ func (e *Engine) TopK(spec query.Spec) ([]query.Result, error) {
 	return res, err
 }
 
-// TopKWithStats is TopK plus per-query work counters.
+// TopKWithStats is TopK plus per-query work counters. Callers that reuse a
+// result buffer should prefer TopKAppend (hotpath.go), which this wraps.
 func (e *Engine) TopKWithStats(spec query.Spec) ([]query.Result, Stats, error) {
-	var stats Stats
-	if err := spec.Validate(e.dims); err != nil {
+	res, stats, err := e.TopKAppend(nil, spec)
+	if err != nil {
 		return nil, stats, err
 	}
-	w := make([]float64, e.dims) // effective weights under build-time roles
-	for d := 0; d < e.dims; d++ {
-		switch spec.Roles[d] {
-		case query.Ignored:
-			// stays 0
-		case e.roles[d]:
-			w[d] = spec.Weights[d]
-		default:
-			return nil, stats, fmt.Errorf("core: dimension %d queried as %v but indexed as %v",
-				d, spec.Roles[d], e.roles[d])
-		}
-	}
-
-	var subs []subproblem
-	var pairSubs []*pairSub
-	defer func() {
-		for _, ps := range pairSubs {
-			ps.close()
-		}
-	}()
-	// pad bounds the absolute floating-point error between a pair stream's
-	// emitted scores/bounds (computed in normalized projection space and
-	// rescaled) and the exact contribution α·|Δy| − β·|Δx| the random-access
-	// rescoring uses. Points are only discarded, and iteration only stopped,
-	// when they are worse than the k-th best by more than this pad — so a
-	// point in an exact tie at the k-th rank can never be lost to an ulp of
-	// projection arithmetic, and answers stay byte-identical to the scan
-	// oracle. The 1D list subproblems use the exact arithmetic directly and
-	// need no pad.
-	var pad float64
-	for i, pr := range e.pairs {
-		if w[pr.Rep] == 0 && w[pr.Attr] == 0 {
-			continue // contributes nothing; bound is 0 by omission
-		}
-		q2 := geom.Point{X: spec.Point[pr.Attr], Y: spec.Point[pr.Rep]}
-		st, err := e.trees[i].Stream(q2, w[pr.Rep], w[pr.Attr])
-		if err != nil {
-			return nil, stats, fmt.Errorf("core: pair (%d, %d): %w", pr.Rep, pr.Attr, err)
-		}
-		pad += floatSlack * (w[pr.Rep]*e.reach(pr.Rep, spec.Point[pr.Rep]) +
-			w[pr.Attr]*e.reach(pr.Attr, spec.Point[pr.Attr]))
-		ps := &pairSub{st: st}
-		pairSubs = append(pairSubs, ps)
-		subs = append(subs, ps)
-	}
-	for _, d := range e.lone {
-		if w[d] == 0 {
-			continue
-		}
-		subs = append(subs, &dimSub{it: e.lists[d].NewIter(spec.Point[d], w[d], e.roles[d] == query.Attractive)})
-	}
-
-	// Signed weights fold the role branch into the arithmetic; the flat
-	// row-major array keeps each random access within one cache line.
-	signed := make([]float64, e.dims)
-	for d := 0; d < e.dims; d++ {
-		if e.roles[d] == query.Repulsive {
-			signed[d] = w[d]
-		} else {
-			signed[d] = -w[d]
-		}
-	}
-	scoreOf := func(id int32) float64 {
-		row := e.flat[int(id)*e.dims : (int(id)+1)*e.dims]
-		var s float64
-		for d, c := range row {
-			s += signed[d] * math.Abs(c-spec.Point[d])
-		}
-		return s
-	}
-
-	// Ties are broken by ascending dataset ID, exactly like the sequential
-	// scan: every engine answer is then byte-identical to the oracle's, and
-	// per-shard answers merge into the exact global top-k.
-	collector := pq.NewTopKOrdered[int](spec.K, func(a, b int) bool { return a < b })
-	stats.Subproblems = len(subs)
-	if len(subs) == 0 {
-		// Every active dimension weighs zero: all live points tie at 0.
-		for id := range e.data {
-			if !e.dead[id] {
-				collector.Add(id, 0)
-			}
-		}
-		return resultsOf(collector), stats, nil
-	}
-	// seen is a pooled bitset over dataset rows; rows appended after build
-	// (Insert) fall back to the overflow map.
-	seenPtr := e.seenPool.Get().(*[]uint64)
-	seen := *seenPtr
-	var overflow map[int32]bool
-	defer func() {
-		clear(seen)
-		e.seenPool.Put(seenPtr)
-	}()
-	markSeen := func(id int32) bool { // reports "newly seen"
-		if int(id)>>6 < len(seen) {
-			w, b := id>>6, uint64(1)<<(uint(id)&63)
-			if seen[w]&b != 0 {
-				return false
-			}
-			seen[w] |= b
-			return true
-		}
-		if overflow[id] {
-			return false
-		}
-		if overflow == nil {
-			overflow = make(map[int32]bool)
-		}
-		overflow[id] = true
-		return true
-	}
-	// Round-robin over the subproblems, as in §5: every iteration fetches
-	// the next best point of each subproblem, fully scores it by random
-	// access, and re-evaluates the threshold. Two standard refinements
-	// keep the loop lean without changing the answer:
-	//
-	//   - at a point's FIRST emission from any subproblem, if its best
-	//     possible full score (its contribution plus the other
-	//     subproblems' frontier bounds) is strictly below the current k-th
-	//     best by more than the float pad, it is discarded unscored and
-	//     for good — the decision is sound exactly there, because a point
-	//     no frontier has passed is bounded by every frontier, and the
-	//     k-th best only rises;
-	//   - every point is handled (scored or discarded) at most once (the
-	//     seen bitset), so later emissions of the same point are dropped
-	//     without re-deciding against frontiers that have already moved
-	//     past it and no longer bound its contributions.
-	//
-	// Bounds start at +Inf: until a subproblem has emitted once, nothing
-	// may be pruned against it. (A subproblem exhausts — bound −Inf — only
-	// after emitting every live point, so an exhausted sibling can never
-	// appear in a first-emission prune.)
-	bounds := make([]float64, len(subs))
-	for i := range bounds {
-		bounds[i] = math.Inf(1)
-	}
-	var otherBounds float64 // Σ bounds − bounds[i], maintained per fetch
-	for {
-		progressed := false
-		threshold := 0.0
-		for i, s := range subs {
-			id, contrib, ok := s.next()
-			bounds[i] = s.bound()
-			if !ok {
-				continue
-			}
-			progressed = true
-			stats.Fetched++
-			if !markSeen(id) {
-				continue // already scored or soundly discarded
-			}
-			if collector.Full() {
-				otherBounds = 0
-				for j, b := range bounds {
-					if j != i {
-						otherBounds += b
-					}
-				}
-				if contrib+otherBounds+pad < collector.Threshold() {
-					continue // cannot enter the top k, now or later
-				}
-			}
-			stats.Scored++
-			collector.Add(int(id), scoreOf(id))
-		}
-		if !progressed {
-			break // every subproblem exhausted: all points were seen
-		}
-		for _, b := range bounds {
-			threshold += b
-		}
-		// Stop only once the k-th best strictly beats the padded frontier:
-		// an unseen point that could tie it (exactly, or within the float
-		// slack of the projection bounds) might still displace a kept one
-		// through the ID tie-break.
-		if collector.Full() && (math.IsInf(threshold, -1) || collector.Threshold() > threshold+pad) {
-			break
-		}
-	}
-	return resultsOf(collector), stats, nil
-}
-
-func resultsOf(collector *pq.TopK[int]) []query.Result {
-	scored := collector.Results()
-	out := make([]query.Result, len(scored))
-	for i, s := range scored {
-		out[i] = query.Result{ID: s.Item, Score: s.Score}
-	}
-	return out
+	return res, stats, nil
 }
 
 // Insert appends a point, updating every per-pair tree and sorted list.

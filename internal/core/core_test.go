@@ -364,6 +364,47 @@ func TestBytesPositive(t *testing.T) {
 	}
 }
 
+// TestBytesEstimate pins the resident-size formula: trees plus lists plus
+// the engine-owned dataset-side arrays (flat copy, tombstones, extrema). A
+// drifting estimate silently breaks capacity planning.
+func TestBytesEstimate(t *testing.T) {
+	const n, dims = 500, 4
+	data := dataset.Generate(dataset.Uniform, n, dims, 19)
+	roles := []query.Role{query.Repulsive, query.Attractive, query.Repulsive, query.Repulsive}
+	eng, err := New(data, Config{Roles: roles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tr := range eng.trees {
+		want += tr.Bytes()
+	}
+	for _, l := range eng.lists {
+		want += l.Len() * 12
+	}
+	structures := want
+	want += 8 * n * dims         // flat row-major copy
+	want += n                    // dead tombstones
+	want += 8 * 2 * dims         // minVal + maxVal
+	if got := eng.Bytes(); got != want {
+		t.Fatalf("Bytes() = %d, want %d (trees+lists %d + flat %d + dead %d + extrema %d)",
+			got, want, structures, 8*n*dims, n, 16*dims)
+	}
+	// The dataset-side arrays must actually be counted: the estimate has to
+	// exceed the index structures alone by at least the flat copy.
+	if got := eng.Bytes(); got < structures+8*n*dims {
+		t.Fatalf("Bytes() = %d undercounts the flat copy (structures alone: %d)", got, structures)
+	}
+	// Inserts grow the estimate by at least the appended row.
+	before := eng.Bytes()
+	if _, err := eng.Insert([]float64{0.5, 0.5, 0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Bytes(); got < before+8*dims {
+		t.Fatalf("Bytes() after Insert = %d, want ≥ %d", got, before+8*dims)
+	}
+}
+
 func TestKLargerThanDataset(t *testing.T) {
 	data := dataset.Generate(dataset.Uniform, 6, 2, 23)
 	currentData = data

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dimlist"
+	"repro/internal/geom"
+	"repro/internal/pq"
+	"repro/internal/query"
+	"repro/internal/topk"
+)
+
+// maxBatch is the widest per-subproblem bulk fetch: the engine's leaf-cursor
+// cap, so one adaptive batch can drain a whole packed leaf run.
+const maxBatch = 64
+
+// subproblem is one term of Eqn. 10: an iterator over points in decreasing
+// contribution order plus an upper bound on the contribution of any point it
+// has not yet produced. The contract is batch-oriented: nextBatch fills dst
+// with up to len(dst) emissions per call (0 when exhausted), so the
+// aggregation loop pays one virtual dispatch per run instead of per point.
+type subproblem interface {
+	nextBatch(dst []query.Emission) int
+	bound() float64
+}
+
+// pairSub adapts a 2D §4 stream. The Stream is stored by value so a pooled
+// query context reuses its cursor, merge, and heap storage across queries.
+type pairSub struct {
+	st topk.Stream
+}
+
+func (p *pairSub) nextBatch(dst []query.Emission) int { return p.st.NextBatch(dst) }
+
+func (p *pairSub) bound() float64 {
+	if sc, ok := p.st.PeekScore(); ok {
+		return sc
+	}
+	return math.Inf(-1)
+}
+
+// dimSub adapts a 1D sorted-list iterator, also stored by value.
+type dimSub struct {
+	it dimlist.Iter
+}
+
+func (d *dimSub) nextBatch(dst []query.Emission) int { return d.it.NextBatch(dst) }
+
+func (d *dimSub) bound() float64 { return d.it.Bound() }
+
+// intAscending is the collector's tie order (ascending dataset ID), shared
+// so pooled collectors carry no per-query closure.
+func intAscending(a, b int) bool { return a < b }
+
+// queryCtx is the pooled per-query state of TopKAppend: weights, signed
+// weights, subproblem storage, frontier bounds, batch sizes, the emission
+// buffer, the seen bitset, and the collector with its drain buffer. One
+// context cycles through queries via the engine's sync.Pool, replacing the
+// ~10 per-query allocations (and the scoreOf/markSeen closures) the
+// unbatched hot path paid.
+type queryCtx struct {
+	e        *Engine
+	w        []float64 // effective weights under build-time roles
+	signed   []float64 // +w repulsive / −w attractive, folding the role branch
+	pairSubs []pairSub // value storage; subs holds pointers into it
+	dimSubs  []dimSub
+	nPair    int // pairSubs in use (their streams need closing)
+	subs     []subproblem
+	bounds   []float64
+	bsize    []int
+	emit     [maxBatch]query.Emission
+	seen     []uint64 // bitset over dataset rows
+	overflow map[int32]bool
+	coll     *pq.TopK[int]
+	drain    []pq.Scored[int]
+}
+
+// initCtxPool wires the engine's context pool; called once at build time,
+// after pairs and lone dimensions are fixed.
+func (e *Engine) initCtxPool() {
+	e.ctxPool.New = func() any {
+		nsub := len(e.pairs) + len(e.lone)
+		return &queryCtx{
+			e:        e,
+			w:        make([]float64, e.dims),
+			signed:   make([]float64, e.dims),
+			pairSubs: make([]pairSub, len(e.pairs)),
+			dimSubs:  make([]dimSub, len(e.lone)),
+			subs:     make([]subproblem, 0, nsub),
+			bounds:   make([]float64, nsub),
+			bsize:    make([]int, nsub),
+			seen:     make([]uint64, (len(e.data)+63)/64),
+			coll:     pq.NewTopKOrdered[int](1, intAscending),
+		}
+	}
+}
+
+// getCtx acquires a context sized for the engine's *current* dataset:
+// pooled bitsets are regrown to cover rows appended by Insert since the
+// context was created, so post-build rows never fall into the per-query
+// overflow map.
+func (e *Engine) getCtx() *queryCtx {
+	c := e.ctxPool.Get().(*queryCtx)
+	if need := (len(e.data) + 63) / 64; len(c.seen) < need {
+		c.seen = make([]uint64, need)
+	}
+	return c
+}
+
+// putCtx releases per-query resources (stream heaps back to their pool, the
+// bitset cleared) and returns the context.
+func (e *Engine) putCtx(c *queryCtx) {
+	for i := 0; i < c.nPair; i++ {
+		c.pairSubs[i].st.Close()
+	}
+	c.nPair = 0
+	c.subs = c.subs[:0]
+	clear(c.seen)
+	if len(c.overflow) > 0 {
+		clear(c.overflow)
+	}
+	e.ctxPool.Put(c)
+}
+
+// markSeen reports "newly seen". Rows beyond the bitset (only possible when
+// rows are inserted mid-query, which the engine's concurrency contract
+// excludes) fall back to the overflow map.
+func (c *queryCtx) markSeen(id int32) bool {
+	if w := int(id) >> 6; w < len(c.seen) {
+		b := uint64(1) << (uint(id) & 63)
+		if c.seen[w]&b != 0 {
+			return false
+		}
+		c.seen[w] |= b
+		return true
+	}
+	if c.overflow[id] {
+		return false
+	}
+	if c.overflow == nil {
+		c.overflow = make(map[int32]bool)
+	}
+	c.overflow[id] = true
+	return true
+}
+
+// scoreOf is the devirtualized random-access score kernel: one tight pass
+// over the flat row-major array with the signed weights folding the role
+// branch into the arithmetic. math.Abs compiles to a bit mask, so the loop
+// is branch-free; the re-slicing below lets the compiler drop bounds checks.
+func (c *queryCtx) scoreOf(qpt []float64, id int32) float64 {
+	d := c.e.dims
+	base := int(id) * d
+	row := c.e.flat[base : base+d : base+d]
+	sg := c.signed[:len(row)]
+	qp := qpt[:len(row)]
+	var s float64
+	for k := 0; k < len(row); k++ {
+		s += sg[k] * math.Abs(row[k]-qp[k])
+	}
+	return s
+}
+
+// TopKAppend is TopKWithStats appending into dst: with a caller-reused dst
+// the steady-state query path performs no allocation. Results are appended
+// best-first; dst's existing elements are preserved.
+func (e *Engine) TopKAppend(dst []query.Result, spec query.Spec) ([]query.Result, Stats, error) {
+	var stats Stats
+	if err := spec.Validate(e.dims); err != nil {
+		return dst, stats, err
+	}
+	c := e.getCtx()
+	defer e.putCtx(c)
+
+	for d := 0; d < e.dims; d++ {
+		c.w[d] = 0
+		switch spec.Roles[d] {
+		case query.Ignored:
+			// stays 0
+		case e.roles[d]:
+			c.w[d] = spec.Weights[d]
+		default:
+			return dst, stats, fmt.Errorf("core: dimension %d queried as %v but indexed as %v",
+				d, spec.Roles[d], e.roles[d])
+		}
+		if e.roles[d] == query.Repulsive {
+			c.signed[d] = c.w[d]
+		} else {
+			c.signed[d] = -c.w[d]
+		}
+	}
+
+	// pad bounds the absolute floating-point error between a pair stream's
+	// emitted scores/bounds (computed in normalized projection space and
+	// rescaled) and the exact contribution α·|Δy| − β·|Δx| the random-access
+	// rescoring uses. Points are only discarded, and iteration only stopped,
+	// when they are worse than the k-th best by more than this pad — so a
+	// point in an exact tie at the k-th rank can never be lost to an ulp of
+	// projection arithmetic, and answers stay byte-identical to the scan
+	// oracle. The 1D list subproblems use the exact arithmetic directly and
+	// need no pad.
+	var pad float64
+	for i, pr := range e.pairs {
+		if c.w[pr.Rep] == 0 && c.w[pr.Attr] == 0 {
+			continue // contributes nothing; bound is 0 by omission
+		}
+		q2 := geom.Point{X: spec.Point[pr.Attr], Y: spec.Point[pr.Rep]}
+		ps := &c.pairSubs[c.nPair]
+		if err := e.trees[i].StreamInto(&ps.st, q2, c.w[pr.Rep], c.w[pr.Attr]); err != nil {
+			return dst, stats, fmt.Errorf("core: pair (%d, %d): %w", pr.Rep, pr.Attr, err)
+		}
+		c.nPair++
+		pad += floatSlack * (c.w[pr.Rep]*e.reach(pr.Rep, spec.Point[pr.Rep]) +
+			c.w[pr.Attr]*e.reach(pr.Attr, spec.Point[pr.Attr]))
+		c.subs = append(c.subs, ps)
+	}
+	nd := 0
+	for _, d := range e.lone {
+		if c.w[d] == 0 {
+			continue
+		}
+		ds := &c.dimSubs[nd]
+		nd++
+		e.lists[d].InitIter(&ds.it, spec.Point[d], c.w[d], e.roles[d] == query.Attractive)
+		c.subs = append(c.subs, ds)
+	}
+
+	// Ties are broken by ascending dataset ID, exactly like the sequential
+	// scan: every engine answer is then byte-identical to the oracle's, and
+	// per-shard answers merge into the exact global top-k.
+	coll := c.coll
+	coll.Reset(spec.K)
+	subs := c.subs
+	stats.Subproblems = len(subs)
+	if len(subs) == 0 {
+		// Every active dimension weighs zero: all live points tie at 0.
+		for id := range e.data {
+			if !e.dead[id] {
+				coll.Add(id, 0)
+			}
+		}
+		return c.appendResults(dst), stats, nil
+	}
+
+	// Round-robin over the subproblems, as in §5: every round bulk-fetches
+	// the next best run of each subproblem, fully scores candidates by
+	// random access, and re-evaluates the threshold against the post-batch
+	// bounds. Three standard refinements keep the loop lean without
+	// changing the answer:
+	//
+	//   - at a point's FIRST emission from any subproblem, if its best
+	//     possible full score (its contribution plus the other
+	//     subproblems' frontier bounds) is strictly below the current k-th
+	//     best by more than the float pad, it is discarded unscored and
+	//     for good — the decision is sound exactly there, because a point
+	//     no frontier has passed is bounded by every frontier, and the
+	//     k-th best only rises;
+	//   - every point is handled (scored or discarded) at most once (the
+	//     seen bitset), so later emissions of the same point are dropped
+	//     without re-deciding against frontiers that have already moved
+	//     past it and no longer bound its contributions;
+	//   - the per-subproblem batch size adapts: it starts at 1 and doubles
+	//     toward the leaf cap while the subproblem's frontier stays above
+	//     the prune line (so a subproblem that keeps producing viable
+	//     candidates is drained in whole leaf runs), and snaps back to 1
+	//     the moment its entire remaining stream became prunable.
+	//
+	// Bounds start at +Inf: until a subproblem has emitted once, nothing
+	// may be pruned against it. (A subproblem exhausts — bound −Inf — only
+	// after emitting every live point, so an exhausted sibling can never
+	// appear in a first-emission prune.)
+	bounds := c.bounds[:len(subs)]
+	bsize := c.bsize[:len(subs)]
+	for i := range bounds {
+		bounds[i] = math.Inf(1)
+		bsize[i] = 1
+	}
+	for {
+		progressed := false
+		for i, s := range subs {
+			n := s.nextBatch(c.emit[:bsize[i]])
+			bounds[i] = s.bound()
+			if n == 0 {
+				continue
+			}
+			progressed = true
+			stats.Fetched += n
+			// Σ bounds − bounds[i] is constant across this batch (sibling
+			// frontiers do not move), so it is computed lazily at most once
+			// — but only lazily: the collector can first fill mid-batch.
+			otherBounds, obValid := 0.0, false
+			sumOther := func() {
+				if obValid {
+					return
+				}
+				for j, b := range bounds {
+					if j != i {
+						otherBounds += b
+					}
+				}
+				obValid = true
+			}
+			for _, em := range c.emit[:n] {
+				if !c.markSeen(em.ID) {
+					continue // already scored or soundly discarded
+				}
+				if coll.Full() {
+					sumOther()
+					if em.Contrib+otherBounds+pad < coll.Threshold() {
+						continue // cannot enter the top k, now or later
+					}
+				}
+				stats.Scored++
+				coll.Add(int(em.ID), c.scoreOf(spec.Point, em.ID))
+			}
+			if coll.Full() {
+				sumOther()
+			}
+			if grow := !coll.Full() || bounds[i]+otherBounds+pad >= coll.Threshold(); grow {
+				if bsize[i] < maxBatch {
+					bsize[i] *= 2
+					if bsize[i] > maxBatch {
+						bsize[i] = maxBatch
+					}
+				}
+			} else {
+				bsize[i] = 1
+			}
+		}
+		if !progressed {
+			break // every subproblem exhausted: all points were seen
+		}
+		threshold := 0.0
+		for _, b := range bounds {
+			threshold += b
+		}
+		// Stop only once the k-th best strictly beats the padded frontier:
+		// an unseen point that could tie it (exactly, or within the float
+		// slack of the projection bounds) might still displace a kept one
+		// through the ID tie-break.
+		if coll.Full() && (math.IsInf(threshold, -1) || coll.Threshold() > threshold+pad) {
+			break
+		}
+	}
+	return c.appendResults(dst), stats, nil
+}
+
+// appendResults drains the collector into dst best-first via the pooled
+// drain buffer.
+func (c *queryCtx) appendResults(dst []query.Result) []query.Result {
+	c.drain = c.coll.DrainInto(c.drain[:0])
+	for _, s := range c.drain {
+		dst = append(dst, query.Result{ID: s.Item, Score: s.Score})
+	}
+	return dst
+}

@@ -13,6 +13,8 @@ package dimlist
 import (
 	"math"
 	"sort"
+
+	"repro/internal/query"
 )
 
 // List is one dimension's sorted column.
@@ -94,14 +96,21 @@ type Iter struct {
 // for repulsive ones +weight·|p−qv|. Contributions are non-increasing across
 // Next calls.
 func (l *List) NewIter(qv, weight float64, attractive bool) *Iter {
-	it := &Iter{l: l, attractive: attractive, qv: qv, weight: weight}
+	it := new(Iter)
+	l.InitIter(it, qv, weight, attractive)
+	return it
+}
+
+// InitIter is NewIter into caller-provided storage, so pooled query contexts
+// restart an iterator without allocating.
+func (l *List) InitIter(it *Iter, qv, weight float64, attractive bool) {
+	*it = Iter{l: l, attractive: attractive, qv: qv, weight: weight}
 	if attractive {
 		pos := sort.SearchFloat64s(l.vals, qv)
 		it.lo, it.hi = pos-1, pos
 	} else {
 		it.lo, it.hi = 0, len(l.vals)-1
 	}
-	return it
 }
 
 // contribution of index i (valid i only).
@@ -135,6 +144,79 @@ func (it *Iter) Next() (id int32, contrib float64, ok bool) {
 		}
 	}
 	return id, contrib, true
+}
+
+// NextBatch bulk-fetches up to len(dst) emissions in non-increasing
+// contribution order, returning the count (0 when exhausted). It emits runs
+// from both frontiers with the two frontier contributions cached, so the
+// per-point cost is one comparison and one |p−qv| evaluation instead of the
+// two peekIndex recomputations Next pays. Emission order is identical to
+// repeated Next calls.
+func (it *Iter) NextBatch(dst []query.Emission) int {
+	vals, ids := it.l.vals, it.l.ids
+	w, qv := it.weight, it.qv
+	n := 0
+	if it.attractive {
+		// Frontiers move outward from the query's insertion position; the
+		// closer candidate (larger, i.e. less negative, contribution) wins.
+		lo, hi := it.lo, it.hi
+		loC, hiC := math.Inf(-1), math.Inf(-1)
+		loOK, hiOK := lo >= 0, hi < len(vals)
+		if loOK {
+			loC = -w * math.Abs(vals[lo]-qv)
+		}
+		if hiOK {
+			hiC = -w * math.Abs(vals[hi]-qv)
+		}
+		for n < len(dst) {
+			if loOK && (!hiOK || loC >= hiC) {
+				dst[n] = query.Emission{ID: ids[lo], Contrib: loC}
+				n++
+				lo--
+				if loOK = lo >= 0; loOK {
+					loC = -w * math.Abs(vals[lo]-qv)
+				}
+			} else if hiOK {
+				dst[n] = query.Emission{ID: ids[hi], Contrib: hiC}
+				n++
+				hi++
+				if hiOK = hi < len(vals); hiOK {
+					hiC = -w * math.Abs(vals[hi]-qv)
+				}
+			} else {
+				break
+			}
+		}
+		it.lo, it.hi = lo, hi
+		return n
+	}
+	// Repulsive: frontiers are the array ends moving inward; the farther
+	// candidate wins, and the iterator is exhausted once they cross.
+	lo, hi := it.lo, it.hi
+	var loC, hiC float64
+	if lo <= hi {
+		loC = w * math.Abs(vals[lo]-qv)
+		hiC = w * math.Abs(vals[hi]-qv)
+	}
+	for n < len(dst) && lo <= hi {
+		if loC >= hiC {
+			dst[n] = query.Emission{ID: ids[lo], Contrib: loC}
+			n++
+			lo++
+			if lo <= hi {
+				loC = w * math.Abs(vals[lo]-qv)
+			}
+		} else {
+			dst[n] = query.Emission{ID: ids[hi], Contrib: hiC}
+			n++
+			hi--
+			if lo <= hi {
+				hiC = w * math.Abs(vals[hi]-qv)
+			}
+		}
+	}
+	it.lo, it.hi = lo, hi
+	return n
 }
 
 // Bound returns the contribution of the next unfetched point — an upper

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"repro/internal/query"
 )
 
 func column(data [][]float64, d int) []float64 {
@@ -207,5 +209,104 @@ func TestDuplicateValues(t *testing.T) {
 	}
 	if count != 4 {
 		t.Fatalf("enumerated %d, want 4", count)
+	}
+}
+
+// TestNextBatchMatchesNext: the bulk fetch must emit exactly the sequence
+// repeated Next calls produce, for both roles, all batch shapes, and
+// duplicate-heavy data.
+func TestNextBatchMatchesNext(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(200)
+		data := make([][]float64, n)
+		for i := range data {
+			if trial%2 == 0 {
+				data[i] = []float64{float64(rng.Intn(5)) / 4} // dense ties
+			} else {
+				data[i] = []float64{rng.Float64()}
+			}
+		}
+		l := Build(data, 0)
+		qv := rng.Float64()
+		w := rng.Float64()
+		attractive := trial%3 == 0
+
+		seq := l.NewIter(qv, w, attractive)
+		type emi struct {
+			id int32
+			c  float64
+		}
+		var want []emi
+		for {
+			id, c, ok := seq.Next()
+			if !ok {
+				break
+			}
+			want = append(want, emi{id, c})
+		}
+
+		bat := l.NewIter(qv, w, attractive)
+		var got []emi
+		buf := make([]query.Emission, 1+rng.Intn(9))
+		for {
+			m := bat.NextBatch(buf[:1+rng.Intn(len(buf))])
+			if m == 0 {
+				break
+			}
+			for _, e := range buf[:m] {
+				got = append(got, emi{e.ID, e.Contrib})
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: batch emitted %d, sequential %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d position %d: batch %+v, sequential %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNextBatchInterleaved: alternating Next and NextBatch on one iterator
+// must still walk the same global sequence.
+func TestNextBatchInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	data := make([][]float64, 100)
+	for i := range data {
+		data[i] = []float64{float64(rng.Intn(8)) / 8}
+	}
+	l := Build(data, 0)
+	for _, attractive := range []bool{false, true} {
+		ref := l.NewIter(0.4, 1.5, attractive)
+		mix := l.NewIter(0.4, 1.5, attractive)
+		buf := make([]query.Emission, 7)
+		for {
+			if rng.Intn(2) == 0 {
+				id, c, ok := mix.Next()
+				wid, wc, wok := ref.Next()
+				if ok != wok || id != wid || c != wc {
+					t.Fatalf("attractive=%v: Next diverged", attractive)
+				}
+				if !ok {
+					break
+				}
+				continue
+			}
+			m := mix.NextBatch(buf[:1+rng.Intn(6)])
+			for j := 0; j < m; j++ {
+				wid, wc, wok := ref.Next()
+				if !wok || buf[j].ID != wid || buf[j].Contrib != wc {
+					t.Fatalf("attractive=%v: NextBatch diverged at %d", attractive, j)
+				}
+			}
+			if m == 0 {
+				if _, _, wok := ref.Next(); wok {
+					t.Fatalf("attractive=%v: batch exhausted early", attractive)
+				}
+				break
+			}
+		}
 	}
 }

@@ -68,6 +68,18 @@ func NewTopKOrdered[T any](k int, outranks func(a, b T) bool) *TopK[T] {
 	return t
 }
 
+// Reset empties the collector and re-arms it for k items, keeping the
+// allocated heap capacity and the tie order. It lets query hot paths pool
+// one collector per query context instead of allocating one per query.
+func (t *TopK[T]) Reset(k int) {
+	if k <= 0 {
+		panic("pq: TopK requires k > 0")
+	}
+	t.k = k
+	t.seq = 0
+	t.heap.Reset()
+}
+
 // K returns the collector's capacity.
 func (t *TopK[T]) K() int { return t.k }
 
@@ -109,6 +121,26 @@ func (t *TopK[T]) Threshold() float64 {
 
 // Full reports whether k items have been collected.
 func (t *TopK[T]) Full() bool { return t.heap.Len() == t.k }
+
+// DrainInto empties the collector into dst (appended), ordered best-first
+// exactly as Results orders them, and leaves the collector empty. Unlike
+// Results it performs no sort and — given sufficient capacity in dst — no
+// allocation: the heap's weakest-first pop order is the exact reverse of the
+// result order, because the heap's less function is the strict total order
+// Results sorts by (score, then outranks, then sequence).
+func (t *TopK[T]) DrainInto(dst []Scored[T]) []Scored[T] {
+	n := t.heap.Len()
+	base := len(dst)
+	var zero Scored[T]
+	for i := 0; i < n; i++ {
+		dst = append(dst, zero)
+	}
+	for i := n - 1; i >= 0; i-- {
+		e := t.heap.Pop()
+		dst[base+i] = Scored[T]{Item: e.item, Score: e.score}
+	}
+	return dst
+}
 
 // Results returns the kept items ordered best-first. The collector remains
 // usable afterwards.

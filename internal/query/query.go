@@ -119,3 +119,14 @@ type Result struct {
 	ID    int
 	Score float64
 }
+
+// Emission is one sorted-access output of a subproblem iterator: a dataset
+// row and its exact contribution to the SD-score from that subproblem's
+// dimensions. Batched fetch paths (topk.Stream.NextBatch, dimlist
+// Iter.NextBatch) fill caller-provided Emission slices so the aggregation
+// loop moves whole runs per call instead of paying one interface dispatch
+// per point.
+type Emission struct {
+	ID      int32
+	Contrib float64
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/query"
 )
 
 // Result is one query answer: a point and its SD-score under the query's raw
@@ -91,7 +92,8 @@ func (idx *Index) blendFor(qa geom.Angle) blend {
 // cursor materializes the separating path for one query: the subtrees
 // entirely right and entirely left of the query axis, plus the path leaf's
 // points classified by side. All per-query state lives here, so a shared
-// index serves concurrent queries.
+// index serves concurrent queries. A cursor is reusable: init resets the
+// slices in place, so a pooled Stream pays no per-query allocation for it.
 type cursor struct {
 	idx      *Index
 	q        geom.Point
@@ -101,8 +103,10 @@ type cursor struct {
 	leftPts  []geom.Point
 }
 
-func (idx *Index) newCursor(q geom.Point) *cursor {
-	c := &cursor{idx: idx, q: q}
+func (c *cursor) init(idx *Index, q geom.Point) {
+	c.idx, c.q = idx, q
+	c.right, c.left = c.right[:0], c.left[:0]
+	c.rightPts, c.leftPts = c.rightPts[:0], c.leftPts[:0]
 	nd := idx.root
 	for nd != nil && !nd.leaf() {
 		pos := sort.SearchFloat64s(nd.seps, q.X) // first separator ≥ x_q
@@ -121,8 +125,19 @@ func (idx *Index) newCursor(q geom.Point) *cursor {
 			}
 		}
 	}
+}
+
+// newCursor allocates a fresh cursor (test/standalone convenience; hot paths
+// reuse the one embedded in a Stream).
+func (idx *Index) newCursor(q geom.Point) *cursor {
+	c := new(cursor)
+	c.init(idx, q)
 	return c
 }
+
+// leafRunCap is the widest leaf a cursor entry can cover (the 64-bit mask)
+// and therefore the longest run a single leaf drain can emit.
+const leafRunCap = 64
 
 // stream enumerates one projection type in projection order via best-first
 // search over the per-node bounds. Each stream is restricted to the points
@@ -134,12 +149,25 @@ func (idx *Index) newCursor(q geom.Point) *cursor {
 //
 // Minimizing streams (upper projections) negate their keys so that a single
 // max-heap implementation serves all four kinds.
+//
+// Streams are value types embedded in a merge so a pooled Stream carries no
+// per-query pointers; init resets one in place.
 type stream struct {
 	bl   blend
 	kind geom.Kind
 	yq   float64
 	neg  bool // keys stored negated (minimizing kinds)
 	h    sheap
+
+	// Pending leaf run: when a leaf cursor is popped and its best exact key
+	// still tops the heap, the single mask scan that used to locate one point
+	// now drains the whole ≥-heap-top prefix of the leaf in sorted order.
+	// Every run entry outranks every remaining heap entry (admissible bounds),
+	// so the run is emitted before the heap is consulted again.
+	run            [leafRunCap]geom.Point
+	runLen, runPos int
+
+	spill []sentry // reusable scratch for oversized duplicate-x leaf spills
 }
 
 // nodeKey returns the admissible (possibly negated) bound of an internal
@@ -184,42 +212,77 @@ func (s *stream) keeps(p geom.Point) bool {
 	return p.Y < s.yq
 }
 
-// pushNode queues a subtree. Ordinary leaves become leaf cursors under
-// their stored node bound; oversized duplicate-x leaves (beyond the 64-bit
-// cursor mask) fall back to individual point entries.
-func (s *stream) pushNode(nd *node) {
-	if nd.leaf() && len(nd.pts) > 64 {
-		for _, p := range nd.pts {
-			if s.keeps(p) {
-				s.h.push(sentry{key: s.pointKey(p), pt: p})
-			}
+// spillOversized queues the kept points of an oversized duplicate-x leaf
+// (beyond the 64-bit cursor mask) as individual entries via the heap's bulk
+// path.
+func (s *stream) spillOversized(nd *node) {
+	s.spill = s.spill[:0]
+	for _, p := range nd.pts {
+		if s.keeps(p) {
+			s.spill = append(s.spill, sentry{key: s.pointKey(p), pt: p})
 		}
+	}
+	s.h.pushAll(s.spill)
+}
+
+// pushNode queues a subtree. Ordinary leaves become leaf cursors under
+// their stored node bound; oversized duplicate-x leaves fall back to
+// individual point entries.
+func (s *stream) pushNode(nd *node) {
+	if nd.leaf() && len(nd.pts) > leafRunCap {
+		s.spillOversized(nd)
 		return
 	}
 	s.h.push(sentry{key: s.nodeKey(nd), nd: nd})
 }
 
-func (c *cursor) newStream(bl blend, kind geom.Kind) *stream {
-	s := &stream{bl: bl, kind: kind, yq: c.q.Y,
-		neg: kind == geom.RUP || kind == geom.LUP}
+// seed queues a subtree during construction without restoring heap order
+// (the caller heapifies once at the end).
+func (s *stream) seed(nd *node) {
+	if nd.leaf() && len(nd.pts) > leafRunCap {
+		for _, p := range nd.pts {
+			if s.keeps(p) {
+				s.h.add(sentry{key: s.pointKey(p), pt: p})
+			}
+		}
+		return
+	}
+	s.h.add(sentry{key: s.nodeKey(nd), nd: nd})
+}
+
+func (s *stream) init(c *cursor, bl blend, kind geom.Kind) {
+	s.bl, s.kind, s.yq = bl, kind, c.q.Y
+	s.neg = kind == geom.RUP || kind == geom.LUP
+	s.runLen, s.runPos = 0, 0
 	nodes, pts := c.right, c.rightPts
 	if kind == geom.RLP || kind == geom.RUP {
 		nodes, pts = c.left, c.leftPts
 	}
 	s.h.acquire(len(nodes) + len(pts) + 8)
 	for _, nd := range nodes {
-		s.pushNode(nd)
+		s.seed(nd)
 	}
 	for _, p := range pts {
 		if s.keeps(p) {
-			s.h.push(sentry{key: s.pointKey(p), pt: p})
+			s.h.add(sentry{key: s.pointKey(p), pt: p})
 		}
 	}
+	s.h.init()
+}
+
+func (c *cursor) newStream(bl blend, kind geom.Kind) *stream {
+	s := new(stream)
+	s.init(c, bl, kind)
 	return s
 }
 
 // next returns the stream's next point in projection order.
 func (s *stream) next() (geom.Point, bool) {
+	if s.runPos < s.runLen {
+		p := s.run[s.runPos]
+		s.runPos++
+		return p, true
+	}
 	for s.h.len() > 0 {
 		e := s.h.pop()
 		if e.nd == nil {
@@ -231,13 +294,21 @@ func (s *stream) next() (geom.Point, bool) {
 			}
 			continue
 		}
-		// Leaf cursor: scan the unconsumed points once, filtering the
-		// wrong y side permanently and locating the best and second-best
-		// remaining keys.
+		// Leaf cursor: one scan over the unconsumed points classifies each
+		// against the heap's current top — the run prefix (exact key at least
+		// the top, safe to emit now and in order) versus the requeue suffix.
+		// The wrong y side is filtered into the mask permanently. Because
+		// nothing is pushed during the scan, the captured top stays valid.
 		pts := e.nd.pts
 		mask := e.mask
-		best, remaining := -1, 0
-		bestKey, secondKey := math.Inf(-1), math.Inf(-1)
+		top := math.Inf(-1)
+		if s.h.len() > 0 {
+			top = s.h.topKey()
+		}
+		var keys [leafRunCap]float64
+		var idxs [leafRunCap]int8
+		cnt := 0
+		below := math.Inf(-1) // best key under the run threshold
 		for i := 0; i < len(pts); i++ {
 			if mask&(1<<uint(i)) != 0 {
 				continue
@@ -246,29 +317,42 @@ func (s *stream) next() (geom.Point, bool) {
 				mask |= 1 << uint(i)
 				continue
 			}
-			remaining++
 			k := s.pointKey(pts[i])
-			if k > bestKey {
-				secondKey = bestKey
-				bestKey, best = k, i
-			} else if k > secondKey {
-				secondKey = k
+			if k >= top {
+				keys[cnt], idxs[cnt] = k, int8(i)
+				cnt++
+			} else if k > below {
+				below = k
 			}
 		}
-		if best < 0 {
-			continue // everything filtered or consumed
-		}
-		// The entry key was an upper bound (the node bound on the first
-		// visit); if the exact best no longer tops the heap, requeue.
-		if s.h.len() > 0 && bestKey < s.h.topKey() {
-			s.h.push(sentry{key: bestKey, nd: e.nd, mask: mask})
+		if cnt == 0 {
+			if !math.IsInf(below, -1) {
+				// The entry key was an upper bound (the node bound on the
+				// first visit); the exact best no longer tops the heap.
+				s.h.push(sentry{key: below, nd: e.nd, mask: mask})
+			}
 			continue
 		}
-		mask |= 1 << uint(best)
-		if remaining > 1 {
-			s.h.push(sentry{key: secondKey, nd: e.nd, mask: mask})
+		// Sort the run by descending key; stable insertion keeps equal keys
+		// in ascending leaf order, matching one-at-a-time emission.
+		for i := 1; i < cnt; i++ {
+			k, id := keys[i], idxs[i]
+			j := i
+			for j > 0 && keys[j-1] < k {
+				keys[j], idxs[j] = keys[j-1], idxs[j-1]
+				j--
+			}
+			keys[j], idxs[j] = k, id
 		}
-		return pts[best], true
+		for j := 0; j < cnt; j++ {
+			s.run[j] = pts[idxs[j]]
+			mask |= 1 << uint(idxs[j])
+		}
+		s.runLen, s.runPos = cnt, 1
+		if !math.IsInf(below, -1) {
+			s.h.push(sentry{key: below, nd: e.nd, mask: mask})
+		}
+		return s.run[0], true
 	}
 	return geom.Point{}, false
 }
@@ -279,28 +363,41 @@ func (s *stream) next() (geom.Point, bool) {
 // Eqn.-6 projection it enumerates, stream keys translate to exact
 // normalized scores and the greedy choice is optimal: the head of a point's
 // own stream always scores at least as high as the point itself.
+//
+// A merge is a value type (streams embedded) so a pooled Stream reuses the
+// whole structure across queries without allocation.
 type merge struct {
 	angle   geom.Angle
 	q       geom.Point
-	streams [4]*stream
+	streams [4]stream
 	heads   [4]geom.Point
 	scores  [4]float64
 	valid   [4]bool
 }
 
-// newMerge builds the Algorithm-2 merge for the blended query angle,
+var mergeKinds = [4]geom.Kind{geom.LLP, geom.LUP, geom.RLP, geom.RUP}
+
+// init (re)builds the Algorithm-2 merge for the blended query angle,
 // ordered by the exact normalized score at that angle.
-func (c *cursor) newMerge(bl blend) *merge {
-	m := &merge{angle: bl.angle, q: c.q}
-	for i, kind := range []geom.Kind{geom.LLP, geom.LUP, geom.RLP, geom.RUP} {
-		s := c.newStream(bl, kind)
-		m.streams[i] = s
+func (m *merge) init(c *cursor, bl blend) {
+	m.angle, m.q = bl.angle, c.q
+	for i, kind := range mergeKinds {
+		s := &m.streams[i]
+		s.init(c, bl, kind)
 		if p, ok := s.next(); ok {
 			m.heads[i] = p
 			m.scores[i] = m.angle.Score(p, m.q)
 			m.valid[i] = true
+		} else {
+			m.valid[i] = false
 		}
 	}
+}
+
+// newMerge allocates a merge (test/alg4 convenience).
+func (c *cursor) newMerge(bl blend) *merge {
+	m := new(merge)
+	m.init(c, bl)
 	return m
 }
 
@@ -326,6 +423,53 @@ func (m *merge) next() (geom.Point, float64, bool) {
 	return p, score, true
 }
 
+// drainInto bulk-emits up to len(dst) points in non-increasing normalized
+// score order, writing dataset IDs and rescaled contributions (× scale)
+// directly. Instead of a four-way comparison per point, it selects the best
+// stream once per run and then drains that stream while its head stays
+// ahead of the runner-up's — streams descend, so every such point still
+// beats every other stream's head. The emission sequence is identical to
+// repeated next calls: at score ties the lowest stream index wins both here
+// (the tie-aware break below) and there (the strict > scan).
+func (m *merge) drainInto(dst []query.Emission, scale float64) int {
+	filled := 0
+	for filled < len(dst) {
+		best, second, secondIdx := -1, math.Inf(-1), -1
+		for i := 0; i < 4; i++ {
+			if !m.valid[i] {
+				continue
+			}
+			if best == -1 {
+				best = i
+			} else if m.scores[i] > m.scores[best] {
+				second, secondIdx = m.scores[best], best
+				best = i
+			} else if m.scores[i] > second {
+				second, secondIdx = m.scores[i], i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		s := &m.streams[best]
+		for filled < len(dst) {
+			dst[filled] = query.Emission{ID: int32(m.heads[best].ID), Contrib: m.scores[best] * scale}
+			filled++
+			np, ok := s.next()
+			if !ok {
+				m.valid[best] = false
+				break
+			}
+			m.heads[best] = np
+			m.scores[best] = m.angle.Score(np, m.q)
+			if m.scores[best] < second || (m.scores[best] == second && secondIdx < best) {
+				break
+			}
+		}
+	}
+	return filled
+}
+
 // peekScore returns the normalized score the next emission will carry.
 func (m *merge) peekScore() (float64, bool) {
 	best := -1
@@ -341,11 +485,9 @@ func (m *merge) peekScore() (float64, bool) {
 }
 
 // release returns the stream heap arrays to the pool. The merge must not be
-// used afterwards.
+// used afterwards (until re-init).
 func (m *merge) release() {
-	for _, s := range m.streams {
-		if s != nil {
-			s.h.release()
-		}
+	for i := range m.streams {
+		m.streams[i].h.release()
 	}
 }

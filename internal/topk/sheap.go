@@ -32,12 +32,15 @@ type sentry struct {
 // their keys), and the wide fan-out halves sift depth for the pop-heavy
 // best-first workload.
 type sheap struct {
-	a []sentry
+	a   []sentry
+	box *[]sentry // pooled header box; kept so release never re-boxes
 }
 
 // sentryPool recycles heap backing arrays across queries: the four stream
 // heaps of a merge grow to thousands of entries per query, and reusing their
-// arrays removes the dominant per-query allocation.
+// arrays removes the dominant per-query allocation. Entries are boxed slice
+// headers owned by the sheap between acquire and release, so the round trip
+// itself allocates nothing.
 var sentryPool = sync.Pool{
 	New: func() any {
 		s := make([]sentry, 0, 256)
@@ -46,26 +49,60 @@ var sentryPool = sync.Pool{
 }
 
 func (h *sheap) acquire(capacity int) {
-	p := sentryPool.Get().(*[]sentry)
-	h.a = (*p)[:0]
+	if h.box == nil {
+		h.box = sentryPool.Get().(*[]sentry)
+	}
+	h.a = (*h.box)[:0]
 	if cap(h.a) < capacity {
 		h.a = make([]sentry, 0, capacity)
 	}
 }
 
 func (h *sheap) release() {
-	if h.a == nil {
+	if h.box == nil {
 		return
 	}
-	a := h.a[:0]
-	h.a = nil
-	sentryPool.Put(&a)
+	*h.box = h.a[:0] // donate the (possibly re-grown) array back
+	sentryPool.Put(h.box)
+	h.box, h.a = nil, nil
 }
 
 func (h *sheap) len() int { return len(h.a) }
 
 // topKey returns the key of the maximum entry; callers guard with len.
 func (h *sheap) topKey() float64 { return h.a[0].key }
+
+// add appends an entry without restoring heap order; callers must finish the
+// bulk load with init. Paired with init it turns the O(n log n) push-per-seed
+// stream construction into an O(n) heapify.
+func (h *sheap) add(e sentry) { h.a = append(h.a, e) }
+
+// init establishes heap order over the whole array (Floyd heapify): sift
+// down every internal node from the last parent to the root.
+func (h *sheap) init() {
+	n := len(h.a)
+	for i := (n - 2) / 4; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// pushAll bulk-inserts entries — the leaf-spill path for oversized
+// duplicate-x leaves whose occupancy exceeds the 64-bit cursor mask. When
+// the batch rivals the heap's size a whole-array heapify is cheaper than
+// sifting each entry; small batches sift individually.
+func (h *sheap) pushAll(es []sentry) {
+	if len(es) == 0 {
+		return
+	}
+	if len(es) >= len(h.a)/2 {
+		h.a = append(h.a, es...)
+		h.init()
+		return
+	}
+	for _, e := range es {
+		h.push(e)
+	}
+}
 
 func (h *sheap) push(e sentry) {
 	h.a = append(h.a, e)

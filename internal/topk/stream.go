@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/pq"
+	"repro/internal/query"
 )
 
 // Stream enumerates all indexed points in non-increasing SD-score order for
@@ -17,10 +18,19 @@ import (
 // (see blend). StreamAlg4 is the paper's literal Algorithm 4 — a θ_l merge
 // whose top set is progressively covered by a θ_u-ordered prefix (Claim 6) —
 // kept as an alternative and compared in tests and the ablation benchmarks.
+//
+// A Stream is reusable: StreamInto rebinds an existing Stream (typically one
+// pooled in a query context) to a new query, reusing the cursor slices,
+// merge structure, and heap arrays, so the steady-state hot path performs no
+// allocation.
 type Stream struct {
-	raw   func(geom.Point) float64
-	m     *merge // nil on an empty index
-	scale float64
+	q           geom.Point
+	alpha, beta float64
+	scale       float64
+
+	cur  cursor
+	m    merge
+	live bool // m holds an active merge
 
 	// Algorithm-4 state (nil unless built by StreamAlg4).
 	alg4 *alg4State
@@ -29,17 +39,31 @@ type Stream struct {
 // Stream returns an iterator over all points in descending
 // SD-score(·, q) = alpha·|Δy| − beta·|Δx| order.
 func (idx *Index) Stream(q geom.Point, alpha, beta float64) (*Stream, error) {
-	qa, err := streamChecks(q, alpha, beta)
-	if err != nil {
+	s := new(Stream)
+	if err := idx.StreamInto(s, q, alpha, beta); err != nil {
 		return nil, err
 	}
-	s := &Stream{raw: rawScorer(q, alpha, beta), scale: geom.Scale(alpha, beta)}
-	if idx.root == nil {
-		return s, nil
-	}
-	cur := idx.newCursor(q)
-	s.m = cur.newMerge(idx.blendFor(qa))
 	return s, nil
+}
+
+// StreamInto rebinds s to a new query over idx, reusing s's internal
+// buffers. Any previous state is released first, so a pooled Stream cycles
+// through queries without allocating.
+func (idx *Index) StreamInto(s *Stream, q geom.Point, alpha, beta float64) error {
+	qa, err := streamChecks(q, alpha, beta)
+	if err != nil {
+		return err
+	}
+	s.Close()
+	s.q, s.alpha, s.beta = q, alpha, beta
+	s.scale = geom.Scale(alpha, beta)
+	if idx.root == nil {
+		return nil
+	}
+	s.cur.init(idx, q)
+	s.m.init(&s.cur, idx.blendFor(qa))
+	s.live = true
+	return nil
 }
 
 func streamChecks(q geom.Point, alpha, beta float64) (geom.Angle, error) {
@@ -53,18 +77,17 @@ func streamChecks(q geom.Point, alpha, beta float64) (geom.Angle, error) {
 	return qa, nil
 }
 
-func rawScorer(q geom.Point, alpha, beta float64) func(geom.Point) float64 {
-	return func(p geom.Point) float64 {
-		return alpha*math.Abs(p.Y-q.Y) - beta*math.Abs(p.X-q.X)
-	}
+// rawScore is the SD-score under the stream's raw (unnormalized) weights.
+func (s *Stream) rawScore(p geom.Point) float64 {
+	return s.alpha*math.Abs(p.Y-s.q.Y) - s.beta*math.Abs(p.X-s.q.X)
 }
 
 // Next returns the next point in non-increasing score order.
 func (s *Stream) Next() (Result, bool) {
 	if s.alg4 != nil {
-		return s.alg4.next(s.raw)
+		return s.alg4.next(s)
 	}
-	if s.m == nil {
+	if !s.live {
 		return Result{}, false
 	}
 	p, score, ok := s.m.next()
@@ -75,13 +98,56 @@ func (s *Stream) Next() (Result, bool) {
 	return Result{Point: p, Score: score * s.scale}, true
 }
 
+// NextBatch bulk-fetches up to len(dst) emissions in non-increasing raw
+// score order, returning the count (0 when exhausted). Emission order is
+// identical to repeated Next calls; the batch form drains whole runs from
+// the winning merge stream (and, below it, whole leaf-cursor runs) instead
+// of paying a four-way comparison and two virtual calls per point.
+func (s *Stream) NextBatch(dst []query.Emission) int {
+	if s.alg4 != nil {
+		n := 0
+		for n < len(dst) {
+			r, ok := s.alg4.next(s)
+			if !ok {
+				break
+			}
+			dst[n] = query.Emission{ID: int32(r.Point.ID), Contrib: r.Score}
+			n++
+		}
+		return n
+	}
+	if !s.live {
+		return 0
+	}
+	return s.m.drainInto(dst, s.scale)
+}
+
+// PeekScore returns the raw score the next emission will carry, without
+// consuming it — an exact upper bound on every unfetched point. The second
+// result is false when the stream is exhausted. Only blended streams
+// support peeking; Algorithm-4 streams would have to extend their covering
+// prefix to answer, so they panic instead of silently doing hidden work.
+func (s *Stream) PeekScore() (float64, bool) {
+	if s.alg4 != nil {
+		panic("topk: PeekScore is not supported on Algorithm-4 streams")
+	}
+	if !s.live {
+		return 0, false
+	}
+	sc, ok := s.m.peekScore()
+	if !ok {
+		return 0, false
+	}
+	return sc * s.scale, true
+}
+
 // Close releases pooled per-query buffers. Optional but recommended on hot
-// paths; the stream must not be used afterwards. Safe to call more than
-// once.
+// paths; the stream must not be used afterwards (StreamInto revives it).
+// Safe to call more than once.
 func (s *Stream) Close() {
-	if s.m != nil {
+	if s.live {
 		s.m.release()
-		s.m = nil
+		s.live = false
 	}
 	if s.alg4 != nil {
 		s.alg4.lower.release()
@@ -114,14 +180,15 @@ func (idx *Index) StreamAlg4(q geom.Point, alpha, beta float64) (*Stream, error)
 	if err != nil {
 		return nil, err
 	}
-	s := &Stream{raw: rawScorer(q, alpha, beta), scale: geom.Scale(alpha, beta)}
+	s := &Stream{q: q, alpha: alpha, beta: beta, scale: geom.Scale(alpha, beta)}
 	if idx.root == nil {
 		return s, nil
 	}
 	bl := idx.blendFor(qa)
-	cur := idx.newCursor(q)
+	s.cur.init(idx, q)
 	if bl.al == bl.au {
-		s.m = cur.newMerge(bl) // exact indexed angle: no bracketing needed
+		s.m.init(&s.cur, bl) // exact indexed angle: no bracketing needed
+		s.live = true
 		return s, nil
 	}
 	exact := func(ai int) blend {
@@ -130,14 +197,14 @@ func (idx *Index) StreamAlg4(q geom.Point, alpha, beta float64) (*Stream, error)
 	s.alg4 = &alg4State{
 		q:          q,
 		upperAngle: idx.angles[bl.au],
-		lower:      cur.newMerge(exact(bl.al)),
-		upper:      cur.newMerge(exact(bl.au)),
+		lower:      s.cur.newMerge(exact(bl.al)),
+		upper:      s.cur.newMerge(exact(bl.au)),
 		cands:      pq.NewHeap(func(a, b Result) bool { return a.Score > b.Score }),
 	}
 	return s, nil
 }
 
-func (a *alg4State) next(raw func(geom.Point) float64) (Result, bool) {
+func (a *alg4State) next(s *Stream) (Result, bool) {
 	if !a.lowerDone {
 		if lp, _, ok := a.lower.next(); ok {
 			target := a.upperAngle.Score(lp, a.q)
@@ -147,7 +214,7 @@ func (a *alg4State) next(raw func(geom.Point) float64) (Result, bool) {
 					break
 				}
 				up, _, _ := a.upper.next()
-				a.cands.Push(Result{Point: up, Score: raw(up)})
+				a.cands.Push(Result{Point: up, Score: s.rawScore(up)})
 			}
 		} else {
 			a.lowerDone = true

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/query"
 )
 
 // TestStreamFullEnumerationSorted: the stream must enumerate every point in
@@ -194,4 +195,88 @@ func sortedScores(pts []geom.Point, q geom.Point, alpha, beta float64) []float64
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
 	return out
+}
+
+// TestNextBatchMatchesNext: the batched fetch (merge run drain + leaf-cursor
+// run drain) must emit the same ID/score sequence as repeated Next calls,
+// across random batch shapes, duplicate-heavy data, bracketed and indexed
+// angles, and reused (pooled) streams via StreamInto.
+func TestNextBatchMatchesNext(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	var reused Stream
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(400) + 1
+		var pts []geom.Point
+		if trial%2 == 0 {
+			pts = randomPoints(rng, n)
+		} else {
+			// Quantized coordinates force duplicate keys and score ties.
+			pts = make([]geom.Point, n)
+			for i := range pts {
+				pts[i] = geom.Point{ID: i, X: float64(rng.Intn(6)) / 4, Y: float64(rng.Intn(6)) / 4}
+			}
+		}
+		idx, err := Build(pts, Config{Branching: 2 + rng.Intn(6), LeafCap: 1 + rng.Intn(64)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := geom.Point{X: rng.NormFloat64(), Y: rng.NormFloat64()}
+		alpha, beta := rng.Float64()+1e-6, rng.Float64()+1e-6
+		if trial%3 == 0 {
+			a, _ := geom.AngleFromDegrees([]float64{0, 23, 45, 67, 90}[rng.Intn(5)])
+			alpha, beta = a.Alpha, a.Beta
+		}
+
+		seq, err := idx.Stream(q, alpha, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantID []int
+		var wantScore []float64
+		for {
+			r, ok := seq.Next()
+			if !ok {
+				break
+			}
+			wantID = append(wantID, r.Point.ID)
+			wantScore = append(wantScore, r.Score)
+		}
+		seq.Close()
+
+		if err := idx.StreamInto(&reused, q, alpha, beta); err != nil {
+			t.Fatal(err)
+		}
+		if peek, ok := reused.PeekScore(); len(wantScore) > 0 && (!ok || peek != wantScore[0]) {
+			t.Fatalf("trial %d: PeekScore = %v,%v, want %v,true", trial, peek, ok, wantScore[0])
+		}
+		buf := make([]query.Emission, 1+rng.Intn(64))
+		pos := 0
+		for {
+			if peek, ok := reused.PeekScore(); ok {
+				if pos >= len(wantScore) || peek != wantScore[pos] {
+					t.Fatalf("trial %d: PeekScore %v disagrees at position %d", trial, peek, pos)
+				}
+			} else if pos != len(wantScore) {
+				t.Fatalf("trial %d: stream exhausted at %d of %d", trial, pos, len(wantScore))
+			}
+			m := reused.NextBatch(buf[:1+rng.Intn(len(buf))])
+			if m == 0 {
+				break
+			}
+			for _, e := range buf[:m] {
+				if pos >= len(wantID) {
+					t.Fatalf("trial %d: batch over-emitted beyond %d points", trial, len(wantID))
+				}
+				if int(e.ID) != wantID[pos] || e.Contrib != wantScore[pos] {
+					t.Fatalf("trial %d position %d: batch (%d, %v), sequential (%d, %v)",
+						trial, pos, e.ID, e.Contrib, wantID[pos], wantScore[pos])
+				}
+				pos++
+			}
+		}
+		if pos != len(wantID) {
+			t.Fatalf("trial %d: batch emitted %d of %d points", trial, pos, len(wantID))
+		}
+		reused.Close()
+	}
 }

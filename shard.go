@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/pq"
 	"repro/internal/query"
 )
 
@@ -14,9 +13,10 @@ import (
 // independent core engine, and every query fans out to per-shard goroutines
 // on a reusable worker pool. Because the SD-score of a point depends only on
 // that point, the exact global top-k is contained in the union of the
-// per-shard top-k answers; a bounded k-way heap merge recovers it, with ties
-// broken by ascending dataset ID exactly like the sequential scan — the
-// sharded answer is byte-identical to the single-engine one.
+// per-shard top-k answers; a bounded allocation-free merge over the
+// per-shard heads recovers it, with ties broken by ascending dataset ID
+// exactly like the sequential scan — the sharded answer is byte-identical
+// to the single-engine one.
 //
 // Unlike SDIndex, a ShardedIndex interleaves reads and writes: TopK and
 // BatchTopK take per-shard read locks while Insert and Remove lock only the
@@ -38,6 +38,38 @@ type ShardedIndex struct {
 	next     int // round-robin insert cursor
 
 	shards []*shard
+
+	// ctxPool recycles fan-out state — per-(query × shard) result buffers,
+	// spec tables, merge cursors — across TopK and BatchTopK calls, so the
+	// sharded grid reuses contexts instead of allocating per call.
+	ctxPool sync.Pool
+}
+
+// shardedCtx is the pooled fan-out state of one TopK or BatchTopK call.
+type shardedCtx struct {
+	bufs  [][]query.Result // one reusable result buffer per (query × shard) task
+	specs []query.Spec
+	pos   []int // merge cursors, one per shard
+}
+
+func (s *ShardedIndex) getCtx(tasks int) *shardedCtx {
+	c, _ := s.ctxPool.Get().(*shardedCtx)
+	if c == nil {
+		c = &shardedCtx{pos: make([]int, len(s.shards))}
+	}
+	for len(c.bufs) < tasks {
+		c.bufs = append(c.bufs, nil)
+	}
+	return c
+}
+
+func (s *ShardedIndex) putCtx(c *shardedCtx) {
+	// Specs reference caller-owned Point/Weights slices; drop them so a
+	// pooled idle context never pins a request buffer. Result buffers hold
+	// no pointers and stay for reuse.
+	clear(c.specs)
+	c.specs = c.specs[:0]
+	s.ctxPool.Put(c)
 }
 
 // shardLoc addresses one point inside the sharded layout.
@@ -136,48 +168,92 @@ func resultBetter(a, b query.Result) bool {
 	return a.ID < b.ID
 }
 
-// topKShard answers spec on one shard under its read lock, translating the
-// engine's local IDs to global ones.
-func (sh *shard) topKShard(spec query.Spec) ([]query.Result, error) {
+// topKShardAppend answers spec on one shard under its read lock, appending
+// into dst (the per-task pooled buffer) and translating the engine's local
+// IDs to global ones. With a reused dst the per-shard query path performs
+// no allocation.
+func (sh *shard) topKShardAppend(spec query.Spec, dst []query.Result) ([]query.Result, error) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	res, err := sh.eng.TopK(spec)
+	base := len(dst)
+	res, _, err := sh.eng.TopKAppend(dst, spec)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
-	for i := range res {
+	for i := base; i < len(res); i++ {
 		res[i].ID = sh.globalIDs[res[i].ID]
 	}
 	return res, nil
 }
 
+// mergeShards merges per-shard best-first lists into dst under the global
+// answer order, emitting at most k results. Shard counts are small, so a
+// linear scan over the heads beats a heap, and it allocates nothing (it
+// replaced the generic k-way heap merge the sharding layer originally
+// used). Global IDs are distinct, so resultBetter is a total order and the
+// merge is deterministic.
+func mergeShards(dst []Result, lists [][]query.Result, pos []int, k int) []Result {
+	for i := range lists {
+		pos[i] = 0
+	}
+	for n := 0; n < k; n++ {
+		best := -1
+		var bestRes query.Result
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			if best == -1 || resultBetter(l[pos[i]], bestRes) {
+				best, bestRes = i, l[pos[i]]
+			}
+		}
+		if best == -1 {
+			break
+		}
+		pos[best]++
+		dst = append(dst, Result{ID: bestRes.ID, Score: bestRes.Score})
+	}
+	return dst
+}
+
 // TopK answers the query, fanning out to every shard on the worker pool and
 // merging the per-shard streams into the exact global top k. See Engine.
 func (s *ShardedIndex) TopK(q Query) ([]Result, error) {
+	return s.TopKAppend(nil, q)
+}
+
+// TopKAppend is TopK appending into dst: with a caller-reused dst and warm
+// pools the whole sharded fan-out allocates only the worker dispatch state.
+func (s *ShardedIndex) TopKAppend(dst []Result, q Query) ([]Result, error) {
 	spec := q.spec()
-	perShard := make([][]query.Result, len(s.shards))
+	p := len(s.shards)
+	c := s.getCtx(p)
+	defer s.putCtx(c)
 	var be batchErr
-	s.pool.do(len(s.shards), func(si int) {
+	s.pool.do(p, func(si int) {
 		if be.shouldSkip(si) {
 			return
 		}
-		res, err := s.shards[si].topKShard(spec)
+		res, err := s.shards[si].topKShardAppend(spec, c.bufs[si][:0])
+		c.bufs[si] = res[:0] // keep grown capacity pooled
 		if err != nil {
 			be.record(si, err)
 			return
 		}
-		perShard[si] = res
+		c.bufs[si] = res
 	})
 	if err := be.first(); err != nil {
-		return nil, err
+		return dst, err
 	}
-	return convertResults(pq.MergeSorted(perShard, resultBetter, q.K)), nil
+	return mergeShards(dst, c.bufs[:p], c.pos, q.K), nil
 }
 
 // BatchTopK answers many queries, pipelining every (query, shard) unit of
 // work across the pool at once rather than looping over queries serially:
 // with Q queries and P shards, up to Q·P independent tasks keep every worker
-// busy even when individual shard scans are short. Results are returned in
+// busy even when individual shard scans are short. Per-task result buffers
+// and spec tables come from the index's context pool, so contexts are
+// reused across the whole (query × shard) grid. Results are returned in
 // query order; the first error (lowest query index, then lowest shard)
 // aborts the batch.
 func (s *ShardedIndex) BatchTopK(queries []Query) ([][]Result, error) {
@@ -186,30 +262,35 @@ func (s *ShardedIndex) BatchTopK(queries []Query) ([][]Result, error) {
 		return out, nil
 	}
 	p := len(s.shards)
-	specs := make([]query.Spec, len(queries))
-	for i, q := range queries {
-		specs[i] = q.spec()
+	c := s.getCtx(len(queries) * p)
+	defer s.putCtx(c)
+	c.specs = c.specs[:0]
+	for _, q := range queries {
+		c.specs = append(c.specs, q.spec())
 	}
-	perTask := make([][]query.Result, len(queries)*p)
 	var be batchErr
-	s.pool.do(len(perTask), func(t int) {
+	s.pool.do(len(queries)*p, func(t int) {
 		if be.shouldSkip(t) {
 			return
 		}
 		qi, si := t/p, t%p
-		res, err := s.shards[si].topKShard(specs[qi])
+		res, err := s.shards[si].topKShardAppend(c.specs[qi], c.bufs[t][:0])
+		c.bufs[t] = res[:0]
 		if err != nil {
 			be.record(t, fmt.Errorf("query %d: %w", qi, err))
 			return
 		}
-		perTask[t] = res
+		c.bufs[t] = res
 	})
 	if err := be.first(); err != nil {
 		return nil, err
 	}
-	s.pool.do(len(queries), func(qi int) {
-		out[qi] = convertResults(pq.MergeSorted(perTask[qi*p:(qi+1)*p], resultBetter, queries[qi].K))
-	})
+	// Merging runs on the caller's goroutine: each merge is O(k·P) over
+	// already-fetched rows, and the per-shard merge cursors live in the
+	// shared context.
+	for qi := range queries {
+		out[qi] = mergeShards(make([]Result, 0, queries[qi].K), c.bufs[qi*p:(qi+1)*p], c.pos, queries[qi].K)
+	}
 	return out, nil
 }
 
