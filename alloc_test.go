@@ -86,7 +86,7 @@ func TestShardQueryPathZeroAllocs(t *testing.T) {
 		var buf []query.Result
 		avg := measureAllocs(func() {
 			var err error
-			buf, err = sh.topKShardAppend(spec, buf[:0])
+			buf, _, err = sh.topKShardAppend(spec, buf[:0])
 			if err != nil {
 				t.Fatal(err)
 			}

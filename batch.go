@@ -187,6 +187,14 @@ type QueryStats struct {
 	Fetched int
 	// Scored counts distinct points scored by random access.
 	Scored int
+	// Rounds counts scheduler steps — one adaptive batch dispatched to one
+	// subproblem — under either scheduling mode (WithScheduler).
+	Rounds int
+	// PlanCacheHits is 1 when the query's derived plan came from the
+	// engine's plan cache and 0 when it was derived afresh; on a
+	// ShardedIndex it is summed across shards (each shard keeps its own
+	// cache), so full fan-out hits report the shard count.
+	PlanCacheHits int
 }
 
 // TopKWithStats answers the query and reports its work counters. Useful for

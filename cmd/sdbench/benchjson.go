@@ -16,15 +16,17 @@ import (
 // benchJSON is the machine-readable benchmark report written by -json: the
 // perf trajectory future PRs compare against (BENCH_sdbench.json at the repo
 // root holds the committed baseline). Absolute numbers are
-// hardware-dependent; the trajectory of ns/op and the allocs/op invariants
-// are the regression signal.
+// hardware-dependent; the trajectory of ns/op, the allocs/op invariants, and
+// the work counters (fetched/scored/rounds, which are hardware-independent)
+// are the regression signal. The -baseline flag diffs a fresh report against
+// a committed one and fails on regression — see diff.go for the gate rules.
 type benchJSON struct {
-	Schema     string         `json:"schema"`
-	Generated  string         `json:"generated"`
-	GoVersion  string         `json:"go"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Scale      float64        `json:"scale"`
-	Workloads  []workloadJSON `json:"workloads"`
+	Schema    string  `json:"schema"`
+	Generated string  `json:"generated"`
+	GoVersion string  `json:"go"`
+	NumCPU    int     `json:"num_cpu"`
+	Scale     float64 `json:"scale"`
+	Workloads []workloadJSON `json:"workloads"`
 }
 
 type workloadJSON struct {
@@ -33,23 +35,66 @@ type workloadJSON struct {
 	Dims    int    `json:"dims"`
 	K       int    `json:"k"`
 	Queries int    `json:"queries"`
+	// GOMAXPROCS is the effective value the workload ran under. Parallel
+	// workloads elevate it to NumCPU for their measurement, so a report
+	// generated in a GOMAXPROCS-restricted environment still exercises —
+	// and records — the parallelism it claims to measure.
+	GOMAXPROCS int `json:"gomaxprocs"`
 	// Per-op figures from testing.Benchmark; for batch workloads one op is
 	// the whole batch.
 	NsPerOp     int64 `json:"ns_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
-	// Work counters averaged over the query set (single-engine workloads).
+	// Work counters averaged over the query set. For sharded workloads the
+	// counters are summed across shards first, so scheduler and plan-cache
+	// wins stay visible end-to-end.
 	FetchedMean     float64 `json:"fetched_mean,omitempty"`
 	ScoredMean      float64 `json:"scored_mean,omitempty"`
 	SubproblemsMean float64 `json:"subproblems_mean,omitempty"`
+	RoundsMean      float64 `json:"rounds_mean,omitempty"`
+	// PlanCacheHitRate is hits / (queries × engines consulted): 1.0 means
+	// every query after the warm-up answered from a cached plan.
+	PlanCacheHitRate float64 `json:"plan_cache_hit_rate,omitempty"`
 }
 
-const benchJSONSchema = "sdbench/v1"
+const benchJSONSchema = "sdbench/v2"
 
-// runBenchJSON measures the core micro-workloads and writes the JSON report.
-// Workload sizes follow the default evaluation shape (uniform data, mixed
-// roles, U(0,1) weights) scaled by -scale.
-func runBenchJSON(path string, scale float64, queryCount int, seed int64) error {
+// statsSource is the work-counter surface shared by SDIndex and
+// ShardedIndex.
+type statsSource interface {
+	TopKWithStats(sdquery.Query) ([]sdquery.Result, sdquery.QueryStats, error)
+}
+
+// collectStats runs the query set once and averages the counters.
+// cacheDenom is the hit-rate denominator per query (engines consulted: 1 for
+// a single engine, the shard count for a sharded index).
+func collectStats(src statsSource, queries []sdquery.Query, cacheDenom int) (w workloadJSON, err error) {
+	var total sdquery.QueryStats
+	for _, q := range queries {
+		_, st, err := src.TopKWithStats(q)
+		if err != nil {
+			return w, err
+		}
+		total.Fetched += st.Fetched
+		total.Scored += st.Scored
+		total.Subproblems += st.Subproblems
+		total.Rounds += st.Rounds
+		total.PlanCacheHits += st.PlanCacheHits
+	}
+	qn := float64(len(queries))
+	w.FetchedMean = float64(total.Fetched) / qn
+	w.ScoredMean = float64(total.Scored) / qn
+	w.SubproblemsMean = float64(total.Subproblems) / qn
+	w.RoundsMean = float64(total.Rounds) / qn
+	w.PlanCacheHitRate = float64(total.PlanCacheHits) / (qn * float64(cacheDenom))
+	return w, nil
+}
+
+// runBenchJSON measures the core micro-workloads and writes the JSON report,
+// optionally gating against a committed baseline. Workload sizes follow the
+// default evaluation shape (uniform data, mixed roles, U(0,1) weights)
+// scaled by -scale.
+func runBenchJSON(path, baselinePath string, scale float64, queryCount int, seed int64) error {
 	n := int(50_000 * scale)
 	if n < 1000 {
 		n = 1000
@@ -66,58 +111,61 @@ func runBenchJSON(path string, scale float64, queryCount int, seed int64) error 
 	}
 
 	report := benchJSON{
-		Schema:     benchJSONSchema,
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Scale:      scale,
+		Schema:    benchJSONSchema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Scale:     scale,
 	}
-	add := func(name string, qCount int, r testing.BenchmarkResult, st *sdquery.QueryStats) {
-		w := workloadJSON{
-			Name: name, N: n, Dims: dims, K: k, Queries: qCount,
-			NsPerOp:     r.NsPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-		}
-		if st != nil {
-			w.FetchedMean = float64(st.Fetched) / float64(qCount)
-			w.ScoredMean = float64(st.Scored) / float64(qCount)
-			w.SubproblemsMean = float64(st.Subproblems) / float64(qCount)
-		}
-		report.Workloads = append(report.Workloads, w)
+	add := func(name string, r testing.BenchmarkResult, stats workloadJSON, procs int) {
+		stats.Name = name
+		stats.N, stats.Dims, stats.K, stats.Queries = n, dims, k, len(queries)
+		stats.GOMAXPROCS = procs
+		stats.NsPerOp = r.NsPerOp()
+		stats.AllocsPerOp = r.AllocsPerOp()
+		stats.BytesPerOp = r.AllocedBytesPerOp()
+		report.Workloads = append(report.Workloads, stats)
 	}
 
 	// Single-query hot path: TopKAppend into a reused buffer (the
-	// zero-allocation guarantee), plus the work counters of the query set.
+	// zero-allocation guarantee), plus the work counters of the query set —
+	// under the default bound-driven scheduler and under the round-robin
+	// ablation, so the scheduling delta is part of the committed trajectory.
+	for _, mode := range []struct {
+		name  string
+		sched sdquery.SchedulerMode
+	}{
+		{"topk/sdindex-append", sdquery.SchedBoundDriven},
+		{"topk/sdindex-append-roundrobin", sdquery.SchedRoundRobin},
+	} {
+		idx, err := sdquery.NewSDIndex(data, roles, sdquery.WithScheduler(mode.sched))
+		if err != nil {
+			return err
+		}
+		stats, err := collectStats(idx, queries, 1)
+		if err != nil {
+			return err
+		}
+		var buf []sdquery.Result
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = idx.TopKAppend(buf[:0], queries[i%len(queries)])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add(mode.name, r, stats, runtime.GOMAXPROCS(0))
+	}
+
+	// The allocating convenience API, for the conversion-cost trajectory.
 	idx, err := sdquery.NewSDIndex(data, roles)
 	if err != nil {
 		return err
 	}
-	var total sdquery.QueryStats
-	for _, q := range queries {
-		_, st, err := idx.TopKWithStats(q)
-		if err != nil {
-			return err
-		}
-		total.Fetched += st.Fetched
-		total.Scored += st.Scored
-		total.Subproblems += st.Subproblems
-	}
-	var buf []sdquery.Result
 	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			var err error
-			buf, err = idx.TopKAppend(buf[:0], queries[i%len(queries)])
-			if err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	add("topk/sdindex-append", len(queries), r, &total)
-
-	// The allocating convenience API, for the conversion-cost trajectory.
-	r = testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := idx.TopK(queries[i%len(queries)]); err != nil {
@@ -125,33 +173,52 @@ func runBenchJSON(path string, scale float64, queryCount int, seed int64) error 
 			}
 		}
 	})
-	add("topk/sdindex", len(queries), r, nil)
+	add("topk/sdindex", r, workloadJSON{}, runtime.GOMAXPROCS(0))
 
 	// Sharded batch pipeline: one op = the whole batch, at 1 shard (pure
-	// overhead measurement) and at GOMAXPROCS shards.
+	// overhead measurement) and at NumCPU shards. The parallel workload
+	// elevates GOMAXPROCS to NumCPU for its whole lifetime (build, warm-up,
+	// stats, measurement): a harness invoked under GOMAXPROCS=1 previously
+	// built a 1-shard "gomaxprocs" index and recorded timings identical to
+	// the 1-shard run, silently measuring nothing.
 	for _, shards := range []int{1, 0} {
-		sidx, err := sdquery.NewShardedIndex(data, roles, sdquery.WithShards(shards))
-		if err != nil {
-			return err
-		}
-		if _, err := sidx.BatchTopK(queries); err != nil { // warm pools
-			sidx.Close()
-			return err
-		}
-		r = testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := sidx.BatchTopK(queries); err != nil {
-					b.Fatal(err)
-				}
+		if err := func() error {
+			prev := runtime.GOMAXPROCS(0)
+			procs := prev
+			if shards == 0 && runtime.NumCPU() > procs {
+				procs = runtime.NumCPU()
+				runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev) // restored on every path, errors included
 			}
-		})
-		name := fmt.Sprintf("batch/sharded-%d", sidx.Shards())
-		if shards == 0 {
-			name = "batch/sharded-gomaxprocs"
+			sidx, err := sdquery.NewShardedIndex(data, roles, sdquery.WithShards(shards))
+			if err != nil {
+				return err
+			}
+			defer sidx.Close()
+			if _, err := sidx.BatchTopK(queries); err != nil { // warm pools
+				return err
+			}
+			stats, err := collectStats(sidx, queries, sidx.Shards())
+			if err != nil {
+				return err
+			}
+			r = testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sidx.BatchTopK(queries); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			name := fmt.Sprintf("batch/sharded-%d", sidx.Shards())
+			if shards == 0 {
+				name = "batch/sharded-gomaxprocs"
+			}
+			add(name, r, stats, procs)
+			return nil
+		}(); err != nil {
+			return err
 		}
-		add(name, len(queries), r, nil)
-		sidx.Close()
 	}
 
 	out, err := json.MarshalIndent(report, "", "  ")
@@ -161,7 +228,14 @@ func runBenchJSON(path string, scale float64, queryCount int, seed int64) error 
 	out = append(out, '\n')
 	if path == "-" {
 		_, err = os.Stdout.Write(out)
+	} else {
+		err = os.WriteFile(path, out, 0o644)
+	}
+	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, out, 0o644)
+	if baselinePath != "" {
+		return diffAgainstBaseline(baselinePath, report)
+	}
+	return nil
 }

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// nsRegressionTolerance is the fractional ns/op increase a workload may show
+// against the committed baseline before the diff fails. 20% absorbs
+// machine-to-machine and run-to-run noise while still catching real
+// regressions; the allocs/op gate below is exact, because the zero-alloc
+// guarantee is an invariant, not a measurement.
+const nsRegressionTolerance = 0.20
+
+// fetchedRegressionTolerance gates the hardware-independent signal: on
+// single-engine workloads the sorted-access count is a deterministic
+// function of the seeded workload and the algorithm, identical on every
+// machine, so it catches algorithmic regressions that timing noise would
+// hide. The small headroom only keeps a deliberate off-by-a-few change from
+// blocking CI; any real change to fetch behaviour must regenerate the
+// baseline in the same commit.
+const fetchedRegressionTolerance = 0.05
+
+// diffAgainstBaseline loads the committed baseline report and fails (with
+// every violation listed) when the fresh report regresses:
+//
+//   - a workload present in the baseline is missing from the fresh report
+//     (renames must update the baseline, not silently drop coverage);
+//   - ns/op grew by more than nsRegressionTolerance;
+//   - a workload that was allocation-free in the baseline allocates;
+//   - a single-engine ("topk/…") workload's fetched_mean grew by more than
+//     fetchedRegressionTolerance — the deterministic, hardware-independent
+//     regression signal. Sharded workloads are exempt: their counters sum
+//     over a shard count that follows the machine's CPU count.
+//
+// The scales must match — ns/op across different dataset sizes is
+// meaningless — and so must the schema.
+func diffAgainstBaseline(baselinePath string, fresh benchJSON) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchJSON
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if base.Schema != fresh.Schema {
+		return fmt.Errorf("baseline schema %q != report schema %q: regenerate the baseline", base.Schema, fresh.Schema)
+	}
+	if base.Scale != fresh.Scale {
+		return fmt.Errorf("baseline scale %g != report scale %g: ns/op is not comparable across scales", base.Scale, fresh.Scale)
+	}
+	byName := make(map[string]workloadJSON, len(fresh.Workloads))
+	for _, w := range fresh.Workloads {
+		byName[w.Name] = w
+	}
+	var violations []string
+	for _, b := range base.Workloads {
+		f, ok := byName[b.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("workload %q: present in baseline, missing from report", b.Name))
+			continue
+		}
+		// Batch ns/op and the per-query counter means both scale with the
+		// query count, so a -queries mismatch would fake (or mask) a
+		// regression exactly like a scale mismatch.
+		if b.Queries != f.Queries {
+			violations = append(violations, fmt.Sprintf(
+				"workload %q: %d queries, baseline has %d: not comparable", b.Name, f.Queries, b.Queries))
+			continue
+		}
+		if limit := float64(b.NsPerOp) * (1 + nsRegressionTolerance); float64(f.NsPerOp) > limit {
+			violations = append(violations, fmt.Sprintf(
+				"workload %q: ns/op %d exceeds baseline %d by more than %.0f%%",
+				b.Name, f.NsPerOp, b.NsPerOp, nsRegressionTolerance*100))
+		}
+		if b.AllocsPerOp == 0 && f.AllocsPerOp > 0 {
+			violations = append(violations, fmt.Sprintf(
+				"workload %q: %d allocs/op, baseline guarantees 0", b.Name, f.AllocsPerOp))
+		}
+		if strings.HasPrefix(b.Name, "topk/") && b.FetchedMean > 0 {
+			if limit := b.FetchedMean * (1 + fetchedRegressionTolerance); f.FetchedMean > limit {
+				violations = append(violations, fmt.Sprintf(
+					"workload %q: fetched_mean %.1f exceeds baseline %.1f by more than %.0f%% (hardware-independent)",
+					b.Name, f.FetchedMean, b.FetchedMean, fetchedRegressionTolerance*100))
+			}
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("benchmark regression vs %s:\n  %s", baselinePath, strings.Join(violations, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "sdbench: no regression vs %s (%d workloads, ns tolerance %.0f%%)\n",
+		baselinePath, len(base.Workloads), nsRegressionTolerance*100)
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, b benchJSON) string {
+	t.Helper()
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffAgainstBaseline pins the CI gate's rules: pass within tolerance,
+// fail on >20% ns/op growth, fail on any allocation in a zero-alloc
+// workload, fail on dropped workloads, and refuse scale/schema mismatches.
+func TestDiffAgainstBaseline(t *testing.T) {
+	base := benchJSON{
+		Schema: benchJSONSchema,
+		Scale:  1,
+		Workloads: []workloadJSON{
+			{Name: "topk/sdindex-append", NsPerOp: 1_000_000, AllocsPerOp: 0, FetchedMean: 2000},
+			{Name: "topk/sdindex", NsPerOp: 1_000_000, AllocsPerOp: 4},
+			{Name: "batch/sharded-gomaxprocs", NsPerOp: 1_000_000, AllocsPerOp: 70, FetchedMean: 2000},
+		},
+	}
+	path := writeBaseline(t, base)
+
+	ok := benchJSON{Schema: benchJSONSchema, Scale: 1, Workloads: []workloadJSON{
+		{Name: "topk/sdindex-append", NsPerOp: 1_150_000, AllocsPerOp: 0, FetchedMean: 2040}, // +15% ns, +2% fetched: within tolerance
+		{Name: "topk/sdindex", NsPerOp: 900_000, AllocsPerOp: 6},                             // allocs gated only at baseline 0
+		{Name: "batch/sharded-gomaxprocs", NsPerOp: 1_000_000, AllocsPerOp: 70, FetchedMean: 9000}, // sharded counters follow CPU count: exempt
+		{Name: "topk/new-workload", NsPerOp: 1, AllocsPerOp: 99},                             // extra workloads are fine
+	}}
+	if err := diffAgainstBaseline(path, ok); err != nil {
+		t.Fatalf("within-tolerance report rejected: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		mut  func(*benchJSON)
+		want string
+	}{
+		{"ns regression", func(b *benchJSON) { b.Workloads[0].NsPerOp = 1_250_000 }, "exceeds baseline"},
+		{"alloc regression", func(b *benchJSON) { b.Workloads[0].AllocsPerOp = 1 }, "guarantees 0"},
+		{"fetched regression", func(b *benchJSON) { b.Workloads[0].FetchedMean = 2200 }, "hardware-independent"},
+		{"queries mismatch", func(b *benchJSON) { b.Workloads[0].Queries = 128 }, "not comparable"},
+		{"missing workload", func(b *benchJSON) { b.Workloads = b.Workloads[1:] }, "missing from report"},
+		{"scale mismatch", func(b *benchJSON) { b.Scale = 0.25 }, "not comparable"},
+		{"schema mismatch", func(b *benchJSON) { b.Schema = "sdbench/v1" }, "regenerate the baseline"},
+	} {
+		fresh := benchJSON{Schema: benchJSONSchema, Scale: 1,
+			Workloads: append([]workloadJSON(nil), ok.Workloads...)}
+		tc.mut(&fresh)
+		err := diffAgainstBaseline(path, fresh)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

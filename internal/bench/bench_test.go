@@ -17,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1",
 		"ablation-angles", "ablation-pairing", "ablation-granularity",
 		"ablation-branching", "ablation-bulk", "ablation-alg4",
+		"ablation-scheduler",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

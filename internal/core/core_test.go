@@ -150,17 +150,20 @@ func TestPairingStrategiesAllCorrect(t *testing.T) {
 		query.Attractive, query.Attractive, query.Attractive,
 	}
 	truth, _ := scan.New(data)
-	for _, pairing := range []Pairing{PairInOrder, PairByCorrelation, PairByVariance, PairNone} {
+	for _, pairing := range []Pairing{PairAdaptive, PairInOrder, PairByCorrelation, PairByVariance, PairNone} {
 		eng, err := New(data, Config{Roles: roles, Pairing: pairing})
 		if err != nil {
 			t.Fatalf("%v: %v", pairing, err)
 		}
 		wantPairs := 3
-		if pairing == PairNone {
-			wantPairs = 0
+		if pairing == PairNone || pairing == PairAdaptive {
+			wantPairs = 0 // adaptive defers the bijection to plan time
 		}
 		if got := len(eng.Pairs()); got != wantPairs {
 			t.Fatalf("%v: %d pairs, want %d", pairing, got, wantPairs)
+		}
+		if got, want := eng.Adaptive(), pairing == PairAdaptive; got != want {
+			t.Fatalf("%v: Adaptive() = %v, want %v", pairing, got, want)
 		}
 		for qi := 0; qi < 10; qi++ {
 			spec := randomSpec(rng, data, roles)
@@ -175,7 +178,8 @@ func TestPairingUnbalancedRoles(t *testing.T) {
 	currentData = data
 	truth, _ := scan.New(data)
 	// 0..3 attractive dimensions of 6 (the Figure 7i/7j sweep): pairs =
-	// min(a, 6-a).
+	// min(a, 6-a) under the fixed in-order zip; the adaptive default must
+	// answer identically with its plan-time bijection.
 	for a := 0; a <= 3; a++ {
 		roles := make([]query.Role, 6)
 		for d := range roles {
@@ -185,16 +189,26 @@ func TestPairingUnbalancedRoles(t *testing.T) {
 				roles[d] = query.Repulsive
 			}
 		}
-		eng, err := New(data, Config{Roles: roles})
+		eng, err := New(data, Config{Roles: roles, Pairing: PairInOrder})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got, want := len(eng.Pairs()), a; got != want {
 			t.Fatalf("a=%d: %d pairs, want %d", a, got, want)
 		}
+		adEng, err := New(data, Config{Roles: roles})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := adEng.Adaptive(), a > 0; got != want {
+			// With zero attractive dims the grid is empty and the adaptive
+			// default falls back to the fixed structure.
+			t.Fatalf("a=%d: Adaptive() = %v, want %v", a, got, want)
+		}
 		for qi := 0; qi < 6; qi++ {
 			spec := randomSpec(rng, data, roles)
 			checkAgainst(t, "sd", eng, truth, spec)
+			checkAgainst(t, "sd-adaptive", adEng, truth, spec)
 		}
 	}
 }
@@ -377,6 +391,9 @@ func TestBytesEstimate(t *testing.T) {
 	}
 	want := 0
 	for _, tr := range eng.trees {
+		want += tr.Bytes()
+	}
+	for _, tr := range eng.grid {
 		want += tr.Bytes()
 	}
 	for _, l := range eng.lists {

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheduler selects the order in which the §5 Threshold-Algorithm
+// aggregation spends sorted accesses across its subproblems.
+type Scheduler int
+
+const (
+	// SchedBoundDriven (the default) schedules sorted accesses by the
+	// subproblems' frontier-bound telemetry: every step bulk-fetches from
+	// the subproblem whose bound is measured to be falling fastest per
+	// access (see runBoundDriven for why descent rate, not bound level, is
+	// the right greedy signal). The termination threshold Σ bounds is
+	// re-checked after every batch rather than once per rotation, so the
+	// loop stops the moment the k-th best score clears it, and the final
+	// batches are clamped to the predicted accesses-to-termination.
+	SchedBoundDriven Scheduler = iota
+	// SchedRoundRobin is the paper's literal §5 loop — every round fetches
+	// one adaptive batch from every subproblem in fixed rotation, and the
+	// threshold is re-evaluated per round. Kept as an explicit ablation so
+	// the scheduling win stays benchmarkable (cmd/sdbench reports both).
+	SchedRoundRobin
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedBoundDriven:
+		return "bound-driven"
+	case SchedRoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
+// valid reports whether s names an implemented scheduler.
+func (s Scheduler) valid() bool {
+	return s == SchedBoundDriven || s == SchedRoundRobin
+}
+
+// Why any access order is sound. Every subproblem emits its points in
+// non-increasing contribution order, so at any moment bounds[j] — the
+// contribution of subproblem j's next unfetched emission — is an upper bound
+// on the contribution of every point j has not yet emitted, no matter how
+// the scheduler has interleaved fetches so far. The two decisions the
+// aggregation makes only ever consult bounds in positions where that
+// inequality applies:
+//
+//   - Prune at first emission: when a point p first surfaces (from
+//     subproblem i), it has by definition not been emitted by any sibling
+//     j ≠ i, so contrib_j(p) ≤ bounds[j] for every sibling — visited or
+//     not, because unvisited frontiers only ever bound from above. If
+//     contrib_i(p) + Σ_{j≠i} bounds[j] + pad is still below the k-th best,
+//     p's full score cannot reach the top k now or later (the k-th best
+//     only rises), and p is discarded for good.
+//   - Termination: any point never emitted anywhere has full score
+//     ≤ Σ_j bounds[j]; once the k-th best strictly exceeds that padded sum,
+//     no unseen point can displace a kept one.
+//
+// Neither argument references the order in which frontiers were advanced —
+// only that each frontier descends — so the bound-driven schedule returns
+// byte-identical answers to the round-robin one (the property test and the
+// differential harness enforce this). The bound-driven loop additionally
+// initializes bounds from cheap frontier peeks (PeekScore / Bound, no fetch)
+// instead of +Inf, which only tightens the same inequalities.
+
+// rateWindow is the minimum number of sorted accesses a frontier's descent
+// rate is measured over. Longer windows smooth across plateaus of duplicate
+// contributions but probe unwanted frontiers deeper and react later; on the
+// evaluation workload fetch counts are nearly flat from 4 to 32 (≈1890 to
+// ≈1903 mean accesses), and 8 sits on the flat part while keeping the
+// forced probe of a useless frontier cheap.
+const rateWindow = 8
+
+// runBoundDriven is the SchedBoundDriven aggregation loop. The schedule is
+// driven by the subproblems' frontier-bound telemetry: each step drains the
+// subproblem whose bound is falling fastest per sorted access (the measured
+// descent rate of its frontier, the Quick-Combine heuristic), breaking rate
+// ties toward the higher frontier bound and then the lower index. The
+// termination threshold is Σ bounds, so the steepest frontier is the one
+// whose next batch buys the largest threshold decrease per access; picking
+// by bound level alone stalls on plateaus (many points sharing a
+// contribution), where draining the flat maximum spends accesses without
+// moving the threshold while a steeper sibling would.
+func (c *queryCtx) runBoundDriven(qpt []float64, pad float64, stats *Stats) {
+	subs := c.subs
+	bounds := c.bounds[:len(subs)]
+	bsize := c.bsize[:len(subs)]
+	rate := c.rate[:len(subs)]
+	anchorB := c.anchorB[:len(subs)]
+	sinceN := c.sinceN[:len(subs)]
+	for i, s := range subs {
+		bounds[i] = s.bound() // peek, no fetch: live prune line from step one
+		bsize[i] = 1
+		rate[i] = math.Inf(1) // unknown until a full probe window is measured
+		anchorB[i] = bounds[i]
+		sinceN[i] = 0
+	}
+	coll := c.coll
+	for {
+		// One pass finds the steepest frontier and the exact threshold
+		// Σ bounds (recomputed fresh each step — an incrementally maintained
+		// sum would accumulate rounding drift the pad does not budget for).
+		// All tie-breaks are deterministic, so the schedule — and every
+		// Stats counter — is a pure function of the query.
+		best, sum := -1, 0.0
+		exhausted := false
+		for i, b := range bounds {
+			if math.IsInf(b, -1) {
+				exhausted = true
+				break
+			}
+			sum += b
+			if best == -1 || rate[i] > rate[best] ||
+				(rate[i] == rate[best] && b > bounds[best]) {
+				best = i
+			}
+		}
+		// A subproblem exhausts only after emitting every live point, so one
+		// exhausted frontier means every point has already been scored or
+		// soundly discarded — nothing is left to fetch anywhere.
+		if exhausted || best == -1 {
+			break
+		}
+		if coll.Full() && coll.Threshold() > sum+pad {
+			break
+		}
+		// The sibling sum is re-summed directly, not derived as
+		// sum − bounds[best]: that subtraction re-rounds and can land an ulp
+		// BELOW the true sibling sum, making the first-emission prune
+		// slightly aggressive — enough, in an exact tie at the k-th rank
+		// with pad 0 (1D-only subproblems), to discard a point the oracle
+		// keeps. Left-to-right summation over the siblings is the form the
+		// soundness argument (and the pad budget) is stated for. Note the
+		// prune/score TRACE still differs between schedulers — frontiers sit
+		// at different depths when a given point first surfaces — only the
+		// returned top-k is schedule-independent.
+		other := 0.0
+		for j, b := range bounds {
+			if j != best {
+				other += b
+			}
+		}
+		// Near termination the adaptive batch overshoots: a 64-wide drain
+		// keeps fetching after the threshold has already fallen past the
+		// k-th best. The measured rate predicts how many accesses the
+		// remaining gap needs if this frontier keeps its slope, so the batch
+		// is clamped to that estimate (never below 1; growth bookkeeping in
+		// runBatch is untouched, so a frontier that flattens out re-expands).
+		size := bsize[best]
+		if math.IsInf(rate[best], 1) {
+			// Probe phase: stop exactly at the window edge, so an unwanted
+			// frontier costs rateWindow accesses, not a doubled overshoot.
+			if rem := rateWindow - sinceN[best]; size > rem {
+				size = rem
+			}
+		} else if r := rate[best]; coll.Full() && r > 0 {
+			if gap := sum + pad - coll.Threshold(); gap/r < float64(size-1) {
+				size = int(gap/r) + 1
+			}
+		}
+		if n := c.runBatch(best, size, qpt, pad, other, stats); n > 0 {
+			// Rates are measured over completed windows of at least
+			// rateWindow accesses, not per batch: a single-access sample on
+			// a plateau of duplicate contributions would read as rate 0 and
+			// starve that frontier forever — even when the steepest descent
+			// of all lies just past its plateau (the failure mode that made
+			// naive greedy 2.4× worse than optimal on real queries). Until
+			// its first window completes a frontier keeps rate +Inf, so
+			// every subproblem is probed rateWindow deep (highest bound
+			// first) before the greedy phase begins. An exhausted frontier
+			// stops updating, but exhaustion ends the loop above before its
+			// rate is consulted.
+			sinceN[best] += n
+			if sinceN[best] >= rateWindow {
+				rate[best] = (anchorB[best] - bounds[best]) / float64(sinceN[best])
+				anchorB[best] = bounds[best]
+				sinceN[best] = 0
+			}
+		}
+	}
+}
+
+// runRoundRobin reproduces the pre-scheduler behaviour exactly: bounds start
+// at +Inf (nothing may be pruned against a frontier that has not emitted),
+// every round fetches one adaptive batch from every subproblem in rotation,
+// and the threshold is re-evaluated once per round.
+func (c *queryCtx) runRoundRobin(qpt []float64, pad float64, stats *Stats) {
+	subs := c.subs
+	bounds := c.bounds[:len(subs)]
+	bsize := c.bsize[:len(subs)]
+	for i := range bounds {
+		bounds[i] = math.Inf(1)
+		bsize[i] = 1
+	}
+	coll := c.coll
+	for {
+		progressed := false
+		for i := range subs {
+			other := 0.0
+			for j, b := range bounds {
+				if j != i {
+					other += b
+				}
+			}
+			if c.runBatch(i, c.bsize[i], qpt, pad, other, stats) > 0 {
+				progressed = true
+			}
+		}
+		if !progressed {
+			break // every subproblem exhausted: all points were seen
+		}
+		threshold := 0.0
+		for _, b := range bounds {
+			threshold += b
+		}
+		// Stop only once the k-th best strictly beats the padded frontier:
+		// an unseen point that could tie it (exactly, or within the float
+		// slack of the projection bounds) might still displace a kept one
+		// through the ID tie-break.
+		if coll.Full() && (math.IsInf(threshold, -1) || coll.Threshold() > threshold+pad) {
+			break
+		}
+	}
+}
+
+// runBatch performs one scheduling step on subproblem i: bulk-fetch up to
+// size emissions, handle each exactly once (first-emission prune against
+// the sibling frontiers, or exact random-access scoring), refresh bounds[i]
+// from the batch's returned frontier bound, and adapt bsize[i]. otherBounds
+// is Σ bounds over the sibling subproblems — constant across the batch,
+// since sibling frontiers do not move while this one drains. It returns the
+// number of emissions fetched.
+func (c *queryCtx) runBatch(i, size int, qpt []float64, pad, otherBounds float64, stats *Stats) int {
+	n, nb := c.subs[i].nextBatch(c.emit[:size])
+	c.bounds[i] = nb
+	stats.Rounds++
+	if n == 0 {
+		return 0
+	}
+	stats.Fetched += n
+	coll := c.coll
+	for _, em := range c.emit[:n] {
+		if !c.markSeen(em.ID) {
+			continue // already scored or soundly discarded
+		}
+		if coll.Full() && em.Contrib+otherBounds+pad < coll.Threshold() {
+			continue // cannot enter the top k, now or later
+		}
+		stats.Scored++
+		coll.Add(int(em.ID), c.scoreOf(qpt, em.ID))
+	}
+	// The batch size adapts: it doubles toward the leaf cap while the
+	// subproblem's frontier stays above the prune line (a subproblem that
+	// keeps producing viable candidates is drained in whole leaf runs), and
+	// snaps back to 1 the moment its entire remaining stream became
+	// prunable.
+	if grow := !coll.Full() || c.bounds[i]+otherBounds+pad >= coll.Threshold(); grow {
+		if c.bsize[i] < maxBatch {
+			c.bsize[i] *= 2
+			if c.bsize[i] > maxBatch {
+				c.bsize[i] = maxBatch
+			}
+		}
+	} else {
+		c.bsize[i] = 1
+	}
+	return n
+}

@@ -147,12 +147,15 @@ func (it *Iter) Next() (id int32, contrib float64, ok bool) {
 }
 
 // NextBatch bulk-fetches up to len(dst) emissions in non-increasing
-// contribution order, returning the count (0 when exhausted). It emits runs
-// from both frontiers with the two frontier contributions cached, so the
-// per-point cost is one comparison and one |p−qv| evaluation instead of the
-// two peekIndex recomputations Next pays. Emission order is identical to
-// repeated Next calls.
-func (it *Iter) NextBatch(dst []query.Emission) int {
+// contribution order, returning the count (0 when exhausted) and the
+// contribution of the next unfetched point — the post-batch frontier bound,
+// −Inf when exhausted. It emits runs from both frontiers with the two
+// frontier contributions cached, so the per-point cost is one comparison and
+// one |p−qv| evaluation instead of the two peekIndex recomputations Next
+// pays, and the bound comes from the already-cached frontier contributions
+// rather than a separate Bound call. Emission order is identical to repeated
+// Next calls, and the returned bound always equals what Bound would report.
+func (it *Iter) NextBatch(dst []query.Emission) (int, float64) {
 	vals, ids := it.l.vals, it.l.ids
 	w, qv := it.weight, it.qv
 	n := 0
@@ -175,6 +178,8 @@ func (it *Iter) NextBatch(dst []query.Emission) int {
 				lo--
 				if loOK = lo >= 0; loOK {
 					loC = -w * math.Abs(vals[lo]-qv)
+				} else {
+					loC = math.Inf(-1) // frontier off the array: no candidate
 				}
 			} else if hiOK {
 				dst[n] = query.Emission{ID: ids[hi], Contrib: hiC}
@@ -182,22 +187,26 @@ func (it *Iter) NextBatch(dst []query.Emission) int {
 				hi++
 				if hiOK = hi < len(vals); hiOK {
 					hiC = -w * math.Abs(vals[hi]-qv)
+				} else {
+					hiC = math.Inf(-1)
 				}
 			} else {
 				break
 			}
 		}
 		it.lo, it.hi = lo, hi
-		return n
+		// Invalid frontiers hold −Inf, so the max is the live bound (or −Inf
+		// when both frontiers ran off the array).
+		return n, math.Max(loC, hiC)
 	}
 	// Repulsive: frontiers are the array ends moving inward; the farther
 	// candidate wins, and the iterator is exhausted once they cross.
 	lo, hi := it.lo, it.hi
-	var loC, hiC float64
-	if lo <= hi {
-		loC = w * math.Abs(vals[lo]-qv)
-		hiC = w * math.Abs(vals[hi]-qv)
+	if lo > hi {
+		return 0, math.Inf(-1)
 	}
+	loC := w * math.Abs(vals[lo]-qv)
+	hiC := w * math.Abs(vals[hi]-qv)
 	for n < len(dst) && lo <= hi {
 		if loC >= hiC {
 			dst[n] = query.Emission{ID: ids[lo], Contrib: loC}
@@ -216,7 +225,10 @@ func (it *Iter) NextBatch(dst []query.Emission) int {
 		}
 	}
 	it.lo, it.hi = lo, hi
-	return n
+	if lo > hi {
+		return n, math.Inf(-1)
+	}
+	return n, math.Max(loC, hiC)
 }
 
 // Bound returns the contribution of the next unfetched point — an upper

@@ -250,8 +250,15 @@ func TestNextBatchMatchesNext(t *testing.T) {
 		var got []emi
 		buf := make([]query.Emission, 1+rng.Intn(9))
 		for {
-			m := bat.NextBatch(buf[:1+rng.Intn(len(buf))])
+			m, bound := bat.NextBatch(buf[:1+rng.Intn(len(buf))])
+			// The returned frontier bound must always agree with Bound.
+			if want := bat.Bound(); bound != want && !(math.IsInf(bound, -1) && math.IsInf(want, -1)) {
+				t.Fatalf("trial %d: NextBatch bound %v, Bound() %v", trial, bound, want)
+			}
 			if m == 0 {
+				if !math.IsInf(bound, -1) {
+					t.Fatalf("trial %d: empty batch with finite bound %v", trial, bound)
+				}
 				break
 			}
 			for _, e := range buf[:m] {
@@ -294,7 +301,7 @@ func TestNextBatchInterleaved(t *testing.T) {
 				}
 				continue
 			}
-			m := mix.NextBatch(buf[:1+rng.Intn(6)])
+			m, _ := mix.NextBatch(buf[:1+rng.Intn(6)])
 			for j := 0; j < m; j++ {
 				wid, wc, wok := ref.Next()
 				if !wok || buf[j].ID != wid || buf[j].Contrib != wc {

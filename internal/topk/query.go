@@ -425,13 +425,17 @@ func (m *merge) next() (geom.Point, float64, bool) {
 
 // drainInto bulk-emits up to len(dst) points in non-increasing normalized
 // score order, writing dataset IDs and rescaled contributions (× scale)
-// directly. Instead of a four-way comparison per point, it selects the best
-// stream once per run and then drains that stream while its head stays
-// ahead of the runner-up's — streams descend, so every such point still
-// beats every other stream's head. The emission sequence is identical to
-// repeated next calls: at score ties the lowest stream index wins both here
-// (the tie-aware break below) and there (the strict > scan).
-func (m *merge) drainInto(dst []query.Emission, scale float64) int {
+// directly, and returns the filled count plus the normalized score of the
+// next unemitted point (−Inf when the merge is exhausted) — the post-drain
+// frontier bound, already materialized in the stream heads, so callers that
+// schedule by bound pay no separate peek. Instead of a four-way comparison
+// per point, it selects the best stream once per run and then drains that
+// stream while its head stays ahead of the runner-up's — streams descend, so
+// every such point still beats every other stream's head. The emission
+// sequence is identical to repeated next calls: at score ties the lowest
+// stream index wins both here (the tie-aware break below) and there (the
+// strict > scan).
+func (m *merge) drainInto(dst []query.Emission, scale float64) (int, float64) {
 	filled := 0
 	for filled < len(dst) {
 		best, second, secondIdx := -1, math.Inf(-1), -1
@@ -467,7 +471,10 @@ func (m *merge) drainInto(dst []query.Emission, scale float64) int {
 			}
 		}
 	}
-	return filled
+	if next, ok := m.peekScore(); ok {
+		return filled, next
+	}
+	return filled, math.Inf(-1)
 }
 
 // peekScore returns the normalized score the next emission will carry.

@@ -99,11 +99,17 @@ func (s *Stream) Next() (Result, bool) {
 }
 
 // NextBatch bulk-fetches up to len(dst) emissions in non-increasing raw
-// score order, returning the count (0 when exhausted). Emission order is
-// identical to repeated Next calls; the batch form drains whole runs from
-// the winning merge stream (and, below it, whole leaf-cursor runs) instead
-// of paying a four-way comparison and two virtual calls per point.
-func (s *Stream) NextBatch(dst []query.Emission) int {
+// score order, returning the count (0 when exhausted) and the raw score the
+// next emission will carry — the post-batch frontier bound, −Inf when the
+// stream is exhausted. For blended streams the bound is read off the merge's
+// already-materialized stream heads (it always equals what PeekScore would
+// report), so bound-driven schedulers pay no separate peek. Algorithm-4
+// streams report +Inf — peeking would force the covering prefix to extend
+// (hidden work), and +Inf is always an admissible upper bound. Emission
+// order is identical to repeated Next calls; the batch form drains whole
+// runs from the winning merge stream (and, below it, whole leaf-cursor runs)
+// instead of paying a four-way comparison and two virtual calls per point.
+func (s *Stream) NextBatch(dst []query.Emission) (int, float64) {
 	if s.alg4 != nil {
 		n := 0
 		for n < len(dst) {
@@ -114,12 +120,19 @@ func (s *Stream) NextBatch(dst []query.Emission) int {
 			dst[n] = query.Emission{ID: int32(r.Point.ID), Contrib: r.Score}
 			n++
 		}
-		return n
+		if n < len(dst) {
+			return n, math.Inf(-1) // exhausted mid-batch: nothing is left
+		}
+		return n, math.Inf(1)
 	}
 	if !s.live {
-		return 0
+		return 0, math.Inf(-1)
 	}
-	return s.m.drainInto(dst, s.scale)
+	n, next := s.m.drainInto(dst, s.scale)
+	if math.IsInf(next, -1) {
+		return n, next
+	}
+	return n, next * s.scale
 }
 
 // PeekScore returns the raw score the next emission will carry, without

@@ -259,7 +259,15 @@ func TestNextBatchMatchesNext(t *testing.T) {
 			} else if pos != len(wantScore) {
 				t.Fatalf("trial %d: stream exhausted at %d of %d", trial, pos, len(wantScore))
 			}
-			m := reused.NextBatch(buf[:1+rng.Intn(len(buf))])
+			m, bound := reused.NextBatch(buf[:1+rng.Intn(len(buf))])
+			// The returned frontier bound must agree with a post-batch peek.
+			if peek, ok := reused.PeekScore(); ok {
+				if bound != peek {
+					t.Fatalf("trial %d: NextBatch bound %v, PeekScore %v", trial, bound, peek)
+				}
+			} else if !math.IsInf(bound, -1) {
+				t.Fatalf("trial %d: exhausted stream reported bound %v", trial, bound)
+			}
 			if m == 0 {
 				break
 			}

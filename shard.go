@@ -49,7 +49,8 @@ type ShardedIndex struct {
 type shardedCtx struct {
 	bufs  [][]query.Result // one reusable result buffer per (query × shard) task
 	specs []query.Spec
-	pos   []int // merge cursors, one per shard
+	pos   []int        // merge cursors, one per shard
+	stats []core.Stats // per-shard counters for the stats-reporting surface
 }
 
 func (s *ShardedIndex) getCtx(tasks int) *shardedCtx {
@@ -171,19 +172,20 @@ func resultBetter(a, b query.Result) bool {
 // topKShardAppend answers spec on one shard under its read lock, appending
 // into dst (the per-task pooled buffer) and translating the engine's local
 // IDs to global ones. With a reused dst the per-shard query path performs
-// no allocation.
-func (sh *shard) topKShardAppend(spec query.Spec, dst []query.Result) ([]query.Result, error) {
+// no allocation. The shard engine's work counters are returned for the
+// stats-reporting surfaces; fast paths ignore them.
+func (sh *shard) topKShardAppend(spec query.Spec, dst []query.Result) ([]query.Result, core.Stats, error) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	base := len(dst)
-	res, _, err := sh.eng.TopKAppend(dst, spec)
+	res, st, err := sh.eng.TopKAppend(dst, spec)
 	if err != nil {
-		return dst, err
+		return dst, st, err
 	}
 	for i := base; i < len(res); i++ {
 		res[i].ID = sh.globalIDs[res[i].ID]
 	}
-	return res, nil
+	return res, st, nil
 }
 
 // mergeShards merges per-shard best-first lists into dst under the global
@@ -222,6 +224,31 @@ func (s *ShardedIndex) TopK(q Query) ([]Result, error) {
 	return s.TopKAppend(nil, q)
 }
 
+// fanOutQuery runs spec on every shard through the pool, filling c.bufs with
+// per-shard answers under the batchErr first-error discipline. When stats is
+// non-nil it receives shard si's work counters at index si; the zero-alloc
+// fast path passes nil. This is the single copy of the per-shard
+// dispatch/skip/buffer-repooling dance TopKAppend and TopKWithStats share.
+func (s *ShardedIndex) fanOutQuery(spec query.Spec, c *shardedCtx, stats []core.Stats) error {
+	var be batchErr
+	s.pool.do(len(s.shards), func(si int) {
+		if be.shouldSkip(si) {
+			return
+		}
+		res, st, err := s.shards[si].topKShardAppend(spec, c.bufs[si][:0])
+		c.bufs[si] = res[:0] // keep grown capacity pooled
+		if err != nil {
+			be.record(si, err)
+			return
+		}
+		c.bufs[si] = res
+		if stats != nil {
+			stats[si] = st
+		}
+	})
+	return be.first()
+}
+
 // TopKAppend is TopK appending into dst: with a caller-reused dst and warm
 // pools the whole sharded fan-out allocates only the worker dispatch state.
 func (s *ShardedIndex) TopKAppend(dst []Result, q Query) ([]Result, error) {
@@ -229,23 +256,39 @@ func (s *ShardedIndex) TopKAppend(dst []Result, q Query) ([]Result, error) {
 	p := len(s.shards)
 	c := s.getCtx(p)
 	defer s.putCtx(c)
-	var be batchErr
-	s.pool.do(p, func(si int) {
-		if be.shouldSkip(si) {
-			return
-		}
-		res, err := s.shards[si].topKShardAppend(spec, c.bufs[si][:0])
-		c.bufs[si] = res[:0] // keep grown capacity pooled
-		if err != nil {
-			be.record(si, err)
-			return
-		}
-		c.bufs[si] = res
-	})
-	if err := be.first(); err != nil {
+	if err := s.fanOutQuery(spec, c, nil); err != nil {
 		return dst, err
 	}
 	return mergeShards(dst, c.bufs[:p], c.pos, q.K), nil
+}
+
+// TopKWithStats answers the query and reports the work counters summed over
+// every shard: total sorted accesses, scored points, subproblems, and
+// scheduler rounds across the fan-out, plus how many shard engines answered
+// from their plan cache (each shard keeps its own cache, so a fully warm
+// fan-out reports PlanCacheHits == Shards()). The diagnostic surface behind
+// the per-workload fetched/scored means the benchmark report emits for
+// sharded workloads.
+func (s *ShardedIndex) TopKWithStats(q Query) ([]Result, QueryStats, error) {
+	spec := q.spec()
+	p := len(s.shards)
+	c := s.getCtx(p)
+	defer s.putCtx(c)
+	for len(c.stats) < p {
+		c.stats = append(c.stats, core.Stats{})
+	}
+	if err := s.fanOutQuery(spec, c, c.stats[:p]); err != nil {
+		return nil, QueryStats{}, err
+	}
+	var total QueryStats
+	for _, st := range c.stats[:p] {
+		total.Subproblems += st.Subproblems
+		total.Fetched += st.Fetched
+		total.Scored += st.Scored
+		total.Rounds += st.Rounds
+		total.PlanCacheHits += st.PlanCacheHits
+	}
+	return mergeShards(make([]Result, 0, q.K), c.bufs[:p], c.pos, q.K), total, nil
 }
 
 // BatchTopK answers many queries, pipelining every (query, shard) unit of
@@ -274,7 +317,7 @@ func (s *ShardedIndex) BatchTopK(queries []Query) ([][]Result, error) {
 			return
 		}
 		qi, si := t/p, t%p
-		res, err := s.shards[si].topKShardAppend(c.specs[qi], c.bufs[t][:0])
+		res, _, err := s.shards[si].topKShardAppend(c.specs[qi], c.bufs[t][:0])
 		c.bufs[t] = res[:0]
 		if err != nil {
 			be.record(t, fmt.Errorf("query %d: %w", qi, err))
