@@ -79,14 +79,15 @@ func TestShardQueryPathZeroAllocs(t *testing.T) {
 		Roles:   allocRoles(),
 		Weights: []float64{0.8, 0.5, 0.3, 0.9},
 	}
-	// The per-shard query path — shard-local top-k into a reused buffer with
-	// global ID translation — is the unit BatchTopK schedules Q×P times; it
-	// must stay allocation-free for the batch layer's pooling to matter.
+	// The per-shard query path — one lock-free shard-engine top-k into a
+	// reused buffer, already in global-ID space — is the unit BatchTopK
+	// schedules Q×P times; it must stay allocation-free for the batch
+	// layer's pooling to matter.
 	for si, sh := range idx.shards {
 		var buf []query.Result
 		avg := measureAllocs(func() {
 			var err error
-			buf, _, err = sh.topKShardAppend(spec, buf[:0])
+			buf, _, err = sh.eng.TopKAppend(buf[:0], spec)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -97,15 +98,18 @@ func TestShardQueryPathZeroAllocs(t *testing.T) {
 	}
 }
 
-// TestTopKAppendZeroAllocsAfterInsert pins the satellite fix for the stale
-// pooled bitset: rows appended by Insert must be covered by regrown pooled
-// bitsets, not by the per-query overflow map (which allocates).
+// TestTopKAppendZeroAllocsAfterInsert pins the memtable query path: rows
+// appended by Insert are covered by regrown pooled bitsets and scored by
+// the exact memtable scan, neither of which may allocate in steady state.
+// Compaction is disabled so the memtable is guaranteed to hold rows during
+// the measurement (a background seal mid-window would be charged to the
+// query by testing.AllocsPerRun's global counters).
 func TestTopKAppendZeroAllocsAfterInsert(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates on otherwise alloc-free paths")
 	}
 	data := dataset.Generate(dataset.Uniform, 2_000, 4, 1)
-	idx, err := NewSDIndex(data, allocRoles())
+	idx, err := NewSDIndex(data, allocRoles(), WithCompaction(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,6 +127,9 @@ func TestTopKAppendZeroAllocsAfterInsert(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if _, mem := idx.Segments(); mem != 1_000 {
+		t.Fatalf("expected 1000 memtable rows, have %d", mem)
+	}
 	avg := measureAllocs(func() {
 		var err error
 		buf, err = idx.TopKAppend(buf[:0], q)
@@ -131,6 +138,49 @@ func TestTopKAppendZeroAllocsAfterInsert(t *testing.T) {
 		}
 	})
 	if avg != 0 {
-		t.Fatalf("post-Insert queries allocate %.2f objects per query (stale bitset falling back to the overflow map?), want 0", avg)
+		t.Fatalf("post-Insert queries allocate %.2f objects per query (memtable scan or stale bitset regression), want 0", avg)
+	}
+}
+
+// TestTopKAppendZeroAllocsCompacted pins the acceptance contract of the
+// segment refactor: after update churn and an explicit Compact — one sealed
+// segment, empty memtable — the hot path is exactly as allocation-free as a
+// freshly built index, snapshot acquisition included (a single atomic
+// load).
+func TestTopKAppendZeroAllocsCompacted(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on otherwise alloc-free paths")
+	}
+	data := dataset.Generate(dataset.Uniform, 10_000, 4, 1)
+	idx, err := NewSDIndex(data, allocRoles(), WithMemtableSize(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2_000; i++ {
+		if _, err := idx.Insert([]float64{0.1, 0.9, 0.4, 0.6}); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			idx.Remove(i * 4 % 10_000)
+		}
+	}
+	idx.Compact()
+	if segs, mem := idx.Segments(); segs != 1 || mem != 0 {
+		t.Fatalf("after Compact: %d segments, %d memtable rows, want 1, 0", segs, mem)
+	}
+	q := allocQuery()
+	var buf []Result
+	avg := measureAllocs(func() {
+		var err error
+		buf, err = idx.TopKAppend(buf[:0], q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("compacted-index queries allocate %.2f objects per query in steady state, want 0", avg)
+	}
+	if len(buf) != q.K {
+		t.Fatalf("got %d results, want %d", len(buf), q.K)
 	}
 }

@@ -181,8 +181,13 @@ func (b *batchErr) first() error { return b.err }
 // paper's analysis reasons about when comparing subproblem granularities.
 type QueryStats struct {
 	// Subproblems consulted (2D pairs plus 1D leftovers; zero-weight ones
-	// are skipped).
+	// are skipped), summed across every sealed segment.
 	Subproblems int
+	// Segments counts the sealed segments the query planned across (on a
+	// ShardedIndex, summed over shards). A freshly built or Compact-ed
+	// engine reports 1 per engine; sustained insert traffic grows it until
+	// the background compactor folds the stack back down.
+	Segments int
 	// Fetched counts sorted-access emissions across all subproblems.
 	Fetched int
 	// Scored counts distinct points scored by random access.

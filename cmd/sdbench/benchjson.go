@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -21,11 +23,11 @@ import (
 // are the regression signal. The -baseline flag diffs a fresh report against
 // a committed one and fails on regression — see diff.go for the gate rules.
 type benchJSON struct {
-	Schema    string  `json:"schema"`
-	Generated string  `json:"generated"`
-	GoVersion string  `json:"go"`
-	NumCPU    int     `json:"num_cpu"`
-	Scale     float64 `json:"scale"`
+	Schema    string         `json:"schema"`
+	Generated string         `json:"generated"`
+	GoVersion string         `json:"go"`
+	NumCPU    int            `json:"num_cpu"`
+	Scale     float64        `json:"scale"`
 	Workloads []workloadJSON `json:"workloads"`
 }
 
@@ -41,10 +43,23 @@ type workloadJSON struct {
 	// and records — the parallelism it claims to measure.
 	GOMAXPROCS int `json:"gomaxprocs"`
 	// Per-op figures from testing.Benchmark; for batch workloads one op is
-	// the whole batch.
+	// the whole batch. AllocsPerOp is -1 when the workload cannot attribute
+	// allocations to the measured path (mixed read/write workloads run a
+	// concurrent writer whose allocations land in the same global
+	// counters); the diff gate skips negative baselines.
 	NsPerOp     int64 `json:"ns_per_op"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Latency percentiles over individually timed queries — reported by the
+	// mixed read/write workload, where tail latency under concurrent write
+	// churn (memtable scans, segment stacks, background compaction) is the
+	// signal a mean would hide.
+	P50NsPerOp int64 `json:"p50_ns_per_op,omitempty"`
+	P99NsPerOp int64 `json:"p99_ns_per_op,omitempty"`
+	// WriterOps counts the remove+insert pairs the concurrent writer
+	// completed during the measurement window (mixed workloads only) —
+	// context for judging the write pressure behind the latency figures.
+	WriterOps int64 `json:"writer_ops,omitempty"`
 	// Work counters averaged over the query set. For sharded workloads the
 	// counters are summed across shards first, so scheduler and plan-cache
 	// wins stay visible end-to-end.
@@ -57,7 +72,7 @@ type workloadJSON struct {
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate,omitempty"`
 }
 
-const benchJSONSchema = "sdbench/v2"
+const benchJSONSchema = "sdbench/v3"
 
 // statsSource is the work-counter surface shared by SDIndex and
 // ShardedIndex.
@@ -87,6 +102,101 @@ func collectStats(src statsSource, queries []sdquery.Query, cacheDenom int) (w w
 	w.SubproblemsMean = float64(total.Subproblems) / qn
 	w.RoundsMean = float64(total.Rounds) / qn
 	w.PlanCacheHitRate = float64(total.PlanCacheHits) / (qn * float64(cacheDenom))
+	return w, nil
+}
+
+// runMixedRW measures single-query latency percentiles under sustained
+// concurrent write churn. The writer cycles over a working set of 5% of the
+// build rows, removing and reinserting each as fast as the engine admits
+// writes; every query is timed individually so the report captures the
+// tail, not just the mean. Queries run through TopKAppend with a reused
+// buffer — the same zero-allocation path the read-only workloads measure —
+// but AllocsPerOp is reported as -1: the concurrent writer (and the
+// background compactor it keeps busy) shares the process-wide counters, so
+// per-query attribution would be fiction.
+func runMixedRW(data [][]float64, roles []sdquery.Role, queries []sdquery.Query) (workloadJSON, error) {
+	var w workloadJSON
+	idx, err := sdquery.NewSDIndex(data, roles)
+	if err != nil {
+		return w, err
+	}
+	churn := len(data) / 20
+	if churn < 1 {
+		churn = 1
+	}
+	// Slots hold the current dataset ID of each churned row; removal and
+	// reinsertion keep the live count constant at len(data).
+	slots := make([]int, churn)
+	rows := make([][]float64, churn)
+	for i := range slots {
+		slots[i] = len(data) - churn + i
+		rows[i] = data[slots[i]]
+	}
+	stop := make(chan struct{})
+	var writerOps int64
+	var writerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i = (i + 1) % churn {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			idx.Remove(slots[i])
+			id, err := idx.Insert(rows[i])
+			if err != nil {
+				// A dead writer silently turns this into a read-only
+				// measurement; fail the workload instead.
+				writerErr = err
+				return
+			}
+			slots[i] = id
+			writerOps++
+		}
+	}()
+
+	const measureOps = 512
+	var buf []sdquery.Result
+	for i := 0; i < 32; i++ { // warm pools under churn
+		if buf, err = idx.TopKAppend(buf[:0], queries[i%len(queries)]); err != nil {
+			close(stop)
+			wg.Wait()
+			return w, err
+		}
+	}
+	lats := make([]int64, 0, measureOps)
+	for i := 0; i < measureOps; i++ {
+		q := queries[i%len(queries)]
+		t0 := time.Now()
+		buf, err = idx.TopKAppend(buf[:0], q)
+		lat := time.Since(t0)
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return w, err
+		}
+		lats = append(lats, lat.Nanoseconds())
+	}
+	close(stop)
+	wg.Wait()
+	if writerErr != nil {
+		return w, fmt.Errorf("mixed-rw writer died after %d ops: %w", writerOps, writerErr)
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum int64
+	for _, l := range lats {
+		sum += l
+	}
+	w.NsPerOp = sum / int64(len(lats))
+	w.P50NsPerOp = lats[len(lats)/2]
+	w.P99NsPerOp = lats[len(lats)*99/100]
+	w.AllocsPerOp = -1
+	w.BytesPerOp = -1
+	w.WriterOps = writerOps
 	return w, nil
 }
 
@@ -220,6 +330,21 @@ func runBenchJSON(path, baselinePath string, scale float64, queryCount int, seed
 			return err
 		}
 	}
+
+	// Mixed read/write: p50/p99 TopK latency on the lock-free read path
+	// while a writer goroutine continuously churns 5% of the rows
+	// (remove + reinsert), driving memtable fills, background seals, and
+	// segment folds for the whole measurement window. This is the workload
+	// the segment architecture exists for; before it, the same writer
+	// stalled every query behind a lock.
+	mixed, err := runMixedRW(data, roles, queries)
+	if err != nil {
+		return err
+	}
+	mixed.Name = "mixed-rw"
+	mixed.N, mixed.Dims, mixed.K, mixed.Queries = n, dims, k, len(queries)
+	mixed.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	report.Workloads = append(report.Workloads, mixed)
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -14,6 +14,14 @@ import (
 // guarantee is an invariant, not a measurement.
 const nsRegressionTolerance = 0.20
 
+// mixedNsRegressionTolerance is the looser ns/op gate for the mixed
+// read/write workload: its latency is measured while a writer goroutine and
+// the background compactor churn the index, so run-to-run variance is
+// inherently higher than the read-only workloads'. 50% still catches the
+// failure mode the workload exists to guard — queries serializing behind
+// the write path again — which is a multiple, not a percentage.
+const mixedNsRegressionTolerance = 0.50
+
 // fetchedRegressionTolerance gates the hardware-independent signal: on
 // single-engine workloads the sorted-access count is a deterministic
 // function of the seeded workload and the algorithm, identical on every
@@ -71,11 +79,27 @@ func diffAgainstBaseline(baselinePath string, fresh benchJSON) error {
 				"workload %q: %d queries, baseline has %d: not comparable", b.Name, f.Queries, b.Queries))
 			continue
 		}
-		if limit := float64(b.NsPerOp) * (1 + nsRegressionTolerance); float64(f.NsPerOp) > limit {
+		nsTol := nsRegressionTolerance
+		if strings.HasPrefix(b.Name, "mixed") {
+			nsTol = mixedNsRegressionTolerance
+		}
+		if limit := float64(b.NsPerOp) * (1 + nsTol); float64(f.NsPerOp) > limit {
 			violations = append(violations, fmt.Sprintf(
 				"workload %q: ns/op %d exceeds baseline %d by more than %.0f%%",
-				b.Name, f.NsPerOp, b.NsPerOp, nsRegressionTolerance*100))
+				b.Name, f.NsPerOp, b.NsPerOp, nsTol*100))
 		}
+		// Tail-latency gate for workloads that report percentiles (mixed
+		// read/write): the p99 regressing while the mean holds is exactly
+		// the "writer stalls a few unlucky queries" signature.
+		if b.P99NsPerOp > 0 && f.P99NsPerOp > 0 {
+			if limit := float64(b.P99NsPerOp) * (1 + mixedNsRegressionTolerance); float64(f.P99NsPerOp) > limit {
+				violations = append(violations, fmt.Sprintf(
+					"workload %q: p99 ns/op %d exceeds baseline %d by more than %.0f%%",
+					b.Name, f.P99NsPerOp, b.P99NsPerOp, mixedNsRegressionTolerance*100))
+			}
+		}
+		// AllocsPerOp < 0 marks an unattributable measurement (concurrent
+		// writer sharing the global counters) — no alloc invariant to gate.
 		if b.AllocsPerOp == 0 && f.AllocsPerOp > 0 {
 			violations = append(violations, fmt.Sprintf(
 				"workload %q: %d allocs/op, baseline guarantees 0", b.Name, f.AllocsPerOp))

@@ -23,12 +23,48 @@
 //     envelope regions.
 //   - ShardedIndex — the parallel execution layer: the dataset is
 //     partitioned across P shards (WithShards, default GOMAXPROCS), each
-//     backed by an independent SD-Index engine; TopK fans out to per-shard
-//     goroutines on a reusable worker pool (WithWorkers) and a bounded
-//     k-way merge recovers the exact global answer, byte-identical to the
-//     single engine's. BatchTopK pipelines whole query batches across the
-//     (query × shard) grid, and Insert/Remove lock only the shard they
-//     touch, so reads and writes proceed concurrently.
+//     backed by an independent SD-Index engine indexing its rows under
+//     their global dataset IDs; TopK fans out to per-shard goroutines on a
+//     reusable worker pool (WithWorkers) and a bounded merge recovers the
+//     exact global answer, byte-identical to the single engine's. BatchTopK
+//     pipelines whole query batches across the (query × shard) grid.
+//
+// # Storage: segments, snapshots, compaction
+//
+// Every engine is an epoch-versioned stack of immutable sealed segments —
+// flat rows, global IDs, and the per-pair index structures, built once and
+// never mutated — plus a small mutable memtable absorbing recent Inserts.
+// The engine's state is a single atomic pointer to an immutable snapshot,
+// so the query path holds no lock at all: TopK/TopKAppend load the
+// snapshot once and plan across every sealed segment (tombstones mask
+// removed rows at emission; the memtable's rows are scored exactly up
+// front). Insert appends to the memtable in O(d) with no index
+// maintenance, Remove flips a copy-on-write tombstone bit, and neither
+// ever blocks a reader. A background compactor — kicked past
+// WithMemtableSize rows, disabled by WithCompaction(false) — seals the
+// memtable into a segment, keeps the stack logarithmic (each segment at
+// least twice its successor), and rewrites dead-heavy segments; Compact
+// forces a synchronous full fold. SDIndex.Snapshot / ShardedIndex.Snapshot
+// pin a point-in-time view that keeps answering byte-identically to the
+// scan oracle at its acquisition instant while churn proceeds underneath.
+//
+// # Persistence
+//
+// Save serializes an index's snapshot to a versioned binary format — the
+// structural configuration plus every segment's rows, IDs, and tombstones;
+// index structures rebuild deterministically at load, so LoadSDIndex /
+// LoadShardedIndex / Load reconstruct an index that answers byte-
+// identically and reports the same Bytes, with no data re-ingestion:
+//
+//	f, _ := os.Create("points.sdx")
+//	err := idx.Save(f) // lock-free, snapshot-consistent
+//	f.Close()
+//	...
+//	f, _ = os.Open("points.sdx")
+//	idx2, err := sdquery.LoadSDIndex(f) // serves immediately; updates resume
+//
+// cmd/sdquery exposes the same flow: -save persists an index built from
+// CSV, -index serves a persisted one without any rebuild.
 //
 // Scan, SDIndex, TA, and ShardedIndex break score ties by ascending dataset
 // ID, so their answers are byte-identical to each other; BRS and PE resolve
@@ -43,7 +79,8 @@
 //
 // # Performance
 //
-// A query is planned, scheduled, and batch-executed. The planner resolves
+// A query is snapshotted, planned, scheduled, and batch-executed. The
+// snapshot is one atomic load (see above). The planner resolves
 // the query's shape (active dimensions, roles, zero weights) to the
 // surviving subproblem set, memoized per shape in a per-engine plan cache
 // (WithPlanCache to disable; QueryStats.PlanCacheHits to observe). Under
@@ -55,23 +92,27 @@
 // sorted-access floor on the evaluation workload.
 //
 // The Threshold-Algorithm aggregation is driven by a bound-driven
-// scheduler: each step bulk-fetches from the subproblem whose frontier
-// bound is falling fastest per sorted access, with the termination
-// threshold re-checked after every batch (WithScheduler(SchedRoundRobin)
-// restores the paper's rotation as an ablation). Every subproblem
-// implements a bulk fetch that drains whole runs and returns its
-// post-batch frontier bound for free. Together, plan-time pairing and
-// bound-driven scheduling cut sorted accesses on the default 50k × 6
-// workload by ~32% against the round-robin in-order baseline, at answers
-// byte-identical to the scan oracle (property-tested and fuzzed).
+// scheduler: each step bulk-fetches from the subproblem — across every
+// sealed segment — whose frontier bound is falling fastest per sorted
+// access, with sibling bounds, float pads, and retirement tracked per
+// segment and the termination threshold re-checked after every batch
+// (WithScheduler(SchedRoundRobin) restores the paper's rotation as an
+// ablation). Every subproblem implements a bulk fetch that drains whole
+// runs and returns its post-batch frontier bound for free. Together,
+// plan-time pairing and bound-driven scheduling cut sorted accesses on
+// the default 50k × 6 workload by ~32% against the round-robin in-order
+// baseline, at answers byte-identical to the scan oracle (property-tested
+// and fuzzed).
 //
 // All per-query state — weights, bounds, descent rates, emission buffers,
 // the seen bitset, stream cursors and heaps, the result collector, the
 // plan scratch — lives in per-engine sync.Pool contexts. SDIndex.TopKAppend
 // and ShardedIndex.TopKAppend append results into a caller-reused buffer;
-// with warm pools they perform zero heap allocations per query, which
-// alloc_test.go asserts with testing.AllocsPerRun. The TopK convenience
-// forms allocate only the returned slice.
+// on a compacted index (one sealed segment, empty memtable — the steady
+// state background compaction converges to) they perform zero heap
+// allocations per query, which alloc_test.go asserts with
+// testing.AllocsPerRun. The TopK convenience forms allocate only the
+// returned slice.
 //
 // Reproduce the numbers with `go test -bench 'BenchmarkTopK$' -benchmem .`
 // or regenerate the machine-readable trajectory with

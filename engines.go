@@ -62,13 +62,16 @@ type sdConfig struct {
 	workers      int
 	sched        SchedulerMode
 	noPlanCache  bool
+	memSize      int
+	noCompact    bool
 }
 
 // coreConfig materializes the option set into the internal engine
 // configuration for one (sub-)dataset with the given roles.
 func (c *sdConfig) coreConfig(roles []Role) (core.Config, error) {
 	cfg := core.Config{Roles: roles, Pairing: c.pairing, Tree: c.tree,
-		Scheduler: c.sched, DisablePlanCache: c.noPlanCache}
+		Scheduler: c.sched, DisablePlanCache: c.noPlanCache,
+		MemtableSize: c.memSize, DisableCompaction: c.noCompact}
 	if c.useAngles {
 		cfg.Tree.Angles = nil
 		for _, d := range c.angleDegrees {
@@ -141,6 +144,25 @@ func WithPlanCache(enabled bool) SDOption {
 	return func(c *sdConfig) { c.noPlanCache = !enabled }
 }
 
+// WithMemtableSize sets the memtable row count past which the background
+// compactor seals recent inserts into an immutable segment (default 1024).
+// Smaller values seal more eagerly — less per-query memtable scanning, more
+// frequent tree builds; larger values batch more inserts per seal. Queries
+// are exact at every setting. A ShardedIndex applies the threshold to every
+// shard engine.
+func WithMemtableSize(rows int) SDOption {
+	return func(c *sdConfig) { c.memSize = rows }
+}
+
+// WithCompaction enables or disables background compaction (default
+// enabled). With compaction disabled the memtable grows without bound —
+// queries stay exact, scanning it row by row — and segments are only ever
+// folded by an explicit Compact call; useful for tests and for bulk-load
+// phases that end with one big Compact.
+func WithCompaction(enabled bool) SDOption {
+	return func(c *sdConfig) { c.noCompact = !enabled }
+}
+
 // WithShards sets the number of data shards NewShardedIndex partitions the
 // dataset into (≤ 0 selects GOMAXPROCS; the count is capped at the dataset
 // size). NewSDIndex ignores it.
@@ -194,23 +216,10 @@ func (s *SDIndex) TopK(q Query) ([]Result, error) {
 // and returning the extended slice. With a caller-reused dst the
 // steady-state query path performs no allocation: all per-query state lives
 // in pooled contexts inside the engine. dst's existing elements are
-// preserved; a nil dst behaves like TopK.
+// preserved; a nil dst behaves like TopK. The whole path is lock-free —
+// snapshot acquisition is a single atomic load (see Snapshot).
 func (s *SDIndex) TopKAppend(dst []Result, q Query) ([]Result, error) {
-	bp, _ := s.buf.Get().(*[]query.Result)
-	if bp == nil {
-		bp = new([]query.Result)
-	}
-	res, _, err := s.eng.TopKAppend((*bp)[:0], q.spec())
-	*bp = res[:0] // keep the grown capacity pooled either way
-	if err != nil {
-		s.buf.Put(bp)
-		return dst, err
-	}
-	for _, r := range res {
-		dst = append(dst, Result{ID: r.ID, Score: r.Score})
-	}
-	s.buf.Put(bp)
-	return dst, nil
+	return s.appendVia(s.eng.View(), dst, q)
 }
 
 // Len reports the number of live points.
@@ -219,11 +228,27 @@ func (s *SDIndex) Len() int { return s.eng.Len() }
 // Roles returns the build-time dimension roles.
 func (s *SDIndex) Roles() []Role { return append([]Role(nil), s.roles...) }
 
-// Insert adds a point and returns its dataset ID.
+// Insert adds a point and returns its dataset ID. The row lands in the
+// engine's memtable — O(d) work, no index maintenance — and becomes part of
+// a sealed segment when the background compactor next runs; queries see it
+// immediately either way. Insert never blocks queries.
 func (s *SDIndex) Insert(p []float64) (int, error) { return s.eng.Insert(p) }
 
-// Remove deletes a point by dataset ID, reporting whether it was live.
+// Remove deletes a point by dataset ID, reporting whether it was live. The
+// row is tombstoned in the current snapshot (removed rows are masked at
+// query time) and physically reclaimed by a later compaction.
 func (s *SDIndex) Remove(id int) bool { return s.eng.Remove(id) }
+
+// Compact synchronously folds the index's segment stack and memtable into a
+// single sealed segment, dropping tombstoned rows. Queries keep flowing
+// throughout; use it to finish a bulk-load phase or to pin the zero-alloc
+// steady state before latency-critical serving.
+func (s *SDIndex) Compact() { s.eng.Compact() }
+
+// Segments reports the number of sealed segments and memtable rows in the
+// index's current snapshot — the observable shape of the storage stack that
+// background compaction continuously reorganizes.
+func (s *SDIndex) Segments() (segments, memRows int) { return s.eng.Segments() }
 
 // Bytes estimates the resident size of the index structures.
 func (s *SDIndex) Bytes() int { return s.eng.Bytes() }

@@ -74,6 +74,43 @@ func TestDifferentialSDIndexScheduling(t *testing.T) {
 	})
 }
 
+// TestDifferentialSDIndexStorage runs the oracle workloads against the
+// storage-layer knobs: a tiny memtable forces the update phase through many
+// background seals and folds (multi-segment planning, tombstone masking,
+// snapshot isolation across compaction), while disabled compaction forces
+// every inserted row through the memtable scan path. Answers must stay
+// byte-identical to the oracle in both regimes.
+func TestDifferentialSDIndexStorage(t *testing.T) {
+	t.Run("tiny-memtable", func(t *testing.T) {
+		enginetest.Run(t, enginetest.Factory{
+			Name:          "sdindex-tiny-memtable",
+			Deterministic: true,
+			New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+				return sdquery.NewSDIndex(data, roles, sdquery.WithMemtableSize(4))
+			},
+		})
+	})
+	t.Run("no-compaction", func(t *testing.T) {
+		enginetest.Run(t, enginetest.Factory{
+			Name:          "sdindex-no-compaction",
+			Deterministic: true,
+			New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+				return sdquery.NewSDIndex(data, roles, sdquery.WithCompaction(false))
+			},
+		})
+	})
+	t.Run("tiny-memtable-roundrobin", func(t *testing.T) {
+		enginetest.Run(t, enginetest.Factory{
+			Name:          "sdindex-tiny-memtable-roundrobin",
+			Deterministic: true,
+			New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+				return sdquery.NewSDIndex(data, roles,
+					sdquery.WithMemtableSize(4), sdquery.WithScheduler(sdquery.SchedRoundRobin))
+			},
+		})
+	})
+}
+
 func TestDifferentialTA(t *testing.T) {
 	enginetest.Run(t, enginetest.Factory{
 		Name:          "ta",

@@ -7,6 +7,7 @@ package sdquery_test
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	sdquery "repro"
@@ -34,6 +35,122 @@ func fuzzDataset(seed int64, n, dims int) ([][]float64, []sdquery.Role) {
 	}
 	roles[rng.Intn(dims)] = sdquery.Repulsive // at least one active dimension
 	return data, roles
+}
+
+// FuzzTopKChurn drives the storage layer: a tiny memtable (so coverage-
+// guided inputs force seals, folds, and tombstone masking through the
+// background compactor) under an interleaved insert/remove/query stream,
+// with a snapshot pinned mid-churn. Every live answer must match the oracle
+// over the current row set; the pinned snapshot must keep matching the
+// oracle frozen at its acquisition.
+func FuzzTopKChurn(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(3), uint8(5), int64(2), uint8(30))
+	f.Add(int64(9), uint8(60), uint8(5), uint8(2), int64(3), uint8(80))
+	f.Add(int64(4), uint8(10), uint8(2), uint8(9), int64(7), uint8(255))
+	f.Fuzz(func(t *testing.T, dataSeed int64, nRaw, dimsRaw, kRaw uint8, opSeed int64, opsRaw uint8) {
+		n := 1 + int(nRaw)%64
+		dims := 1 + int(dimsRaw)%5
+		data, roles := fuzzDataset(dataSeed, n, dims)
+
+		idx, err := sdquery.NewSDIndex(data, roles, sdquery.WithMemtableSize(4))
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		mirror := append([][]float64(nil), data...)
+		dead := make([]bool, len(mirror))
+
+		oracleTopK := func(mir [][]float64, dd []bool, q sdquery.Query) []sdquery.Result {
+			var all []sdquery.Result
+			for id, p := range mir {
+				if dd[id] {
+					continue
+				}
+				all = append(all, sdquery.Result{ID: id, Score: q.Score(p)})
+			}
+			sort.Slice(all, func(i, j int) bool {
+				if all[i].Score != all[j].Score {
+					return all[i].Score > all[j].Score
+				}
+				return all[i].ID < all[j].ID
+			})
+			if len(all) > q.K {
+				all = all[:q.K]
+			}
+			return all
+		}
+		rng := rand.New(rand.NewSource(opSeed))
+		newQuery := func() sdquery.Query {
+			q := sdquery.Query{
+				Point:   make([]float64, dims),
+				K:       1 + int(kRaw)%(len(mirror)+2),
+				Roles:   append([]sdquery.Role(nil), roles...),
+				Weights: make([]float64, dims),
+			}
+			for d := 0; d < dims; d++ {
+				q.Point[d] = float64(rng.Intn(9)) / 8
+				if rng.Intn(3) == 0 {
+					q.Weights[d] = 1
+				} else {
+					q.Weights[d] = rng.Float64()
+				}
+			}
+			return q
+		}
+		checkOne := func(label string, got, want []sdquery.Result) {
+			if len(got) != len(want) {
+				t.Fatalf("%s: %d results, oracle has %d\ngot  %v\nwant %v", label, len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: rank %d differs\ngot  %v\nwant %v", label, i, got, want)
+				}
+			}
+		}
+
+		snap := idx.Snapshot()
+		snapMirror := append([][]float64(nil), mirror...)
+		snapDead := append([]bool(nil), dead...)
+
+		ops := 1 + int(opsRaw)%96
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				p := make([]float64, dims)
+				for d := range p {
+					p[d] = float64(rng.Intn(4)) / 4
+				}
+				id, err := idx.Insert(p)
+				if err != nil {
+					t.Fatalf("op %d: insert: %v", op, err)
+				}
+				if id != len(mirror) {
+					t.Fatalf("op %d: insert returned %d, want %d", op, id, len(mirror))
+				}
+				mirror = append(mirror, p)
+				dead = append(dead, false)
+			case 1:
+				id := rng.Intn(len(mirror))
+				if idx.Remove(id) != !dead[id] {
+					t.Fatalf("op %d: Remove(%d) disagrees with mirror", op, id)
+				}
+				dead[id] = true
+			case 2:
+				q := newQuery()
+				got, err := idx.TopK(q)
+				if err != nil {
+					t.Fatalf("op %d: query: %v", op, err)
+				}
+				checkOne("live", got, oracleTopK(mirror, dead, q))
+			default:
+				q := newQuery()
+				got, err := snap.TopK(q)
+				if err != nil {
+					t.Fatalf("op %d: snapshot query: %v", op, err)
+				}
+				checkOne("snapshot", got, oracleTopK(snapMirror, snapDead, q))
+			}
+		}
+	})
 }
 
 func FuzzTopK(f *testing.F) {

@@ -8,6 +8,18 @@
 // access, and stops once the k-th best exact score reaches the sum of the
 // per-subproblem frontier bounds.
 //
+// Storage architecture: the engine is an epoch-versioned stack of immutable
+// sealed segments — flat data, per-pair trees, sorted lists, built once and
+// never mutated — plus a small mutable memtable absorbing recent Inserts.
+// Queries acquire a copy-on-write snapshot with one atomic load and hold no
+// lock at all: every sealed segment contributes its subproblem streams to
+// the §5 aggregation (tombstones mask removed rows at emission), and the
+// memtable's few rows are scored exactly up front. A background compactor
+// seals the memtable into a segment past a size threshold and folds small
+// segments together, amortizing tree builds off both the query and the
+// insert path. Sealed segments serialize to a versioned binary format
+// (Save / Load), so a persisted index restarts without rebuilding.
+//
 // The granularity of the subproblems — two dimensions instead of TA's one —
 // is the source of the paper's reported speedups and dimension scalability.
 package core
@@ -20,8 +32,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/dataset"
-	"repro/internal/dimlist"
-	"repro/internal/geom"
 	"repro/internal/query"
 	"repro/internal/topk"
 )
@@ -65,6 +75,12 @@ const (
 // falls back to the fixed in-order zip.
 const pairGridCap = 32
 
+// defaultMemtableSize is the memtable row count past which the background
+// compactor seals it into a segment. Small enough that the per-query exact
+// scan of the memtable stays a rounding error next to the indexed
+// subproblems, large enough that tree builds amortize over many inserts.
+const defaultMemtableSize = 1024
+
 // String names the strategy.
 func (p Pairing) String() string {
 	switch p {
@@ -94,7 +110,7 @@ type Config struct {
 	// setting; the per-pair trees depend on it). Queries may demote an
 	// active dimension to Ignored but may not flip roles.
 	Roles []query.Role
-	// Pairing selects the dimension-mapping strategy. Default PairInOrder.
+	// Pairing selects the dimension-mapping strategy. Default PairAdaptive.
 	Pairing Pairing
 	// Tree configures the per-pair §4 indexes.
 	Tree topk.Config
@@ -106,103 +122,93 @@ type Config struct {
 	// deriving every query's plan from scratch — the ablation baseline for
 	// the cache's hit-rate statistics.
 	DisablePlanCache bool
+	// MemtableSize is the memtable row count past which the background
+	// compactor seals it into an immutable segment. Default 1024.
+	MemtableSize int
+	// DisableCompaction turns the background compactor off entirely: the
+	// memtable grows without bound (queries stay correct, scanning it
+	// exactly) and segments are only ever folded by an explicit Compact.
+	DisableCompaction bool
 }
 
-// Engine is the SD-Index.
+// Engine is the SD-Index. All read paths (TopK and friends, Len, Bytes,
+// View) are lock-free: they load the current snapshot with a single atomic
+// pointer load. Insert, Remove, and compaction serialize among themselves
+// on internal mutexes and publish new snapshots; they never block readers.
 type Engine struct {
-	data    [][]float64
-	flat    []float64 // row-major copy, stride dims: one cache line per random access
 	dims    int
 	roles   []query.Role
-	pairing Pairing
-	pairs   []Pair
-	trees   []*topk.Index
-	lone    []int // dimensions solved as 1D subproblems
-	lists   map[int]*dimlist.List
-	// Adaptive pair-tree grid (PairAdaptive within pairGridCap): one §4
-	// tree per (repulsive, attractive) dimension combination, indexed
-	// grid[ri*len(gridAtt)+ai]. The planner picks min(active) matched pairs
-	// per query by descending weight; leftover active dimensions run as
-	// degenerate pairs with one zero weight (a 1D frontier over the same
-	// trees), so adaptive engines build no sorted lists at all.
-	adaptive bool
-	grid     []*topk.Index
-	gridRep  []int // repulsive dims in grid row order
-	gridAtt  []int // attractive dims in grid column order
-	gridPos  []int32 // dim → its row/column index (shared: roles disjoint)
-	dead     []bool  // tombstones for removed rows
-	live     int
-	ctxPool sync.Pool // *queryCtx — see hotpath.go
+	pairing Pairing // requested strategy (data layout may have fallen back)
+	layout  layout
+	treeCfg topk.Config
 	sched   Scheduler
+
+	// snap is the engine's current epoch. Queries, Len, and Bytes read it
+	// with one atomic load; writers build a successor and Store it.
+	snap atomic.Pointer[snapshot]
+
+	// wrMu serializes snapshot publication (Insert, Remove, compactor
+	// swaps). It is never taken on a read path.
+	wrMu sync.Mutex
+
+	// Compaction state — see compact.go.
+	compactMu  sync.Mutex
+	compacting atomic.Bool
+	memSize    int
+	noCompact  bool
+
+	ctxPool sync.Pool // *queryCtx — see hotpath.go
 
 	// Plan cache (plan.go): immutable per-shape plans behind an atomic
 	// pointer to a copy-on-write map, shared by every pooled query context.
-	// Plans depend only on the build-time pairing and roles — which never
-	// change after New — so Insert and Remove need no invalidation.
+	// Plans depend only on the build-time layout and roles — which never
+	// change after New — so Insert, Remove, and compaction need no
+	// invalidation.
 	noPlanCache bool
 	planMu      sync.Mutex
 	plans       atomic.Pointer[map[uint64]*queryPlan]
-	// Per-dimension coordinate extrema over every row ever indexed
-	// (removals keep them, which only loosens the bound). They size the
-	// float-error pad that keeps tie-breaking deterministic — see slack.
-	minVal, maxVal []float64
 }
 
-// New builds the SD-Index over the dataset.
+// New builds the SD-Index over the dataset, sealing it into the engine's
+// first immutable segment. The dimensionality is len(cfg.Roles); every row
+// must match it.
 func New(data [][]float64, cfg Config) (*Engine, error) {
-	dims := 0
-	if len(data) > 0 {
-		dims = len(data[0])
+	ids := make([]int32, len(data))
+	for i := range ids {
+		ids[i] = int32(i)
 	}
-	if len(cfg.Roles) != dims {
-		return nil, fmt.Errorf("core: %d roles for %d dims", len(cfg.Roles), dims)
+	return NewWithIDs(data, ids, cfg)
+}
+
+// NewWithIDs is New with caller-assigned global dataset IDs (strictly
+// ascending). The sharded execution layer deals rows to shard engines this
+// way, so every engine's results — and its ascending-ID tie-break — are in
+// terms of the same global ID space.
+func NewWithIDs(data [][]float64, ids []int32, cfg Config) (*Engine, error) {
+	dims := len(cfg.Roles)
+	if len(ids) != len(data) {
+		return nil, fmt.Errorf("core: %d ids for %d rows", len(ids), len(data))
 	}
 	for i, p := range data {
-		if len(p) != dims {
-			return nil, fmt.Errorf("core: point %d has %d dims, want %d", i, len(p), dims)
+		if err := validRow(p, dims); err != nil {
+			return nil, fmt.Errorf("core: point %d: %w", i, err)
 		}
-		for d, c := range p {
-			if math.IsNaN(c) || math.IsInf(c, 0) {
-				return nil, fmt.Errorf("core: point %d dim %d is %v", i, d, c)
-			}
+		if ids[i] < 0 || (i > 0 && ids[i] <= ids[i-1]) {
+			return nil, fmt.Errorf("core: ids must be ascending and non-negative (id %d at row %d)", ids[i], i)
+		}
+	}
+	for _, r := range cfg.Roles {
+		switch r {
+		case query.Repulsive, query.Attractive, query.Ignored:
+		default:
+			return nil, fmt.Errorf("core: unknown role %d", r)
 		}
 	}
 	if !cfg.Scheduler.valid() {
 		return nil, fmt.Errorf("core: unknown scheduler %v", cfg.Scheduler)
 	}
-	e := &Engine{
-		data:        data,
-		dims:        dims,
-		roles:       append([]query.Role(nil), cfg.Roles...),
-		pairing:     cfg.Pairing,
-		lists:       make(map[int]*dimlist.List),
-		dead:        make([]bool, len(data)),
-		live:        len(data),
-		minVal:      make([]float64, dims),
-		maxVal:      make([]float64, dims),
-		sched:       cfg.Scheduler,
-		noPlanCache: cfg.DisablePlanCache,
-	}
-	for d := 0; d < dims; d++ {
-		e.minVal[d], e.maxVal[d] = math.Inf(1), math.Inf(-1)
-	}
-	for _, p := range data {
-		for d, c := range p {
-			e.minVal[d] = math.Min(e.minVal[d], c)
-			e.maxVal[d] = math.Max(e.maxVal[d], c)
-		}
-	}
-	var repulsive, attractive []int
-	for d, r := range cfg.Roles {
-		switch r {
-		case query.Repulsive:
-			repulsive = append(repulsive, d)
-		case query.Attractive:
-			attractive = append(attractive, d)
-		case query.Ignored:
-		default:
-			return nil, fmt.Errorf("core: dimension %d has unknown role %d", d, r)
-		}
+	if cfg.MemtableSize <= 0 {
+		cfg.MemtableSize = defaultMemtableSize
 	}
 	// The engine defaults its per-pair trees to packed leaves: the tree
 	// semantics are identical (the paper's §4 disk-style layout), and the
@@ -213,72 +219,46 @@ func New(data [][]float64, cfg Config) (*Engine, error) {
 	if cfg.Tree.LeafCap == 0 {
 		cfg.Tree.LeafCap = 64
 	}
-	if dims > 0 {
-		e.flat = make([]float64, 0, len(data)*dims)
+	e := &Engine{
+		dims:        dims,
+		roles:       append([]query.Role(nil), cfg.Roles...),
+		pairing:     cfg.Pairing,
+		layout:      makeLayout(data, cfg.Roles, cfg.Pairing),
+		treeCfg:     cfg.Tree,
+		sched:       cfg.Scheduler,
+		memSize:     cfg.MemtableSize,
+		noCompact:   cfg.DisableCompaction,
+		noPlanCache: cfg.DisablePlanCache,
+	}
+	sn := &snapshot{
+		total:  0,
+		live:   len(data),
+		minVal: make([]float64, dims),
+		maxVal: make([]float64, dims),
+	}
+	for d := 0; d < dims; d++ {
+		sn.minVal[d], sn.maxVal[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, p := range data {
+		for d, c := range p {
+			sn.minVal[d] = math.Min(sn.minVal[d], c)
+			sn.maxVal[d] = math.Max(sn.maxVal[d], c)
+		}
+	}
+	if n := len(ids); n > 0 {
+		sn.total = int(ids[n-1]) + 1
+		flat := make([]float64, 0, n*dims)
 		for _, p := range data {
-			e.flat = append(e.flat, p...)
+			flat = append(flat, p...)
 		}
-	}
-	pairing := cfg.Pairing
-	if pairing == PairAdaptive {
-		if len(repulsive) > 0 && len(attractive) > 0 &&
-			len(repulsive)*len(attractive) <= pairGridCap {
-			e.adaptive = true
-			e.gridRep = repulsive
-			e.gridAtt = attractive
-			e.gridPos = make([]int32, dims)
-			for i, d := range repulsive {
-				e.gridPos[d] = int32(i)
-			}
-			for i, d := range attractive {
-				e.gridPos[d] = int32(i)
-			}
-			e.grid = make([]*topk.Index, len(repulsive)*len(attractive))
-			for ri, r := range repulsive {
-				for ai, a := range attractive {
-					pts := make([]geom.Point, len(data))
-					for i, p := range data {
-						pts[i] = geom.Point{ID: i, X: p[a], Y: p[r]}
-					}
-					tree, err := topk.Build(pts, cfg.Tree)
-					if err != nil {
-						return nil, fmt.Errorf("core: pair (%d, %d): %w", r, a, err)
-					}
-					e.grid[ri*len(attractive)+ai] = tree
-				}
-			}
-			e.initCtxPool()
-			return e, nil
-		}
-		// Degenerate or oversized grid: the adaptive planner has nothing to
-		// choose from (or too much to index), so fall back to the fixed
-		// in-order structure. Answers are identical either way.
-		pairing = PairInOrder
-	}
-	e.pairs = makePairs(data, repulsive, attractive, pairing)
-	paired := make(map[int]bool)
-	for _, pr := range e.pairs {
-		paired[pr.Rep] = true
-		paired[pr.Attr] = true
-	}
-	for _, d := range append(append([]int(nil), repulsive...), attractive...) {
-		if !paired[d] {
-			e.lone = append(e.lone, d)
-			e.lists[d] = dimlist.Build(data, d)
-		}
-	}
-	sort.Ints(e.lone)
-	for _, pr := range e.pairs {
-		pts := make([]geom.Point, len(data))
-		for i, p := range data {
-			pts[i] = geom.Point{ID: i, X: p[pr.Attr], Y: p[pr.Rep]}
-		}
-		tree, err := topk.Build(pts, cfg.Tree)
+		seg, err := buildSegment(flat, ids, dims, &e.layout, e.treeCfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: pair (%d, %d): %w", pr.Rep, pr.Attr, err)
+			return nil, err
 		}
-		e.trees = append(e.trees, tree)
+		sn.segs = []*segment{seg}
+		sn.tombs = [][]uint64{nil}
 	}
+	e.snap.Store(sn)
 	e.initCtxPool()
 	return e, nil
 }
@@ -366,52 +346,55 @@ const floatSlack = 64 * 0x1p-52
 
 // reach returns an upper bound on |p_d − q_d| over every indexed row —
 // the magnitude that scales dimension d's score terms.
-func (e *Engine) reach(d int, qv float64) float64 {
-	if e.minVal[d] > e.maxVal[d] { // no rows indexed yet
+func (sn *snapshot) reach(d int, qv float64) float64 {
+	if sn.minVal[d] > sn.maxVal[d] { // no rows indexed yet
 		return 0
 	}
-	return math.Max(math.Abs(e.minVal[d]-qv), math.Abs(e.maxVal[d]-qv))
+	return math.Max(math.Abs(sn.minVal[d]-qv), math.Abs(sn.maxVal[d]-qv))
 }
 
 // Pairs returns the chosen dimension pairing (for inspection and tests).
 // Adaptive engines have no static pairing — the planner selects a bijection
 // per query — and return nil.
-func (e *Engine) Pairs() []Pair { return append([]Pair(nil), e.pairs...) }
+func (e *Engine) Pairs() []Pair { return append([]Pair(nil), e.layout.pairs...) }
 
 // Adaptive reports whether the engine selects its dimension pairing at plan
 // time over the full pair-tree grid.
-func (e *Engine) Adaptive() bool { return e.adaptive }
+func (e *Engine) Adaptive() bool { return e.layout.adaptive }
+
+// Roles returns the build-time dimension roles.
+func (e *Engine) Roles() []query.Role { return append([]query.Role(nil), e.roles...) }
 
 // Len returns the number of live points.
-func (e *Engine) Len() int { return e.live }
+func (e *Engine) Len() int { return e.snap.Load().live }
 
-// Bytes estimates the resident size of the engine: the per-pair trees, the
-// per-dimension sorted lists, the flat row-major copy backing random
-// accesses, the tombstone array, and the per-dimension extrema — everything
-// the engine itself retains beyond the caller's dataset, so capacity
-// planning numbers are honest.
-func (e *Engine) Bytes() int {
-	total := 8*len(e.flat) + len(e.dead) + 8*(len(e.minVal)+len(e.maxVal))
-	for _, t := range e.trees {
-		total += t.Bytes()
-	}
-	for _, t := range e.grid {
-		total += t.Bytes()
-	}
-	for _, l := range e.lists {
-		total += l.Len() * 12 // 8B value + 4B id per entry
-	}
-	return total
+// Segments reports the number of sealed segments in the current snapshot
+// and the number of memtable rows — the observable shape of the storage
+// stack, which compaction continuously reorganizes.
+func (e *Engine) Segments() (segments, memRows int) {
+	sn := e.snap.Load()
+	return len(sn.segs), sn.memRows()
 }
+
+// Bytes estimates the resident size of the engine: every sealed segment's
+// index structures, flat row block, global-ID map, and tombstone bitset,
+// plus the memtable arrays and the per-dimension extrema — everything the
+// engine itself retains beyond the caller's dataset, so capacity planning
+// numbers are honest.
+func (e *Engine) Bytes() int { return e.snap.Load().bytes() }
 
 // Stats reports the work one query performed — the quantities the paper's
 // analysis argues about (fetches per subproblem versus a full scan).
 type Stats struct {
-	// Subproblems actually consulted (zero-weight ones are skipped).
+	// Subproblems actually consulted (zero-weight ones are skipped),
+	// summed across every sealed segment.
 	Subproblems int
+	// Segments counts the sealed segments the query planned across.
+	Segments int
 	// Fetched counts sorted-access emissions across all subproblems.
 	Fetched int
-	// Scored counts distinct points scored by random access.
+	// Scored counts distinct points scored by random access (memtable rows
+	// included — they are always scored exactly).
 	Scored int
 	// Rounds counts scheduler steps: one adaptive batch dispatched to one
 	// subproblem (under either scheduler), so the figure is comparable
@@ -438,65 +421,4 @@ func (e *Engine) TopKWithStats(spec query.Spec) ([]query.Result, Stats, error) {
 		return nil, stats, err
 	}
 	return res, stats, nil
-}
-
-// Insert appends a point, updating every per-pair tree and sorted list.
-// It returns the new point's dataset ID.
-func (e *Engine) Insert(p []float64) (int, error) {
-	if len(p) != e.dims {
-		return 0, fmt.Errorf("core: point has %d dims, want %d", len(p), e.dims)
-	}
-	for d, c := range p {
-		if math.IsNaN(c) || math.IsInf(c, 0) {
-			return 0, fmt.Errorf("core: dim %d is %v", d, c)
-		}
-	}
-	id := len(e.data)
-	e.data = append(e.data, p)
-	e.flat = append(e.flat, p...)
-	e.dead = append(e.dead, false)
-	e.live++
-	for d, c := range p {
-		e.minVal[d] = math.Min(e.minVal[d], c)
-		e.maxVal[d] = math.Max(e.maxVal[d], c)
-	}
-	for ri, r := range e.gridRep {
-		for ai, a := range e.gridAtt {
-			if err := e.grid[ri*len(e.gridAtt)+ai].Insert(geom.Point{ID: id, X: p[a], Y: p[r]}); err != nil {
-				return 0, err
-			}
-		}
-	}
-	for i, pr := range e.pairs {
-		if err := e.trees[i].Insert(geom.Point{ID: id, X: p[pr.Attr], Y: p[pr.Rep]}); err != nil {
-			return 0, err
-		}
-	}
-	for _, d := range e.lone {
-		e.lists[d].Insert(p[d], int32(id))
-	}
-	return id, nil
-}
-
-// Remove deletes a point by dataset ID (tombstoning its row), reporting
-// whether it was live.
-func (e *Engine) Remove(id int) bool {
-	if id < 0 || id >= len(e.data) || e.dead[id] {
-		return false
-	}
-	p := e.data[id]
-	for ri, r := range e.gridRep {
-		for ai, a := range e.gridAtt {
-			e.grid[ri*len(e.gridAtt)+ai].Delete(geom.Point{ID: id, X: p[a], Y: p[r]})
-		}
-	}
-	for i, pr := range e.pairs {
-		e.trees[i].Delete(geom.Point{ID: id, X: p[pr.Attr], Y: p[pr.Rep]})
-	}
-	for _, d := range e.lone {
-		e.lists[d].Delete(p[d], int32(id))
-	}
-	e.dead[id] = true
-	e.live--
-	return true
 }

@@ -356,12 +356,12 @@ func TestInsertRemove(t *testing.T) {
 			if math.Abs(got[i].Score-want[i].Score) > eps*math.Max(1, math.Abs(want[i].Score)) {
 				t.Fatalf("after churn result %d: %v, want %v", i, got[i].Score, want[i].Score)
 			}
-			if dead := eng.dead[got[i].ID]; dead {
+			if !eng.Alive(got[i].ID) {
 				t.Fatalf("tombstoned point %d returned", got[i].ID)
 			}
 		}
 	}
-	if eng.Remove(len(eng.data) + 5) {
+	if eng.Remove(eng.snap.Load().total + 5) {
 		t.Fatal("removed an out-of-range id")
 	}
 }
@@ -378,47 +378,79 @@ func TestBytesPositive(t *testing.T) {
 	}
 }
 
-// TestBytesEstimate pins the resident-size formula: trees plus lists plus
-// the engine-owned dataset-side arrays (flat copy, tombstones, extrema). A
-// drifting estimate silently breaks capacity planning.
+// TestBytesEstimate pins the resident-size formula layer by layer: every
+// sealed segment contributes its index structures (trees or grid, lists),
+// its flat row block, its global-ID map, and its tombstone bitset; the
+// memtable contributes its ID, row, and dead arrays; the engine adds the
+// per-dimension extrema. A drifting estimate silently breaks capacity
+// planning.
 func TestBytesEstimate(t *testing.T) {
 	const n, dims = 500, 4
 	data := dataset.Generate(dataset.Uniform, n, dims, 19)
 	roles := []query.Role{query.Repulsive, query.Attractive, query.Repulsive, query.Repulsive}
-	eng, err := New(data, Config{Roles: roles})
+	eng, err := New(data, Config{Roles: roles, DisableCompaction: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := 0
-	for _, tr := range eng.trees {
-		want += tr.Bytes()
+	perLayer := func(sn *snapshot) (structures, want int) {
+		for i, seg := range sn.segs {
+			segStruct := 0
+			for _, tr := range seg.trees {
+				segStruct += tr.Bytes()
+			}
+			for _, tr := range seg.grid {
+				segStruct += tr.Bytes()
+			}
+			for _, l := range seg.lists {
+				segStruct += l.Len() * 12
+			}
+			structures += segStruct
+			want += segStruct
+			want += 8 * len(seg.flat)    // flat row-major block
+			want += 4 * len(seg.ids)     // global-ID map
+			want += 8 * len(sn.tombs[i]) // tombstone bitset words
+		}
+		want += 4 * len(sn.memIDs)  // memtable IDs
+		want += 8 * len(sn.memFlat) // memtable rows
+		want += 8 * len(sn.memDead) // memtable tombstone words
+		want += 8 * 2 * dims        // minVal + maxVal
+		return structures, want
 	}
-	for _, tr := range eng.grid {
-		want += tr.Bytes()
-	}
-	for _, l := range eng.lists {
-		want += l.Len() * 12
-	}
-	structures := want
-	want += 8 * n * dims         // flat row-major copy
-	want += n                    // dead tombstones
-	want += 8 * 2 * dims         // minVal + maxVal
+	structures, want := perLayer(eng.snap.Load())
 	if got := eng.Bytes(); got != want {
-		t.Fatalf("Bytes() = %d, want %d (trees+lists %d + flat %d + dead %d + extrema %d)",
-			got, want, structures, 8*n*dims, n, 16*dims)
+		t.Fatalf("Bytes() = %d, want %d (structures %d)", got, want, structures)
 	}
 	// The dataset-side arrays must actually be counted: the estimate has to
 	// exceed the index structures alone by at least the flat copy.
 	if got := eng.Bytes(); got < structures+8*n*dims {
 		t.Fatalf("Bytes() = %d undercounts the flat copy (structures alone: %d)", got, structures)
 	}
-	// Inserts grow the estimate by at least the appended row.
+	// Inserts land in the memtable: the estimate grows by at least the
+	// appended row and keeps matching the per-layer formula.
 	before := eng.Bytes()
 	if _, err := eng.Insert([]float64{0.5, 0.5, 0.5, 0.5}); err != nil {
 		t.Fatal(err)
 	}
 	if got := eng.Bytes(); got < before+8*dims {
 		t.Fatalf("Bytes() after Insert = %d, want ≥ %d", got, before+8*dims)
+	}
+	if _, want := perLayer(eng.snap.Load()); eng.Bytes() != want {
+		t.Fatalf("Bytes() after Insert = %d, per-layer formula says %d", eng.Bytes(), want)
+	}
+	// Removes add tombstone words; compaction folds every layer into one
+	// sealed segment and the formula still holds exactly.
+	if !eng.Remove(3) {
+		t.Fatal("Remove(3) = false")
+	}
+	if _, want := perLayer(eng.snap.Load()); eng.Bytes() != want {
+		t.Fatalf("Bytes() after Remove = %d, per-layer formula says %d", eng.Bytes(), want)
+	}
+	eng.Compact()
+	if segs, mem := eng.Segments(); segs != 1 || mem != 0 {
+		t.Fatalf("after Compact: %d segments, %d memtable rows", segs, mem)
+	}
+	if _, want := perLayer(eng.snap.Load()); eng.Bytes() != want {
+		t.Fatalf("Bytes() after Compact = %d, per-layer formula says %d", eng.Bytes(), want)
 	}
 }
 

@@ -15,14 +15,16 @@ import (
 // cap, so one adaptive batch can drain a whole packed leaf run.
 const maxBatch = 64
 
-// subproblem is one term of Eqn. 10: an iterator over points in decreasing
-// contribution order plus an upper bound on the contribution of any point it
-// has not yet produced. The contract is batch-oriented: nextBatch fills dst
-// with up to len(dst) emissions per call (0 when exhausted) and returns the
-// post-batch frontier bound, so the aggregation loop pays one virtual
-// dispatch per run instead of per point; bound peeks the same value without
-// fetching, which the bound-driven scheduler uses to seed its ordering
-// before the first access.
+// subproblem is one term of Eqn. 10 evaluated over one sealed segment: an
+// iterator over the segment's points in decreasing contribution order plus
+// an upper bound on the contribution of any point it has not yet produced.
+// The contract is batch-oriented: nextBatch fills dst with up to len(dst)
+// emissions per call (0 when exhausted) and returns the post-batch frontier
+// bound, so the aggregation loop pays one virtual dispatch per run instead
+// of per point; bound peeks the same value without fetching, which the
+// bound-driven scheduler uses to seed its ordering before the first access.
+// Emission IDs are segment-local rows; the aggregation translates them to
+// global dataset IDs through the segment's ID map.
 type subproblem interface {
 	nextBatch(dst []query.Emission) (n int, bound float64)
 	bound() float64
@@ -52,82 +54,121 @@ func (d *dimSub) nextBatch(dst []query.Emission) (int, float64) { return d.it.Ne
 
 func (d *dimSub) bound() float64 { return d.it.Bound() }
 
-// intAscending is the collector's tie order (ascending dataset ID), shared
-// so pooled collectors carry no per-query closure.
+// subRef carries the per-subproblem segment context the aggregation needs at
+// emission time: the owning segment (ID translation, random-access rows),
+// its snapshot tombstones, and its ordinal in the snapshot stack (the
+// scheduler groups sibling bounds per segment).
+type subRef struct {
+	seg  *segment
+	tomb []uint64
+	ord  int32
+}
+
+// intAscending is the collector's tie order (ascending global dataset ID),
+// shared so pooled collectors carry no per-query closure.
 func intAscending(a, b int) bool { return a < b }
 
 // queryCtx is the pooled per-query state of TopKAppend: weights, signed
-// weights, subproblem storage, frontier bounds, batch sizes, the emission
-// buffer, the seen bitset, the collector with its drain buffer, and the
-// scratch plan for shapes the engine's plan cache does not cover. One
-// context cycles through queries via the engine's sync.Pool, replacing the
-// ~10 per-query allocations (and the scoreOf/markSeen closures) the
-// unbatched hot path paid.
+// weights, subproblem storage, frontier bounds, batch sizes, per-segment
+// sums and pads, the emission buffer, the seen bitset, the collector with
+// its drain buffer, and the scratch plan for shapes the engine's plan cache
+// does not cover. One context cycles through queries via the engine's
+// sync.Pool; on a compacted engine (one sealed segment, empty memtable) a
+// warm context replays queries with zero heap allocations.
 type queryCtx struct {
-	e        *Engine
-	w        []float64 // effective weights under build-time roles
-	signed   []float64 // +w repulsive / −w attractive, folding the role branch
+	e      *Engine
+	sn     *snapshot // the query's frozen epoch
+	w      []float64 // effective weights under build-time roles
+	signed []float64 // +w repulsive / −w attractive, folding the role branch
+
 	pairSubs []pairSub // value storage; subs holds pointers into it
 	dimSubs  []dimSub
 	nPair    int // pairSubs in use (their streams need closing)
+	nDim     int
 	subs     []subproblem
-	bounds   []float64
-	bsize    []int
-	rate     []float64 // measured frontier descent per access (scheduler.go)
-	anchorB  []float64 // bound at the start of the current rate window
-	sinceN   []int     // accesses accumulated in the current rate window
-	emit     [maxBatch]query.Emission
-	seen     []uint64 // bitset over dataset rows
-	overflow map[int32]bool
-	coll     *pq.TopK[int]
-	drain    []pq.Scored[int]
-	scratch  queryPlan // plan storage for uncached shapes
-	sortRep  []int32   // adaptive planner scratch: active dims by weight
-	sortAtt  []int32
+	refs     []subRef // parallel to subs
+
+	bounds  []float64
+	bsize   []int
+	rate    []float64 // measured frontier descent per access (scheduler.go)
+	anchorB []float64 // bound at the start of the current rate window
+	sinceN  []int     // accesses accumulated in the current rate window
+
+	segSum  []float64 // per-segment Σ bounds (scheduler scratch)
+	segPad  []float64 // per-segment float-error pad
+	segDone []bool    // segment fully enumerated (one sub exhausted)
+
+	emit    [maxBatch]query.Emission
+	seen    []uint64 // bitset over global dataset IDs
+	coll    *pq.TopK[int]
+	drain   []pq.Scored[int]
+	scratch queryPlan // plan storage for uncached shapes
+	sortRep []int32   // adaptive planner scratch: active dims by weight
+	sortAtt []int32
 }
 
 // initCtxPool wires the engine's context pool; called once at build time,
-// after pairs and lone dimensions (or the adaptive grid) are fixed.
+// after the layout is fixed.
 func (e *Engine) initCtxPool() {
-	npair, nsub := len(e.pairs), len(e.pairs)+len(e.lone)
-	if e.adaptive {
-		// Matched pairs plus degenerate leftovers never exceed the larger
-		// active role set.
-		npair = len(e.gridRep)
-		if len(e.gridAtt) > npair {
-			npair = len(e.gridAtt)
-		}
-		nsub = npair
-	}
 	e.ctxPool.New = func() any {
 		return &queryCtx{
-			e:        e,
-			w:        make([]float64, e.dims),
-			signed:   make([]float64, e.dims),
-			pairSubs: make([]pairSub, npair),
-			dimSubs:  make([]dimSub, len(e.lone)),
-			subs:     make([]subproblem, 0, nsub),
-			bounds:   make([]float64, nsub),
-			bsize:    make([]int, nsub),
-			rate:     make([]float64, nsub),
-			anchorB:  make([]float64, nsub),
-			sinceN:   make([]int, nsub),
-			seen:     make([]uint64, (len(e.data)+63)/64),
-			coll:     pq.NewTopKOrdered[int](1, intAscending),
-			sortRep:  make([]int32, 0, len(e.gridRep)),
-			sortAtt:  make([]int32, 0, len(e.gridAtt)),
+			e:       e,
+			w:       make([]float64, e.dims),
+			signed:  make([]float64, e.dims),
+			coll:    pq.NewTopKOrdered[int](1, intAscending),
+			sortRep: make([]int32, 0, len(e.layout.gridRep)),
+			sortAtt: make([]int32, 0, len(e.layout.gridAtt)),
 		}
 	}
 }
 
-// getCtx acquires a context sized for the engine's *current* dataset:
-// pooled bitsets are regrown to cover rows appended by Insert since the
-// context was created, so post-build rows never fall into the per-query
-// overflow map.
-func (e *Engine) getCtx() *queryCtx {
+// subsPerSegment is the worst-case subproblem count one segment contributes
+// under the engine's layout.
+func (e *Engine) subsPerSegment() (npair, ndim int) {
+	lo := &e.layout
+	if lo.adaptive {
+		// Matched pairs plus degenerate leftovers never exceed the larger
+		// active role set.
+		npair = len(lo.gridRep)
+		if len(lo.gridAtt) > npair {
+			npair = len(lo.gridAtt)
+		}
+		return npair, 0
+	}
+	return len(lo.pairs), len(lo.lone)
+}
+
+// getCtx acquires a context sized for the given snapshot: the pooled bitset
+// covers the snapshot's whole global ID space, and the subproblem and
+// scheduler arrays cover every segment in the stack. Pooled capacity is kept
+// across queries, so in steady state (a stable segment count) nothing here
+// allocates.
+func (e *Engine) getCtx(sn *snapshot) *queryCtx {
 	c := e.ctxPool.Get().(*queryCtx)
-	if need := (len(e.data) + 63) / 64; len(c.seen) < need {
+	c.sn = sn
+	if need := (sn.total + 63) / 64; len(c.seen) < need {
 		c.seen = make([]uint64, need)
+	}
+	npair, ndim := e.subsPerSegment()
+	nseg := len(sn.segs)
+	for len(c.pairSubs) < npair*nseg {
+		c.pairSubs = append(c.pairSubs, pairSub{})
+	}
+	for len(c.dimSubs) < ndim*nseg {
+		c.dimSubs = append(c.dimSubs, dimSub{})
+	}
+	nsub := (npair + ndim) * nseg
+	if cap(c.bounds) < nsub {
+		c.bounds = make([]float64, nsub)
+		c.bsize = make([]int, nsub)
+		c.rate = make([]float64, nsub)
+		c.anchorB = make([]float64, nsub)
+		c.sinceN = make([]int, nsub)
+	}
+	if cap(c.segSum) < nseg {
+		c.segSum = make([]float64, nseg)
+		c.segPad = make([]float64, nseg)
+		c.segDone = make([]bool, nseg)
 	}
 	return c
 }
@@ -138,45 +179,31 @@ func (e *Engine) putCtx(c *queryCtx) {
 	for i := 0; i < c.nPair; i++ {
 		c.pairSubs[i].st.Close()
 	}
-	c.nPair = 0
+	c.nPair, c.nDim = 0, 0
 	c.subs = c.subs[:0]
+	c.refs = c.refs[:0]
+	c.sn = nil
 	clear(c.seen)
-	if len(c.overflow) > 0 {
-		clear(c.overflow)
-	}
 	e.ctxPool.Put(c)
 }
 
-// markSeen reports "newly seen". Rows beyond the bitset (only possible when
-// rows are inserted mid-query, which the engine's concurrency contract
-// excludes) fall back to the overflow map.
+// markSeen reports "newly seen" for a global dataset ID. Every emission's ID
+// is below the snapshot's total, which the bitset covers by construction.
 func (c *queryCtx) markSeen(id int32) bool {
-	if w := int(id) >> 6; w < len(c.seen) {
-		b := uint64(1) << (uint(id) & 63)
-		if c.seen[w]&b != 0 {
-			return false
-		}
-		c.seen[w] |= b
-		return true
-	}
-	if c.overflow[id] {
+	w := int(id) >> 6
+	b := uint64(1) << (uint(id) & 63)
+	if c.seen[w]&b != 0 {
 		return false
 	}
-	if c.overflow == nil {
-		c.overflow = make(map[int32]bool)
-	}
-	c.overflow[id] = true
+	c.seen[w] |= b
 	return true
 }
 
-// scoreOf is the devirtualized random-access score kernel: one tight pass
-// over the flat row-major array with the signed weights folding the role
-// branch into the arithmetic. math.Abs compiles to a bit mask, so the loop
-// is branch-free; the re-slicing below lets the compiler drop bounds checks.
-func (c *queryCtx) scoreOf(qpt []float64, id int32) float64 {
-	d := c.e.dims
-	base := int(id) * d
-	row := c.e.flat[base : base+d : base+d]
+// scoreRow is the devirtualized random-access score kernel: one tight pass
+// over a segment's flat row with the signed weights folding the role branch
+// into the arithmetic. math.Abs compiles to a bit mask, so the loop is
+// branch-free; the re-slicing below lets the compiler drop bounds checks.
+func (c *queryCtx) scoreRow(qpt, row []float64) float64 {
 	sg := c.signed[:len(row)]
 	qp := qpt[:len(row)]
 	var s float64
@@ -190,17 +217,25 @@ func (c *queryCtx) scoreOf(qpt []float64, id int32) float64 {
 // the steady-state query path performs no allocation. Results are appended
 // best-first; dst's existing elements are preserved.
 //
-// The flow is plan, build, schedule: the query's shape resolves to a plan
-// (usually a cache hit — see plan.go) naming the surviving subproblems, the
-// plan's subproblems are bound to this query's point and weights, and the
-// engine's configured scheduler (scheduler.go) drives the §5 aggregation to
-// the exact answer.
+// The flow is snapshot, plan, build, schedule: one atomic load freezes the
+// engine's segment stack (no lock is taken anywhere on this path), the
+// query's shape resolves to a plan (usually a cache hit — see plan.go)
+// naming the surviving subproblems, the plan's subproblems are bound to
+// every sealed segment, the memtable's rows are scored exactly up front,
+// and the engine's configured scheduler (scheduler.go) drives the §5
+// aggregation to the exact answer.
 func (e *Engine) TopKAppend(dst []query.Result, spec query.Spec) ([]query.Result, Stats, error) {
+	return e.topKAppendAt(e.snap.Load(), dst, spec)
+}
+
+// topKAppendAt is TopKAppend evaluated at a pinned snapshot (the View query
+// path and the default path share it).
+func (e *Engine) topKAppendAt(sn *snapshot, dst []query.Result, spec query.Spec) ([]query.Result, Stats, error) {
 	var stats Stats
 	if err := spec.Validate(e.dims); err != nil {
 		return dst, stats, err
 	}
-	c := e.getCtx()
+	c := e.getCtx(sn)
 	defer e.putCtx(c)
 
 	pl, hit := e.planFor(spec, &c.scratch)
@@ -218,78 +253,115 @@ func (e *Engine) TopKAppend(dst []query.Result, spec query.Spec) ([]query.Result
 		c.signed[ad.d] = float64(ad.sign) * w
 	}
 
-	// pad bounds the absolute floating-point error between a pair stream's
-	// emitted scores/bounds (computed in normalized projection space and
-	// rescaled) and the exact contribution α·|Δy| − β·|Δx| the random-access
-	// rescoring uses. Points are only discarded, and iteration only stopped,
-	// when they are worse than the k-th best by more than this pad — so a
-	// point in an exact tie at the k-th rank can never be lost to an ulp of
-	// projection arithmetic, and answers stay byte-identical to the scan
-	// oracle. The 1D list subproblems use the exact arithmetic directly and
-	// need no pad.
-	var pad float64
-	if e.adaptive {
-		p, err := c.buildAdaptiveSubs(pl, spec)
-		if err != nil {
-			return dst, stats, err
-		}
-		pad = p
-	} else {
-		for _, pi := range pl.pairs {
-			pr := e.pairs[pi]
-			if err := c.addPairSub(e.trees[pi], pr.Rep, pr.Attr, c.w[pr.Rep], c.w[pr.Attr], spec.Point, &pad); err != nil {
-				return dst, stats, err
-			}
-		}
-		nd := 0
-		for _, di := range pl.lone {
-			d := int(di)
-			ds := &c.dimSubs[nd]
-			nd++
-			e.lists[d].InitIter(&ds.it, spec.Point[d], c.w[d], e.roles[d] == query.Attractive)
-			c.subs = append(c.subs, ds)
-		}
-	}
-
-	// Ties are broken by ascending dataset ID, exactly like the sequential
-	// scan: every engine answer is then byte-identical to the oracle's, and
-	// per-shard answers merge into the exact global top-k.
+	// Ties are broken by ascending global dataset ID, exactly like the
+	// sequential scan: every engine answer is then byte-identical to the
+	// oracle's, and per-shard answers merge into the exact global top-k.
 	coll := c.coll
 	coll.Reset(spec.K)
-	stats.Subproblems = len(c.subs)
-	if len(c.subs) == 0 {
+	stats.Segments = len(sn.segs)
+	if len(pl.active) == 0 {
 		// Every active dimension weighs zero: all live points tie at 0.
-		for id := range e.data {
-			if !e.dead[id] {
-				coll.Add(id, 0)
+		for si, seg := range sn.segs {
+			tomb := sn.tombs[si]
+			for l := 0; l < seg.rows; l++ {
+				if !bitGet(tomb, l) {
+					coll.Add(int(seg.ids[l]), 0)
+				}
+			}
+		}
+		for i, id := range sn.memIDs {
+			if !bitGet(sn.memDead, i) {
+				coll.Add(int(id), 0)
 			}
 		}
 		return c.appendResults(dst), stats, nil
 	}
 
-	if e.sched == SchedRoundRobin {
-		c.runRoundRobin(spec.Point, pad, &stats)
+	// Bind the plan's subproblems to every sealed segment. pad bounds the
+	// absolute floating-point error between a pair stream's emitted
+	// scores/bounds (computed in normalized projection space and rescaled)
+	// and the exact contribution α·|Δy| − β·|Δx| the random-access rescoring
+	// uses. Points are only discarded, and iteration only stopped, when they
+	// are worse than the k-th best by more than this pad — so a point in an
+	// exact tie at the k-th rank can never be lost to an ulp of projection
+	// arithmetic, and answers stay byte-identical to the scan oracle. The 1D
+	// list subproblems emit exact contributions, but they still contribute
+	// their weighted reach to the pad: the prune and retirement tests sum
+	// contributions and sibling bounds in SUBPROBLEM order, which rounds
+	// differently than the score kernel's dimension-order sum — on an exact
+	// tie at the k-th rank that one-ulp difference is enough to discard a
+	// point the oracle keeps (found by fuzzing; regression seed
+	// testdata/fuzz/FuzzTopKChurn/89b7ba70eb2254e4). floatSlack times the
+	// summed weighted reach budgets the whole summation chain with orders
+	// of magnitude to spare. Pads are tracked per segment: a point's
+	// unknown contributions come only from its own segment's subproblems.
+	for s := 0; s < len(sn.segs); s++ {
+		c.segPad[s] = 0
+	}
+	if e.layout.adaptive {
+		if err := c.buildAdaptiveSubs(pl, spec); err != nil {
+			return dst, stats, err
+		}
 	} else {
-		c.runBoundDriven(spec.Point, pad, &stats)
+		for si, seg := range sn.segs {
+			ref := subRef{seg: seg, tomb: sn.tombs[si], ord: int32(si)}
+			for _, pi := range pl.pairs {
+				pr := e.layout.pairs[pi]
+				if err := c.addPairSub(seg.trees[pi], ref, pr.Rep, pr.Attr, c.w[pr.Rep], c.w[pr.Attr], spec.Point); err != nil {
+					return dst, stats, err
+				}
+			}
+			for _, li := range pl.lone {
+				d := e.layout.lone[li]
+				ds := &c.dimSubs[c.nDim]
+				c.nDim++
+				seg.lists[li].InitIter(&ds.it, spec.Point[d], c.w[d], e.roles[d] == query.Attractive)
+				c.segPad[ref.ord] += floatSlack * c.w[d] * sn.reach(d, spec.Point[d])
+				c.subs = append(c.subs, ds)
+				c.refs = append(c.refs, ref)
+			}
+		}
+	}
+
+	// The memtable is scored exactly, up front: its rows are few (bounded by
+	// the compaction threshold), they live in no index structure, and
+	// seeding the collector with their exact scores only tightens the
+	// threshold the segment aggregation prunes against.
+	d := e.dims
+	for i, id := range sn.memIDs {
+		if bitGet(sn.memDead, i) {
+			continue
+		}
+		stats.Scored++
+		coll.Add(int(id), c.scoreRow(spec.Point, sn.memFlat[i*d:i*d+d:i*d+d]))
+	}
+
+	stats.Subproblems = len(c.subs)
+	if len(c.subs) > 0 {
+		if e.sched == SchedRoundRobin {
+			c.runRoundRobin(spec.Point, &stats)
+		} else {
+			c.runBoundDriven(spec.Point, &stats)
+		}
 	}
 	return c.appendResults(dst), stats, nil
 }
 
 // addPairSub binds one 2D subproblem — tree, dimension pair, weights — into
-// the context, accumulating its float-pad reach terms. Degenerate pairs
-// (one zero weight) are valid: they enumerate a single dimension's frontier
-// through the same tree, which is how adaptive engines run leftover
-// dimensions without sorted lists.
-func (c *queryCtx) addPairSub(tree *topk.Index, rep, attr int, wr, wa float64, qpt []float64, pad *float64) error {
-	e := c.e
+// the context, accumulating its float-pad reach terms into the owning
+// segment's pad. Degenerate pairs (one zero weight) are valid: they
+// enumerate a single dimension's frontier through the same tree, which is
+// how adaptive engines run leftover dimensions without sorted lists.
+func (c *queryCtx) addPairSub(tree *topk.Index, ref subRef, rep, attr int, wr, wa float64, qpt []float64) error {
 	q2 := geom.Point{X: qpt[attr], Y: qpt[rep]}
 	ps := &c.pairSubs[c.nPair]
 	if err := tree.StreamInto(&ps.st, q2, wr, wa); err != nil {
 		return fmt.Errorf("core: pair (%d, %d): %w", rep, attr, err)
 	}
 	c.nPair++
-	*pad += floatSlack * (wr*e.reach(rep, qpt[rep]) + wa*e.reach(attr, qpt[attr]))
+	c.segPad[ref.ord] += floatSlack * (wr*c.sn.reach(rep, qpt[rep]) + wa*c.sn.reach(attr, qpt[attr]))
 	c.subs = append(c.subs, ps)
+	c.refs = append(c.refs, ref)
 	return nil
 }
 
@@ -298,12 +370,14 @@ func (c *queryCtx) addPairSub(tree *topk.Index, rep, attr int, wr, wa float64, q
 // so the schedule is deterministic) and zipped strongest-with-strongest;
 // leftover dimensions of the longer side run as degenerate pairs with a
 // zero weight on the missing role, reusing the first grid dimension of that
-// role purely as tree storage. Matching strong with strong makes each
-// matched pair's frontier fall steeply — measured on the evaluation
+// role purely as tree storage. The bijection is computed once per query and
+// bound to every sealed segment's grid. Matching strong with strong makes
+// each matched pair's frontier fall steeply — measured on the evaluation
 // workload, the access floor of this zip is within ~1.5% of the per-query
 // optimal bijection.
-func (c *queryCtx) buildAdaptiveSubs(pl *queryPlan, spec query.Spec) (float64, error) {
+func (c *queryCtx) buildAdaptiveSubs(pl *queryPlan, spec query.Spec) error {
 	e := c.e
+	lo := &e.layout
 	rep := append(c.sortRep[:0], pl.activeRep...)
 	att := append(c.sortAtt[:0], pl.activeAtt...)
 	c.sortRep, c.sortAtt = rep, att // keep grown capacity pooled
@@ -313,30 +387,32 @@ func (c *queryCtx) buildAdaptiveSubs(pl *queryPlan, spec query.Spec) (float64, e
 	if len(att) < m {
 		m = len(att)
 	}
-	na := len(e.gridAtt)
-	var pad float64
-	for i := 0; i < m; i++ {
-		r, a := int(rep[i]), int(att[i])
-		tree := e.grid[int(e.gridPos[r])*na+int(e.gridPos[a])]
-		if err := c.addPairSub(tree, r, a, c.w[r], c.w[a], spec.Point, &pad); err != nil {
-			return pad, err
+	na := len(lo.gridAtt)
+	for si, seg := range c.sn.segs {
+		ref := subRef{seg: seg, tomb: c.sn.tombs[si], ord: int32(si)}
+		for i := 0; i < m; i++ {
+			r, a := int(rep[i]), int(att[i])
+			tree := seg.grid[int(lo.gridPos[r])*na+int(lo.gridPos[a])]
+			if err := c.addPairSub(tree, ref, r, a, c.w[r], c.w[a], spec.Point); err != nil {
+				return err
+			}
+		}
+		for _, ri := range rep[m:] {
+			r, a := int(ri), lo.gridAtt[0]
+			tree := seg.grid[int(lo.gridPos[r])*na+0]
+			if err := c.addPairSub(tree, ref, r, a, c.w[r], 0, spec.Point); err != nil {
+				return err
+			}
+		}
+		for _, ai := range att[m:] {
+			r, a := lo.gridRep[0], int(ai)
+			tree := seg.grid[0*na+int(lo.gridPos[a])]
+			if err := c.addPairSub(tree, ref, r, a, 0, c.w[a], spec.Point); err != nil {
+				return err
+			}
 		}
 	}
-	for _, ri := range rep[m:] {
-		r, a := int(ri), e.gridAtt[0]
-		tree := e.grid[int(e.gridPos[r])*na+0]
-		if err := c.addPairSub(tree, r, a, c.w[r], 0, spec.Point, &pad); err != nil {
-			return pad, err
-		}
-	}
-	for _, ai := range att[m:] {
-		r, a := e.gridRep[0], int(ai)
-		tree := e.grid[0*na+int(e.gridPos[a])]
-		if err := c.addPairSub(tree, r, a, 0, c.w[a], spec.Point, &pad); err != nil {
-			return pad, err
-		}
-	}
-	return pad, nil
+	return nil
 }
 
 // sortByWeightDesc orders dims by descending w[d], breaking ties toward the

@@ -37,13 +37,16 @@ type queryPlan struct {
 	// active lists the dimensions with an engaged role and a nonzero weight,
 	// with the score-kernel sign folded in.
 	active []planDim
-	// pairs indexes e.pairs: the 2D subproblems with at least one nonzero
-	// weight. Pairs with both weights zero contribute nothing and are
-	// dropped; their bound is 0 by omission. The same pairs also name the
-	// reach terms of the float pad. Fixed-pairing engines only.
+	// pairs indexes the engine layout's pair list: the 2D subproblems with
+	// at least one nonzero weight. Pairs with both weights zero contribute
+	// nothing and are dropped; their bound is 0 by omission. The same pairs
+	// also name the reach terms of the float pad. Because the layout is
+	// fixed at the engine level, the same indices select the right tree in
+	// every sealed segment. Fixed-pairing engines only.
 	pairs []int32
-	// lone lists the 1D subproblem dimensions with nonzero weight.
-	// Fixed-pairing engines only.
+	// lone lists ordinals into the layout's lone-dimension list (not raw
+	// dimension numbers: the ordinal also indexes each segment's sorted
+	// lists) whose dimension has nonzero weight. Fixed-pairing engines only.
 	lone []int32
 	// activeRep and activeAtt split the active set by role, in dimension
 	// order — the inputs the adaptive planner's per-query weight sort zips
@@ -103,7 +106,7 @@ func (e *Engine) derivePlanInto(p *queryPlan, spec query.Spec) {
 					sign = 1
 				}
 				p.active = append(p.active, planDim{d: int32(d), sign: sign})
-				if e.adaptive {
+				if e.layout.adaptive {
 					if sign > 0 {
 						p.activeRep = append(p.activeRep, int32(d))
 					} else {
@@ -117,7 +120,7 @@ func (e *Engine) derivePlanInto(p *queryPlan, spec query.Spec) {
 			return
 		}
 	}
-	if e.adaptive {
+	if e.layout.adaptive {
 		return // pair selection happens per query over activeRep/activeAtt
 	}
 	// effW mirrors the weight the aggregation will use: the spec weight when
@@ -128,14 +131,14 @@ func (e *Engine) derivePlanInto(p *queryPlan, spec query.Spec) {
 		}
 		return 0
 	}
-	for i, pr := range e.pairs {
+	for i, pr := range e.layout.pairs {
 		if effW(pr.Rep) != 0 || effW(pr.Attr) != 0 {
 			p.pairs = append(p.pairs, int32(i))
 		}
 	}
-	for _, d := range e.lone {
+	for li, d := range e.layout.lone {
 		if effW(d) != 0 {
-			p.lone = append(p.lone, int32(d))
+			p.lone = append(p.lone, int32(li))
 		}
 	}
 }

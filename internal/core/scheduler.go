@@ -14,10 +14,10 @@ const (
 	// subproblems' frontier-bound telemetry: every step bulk-fetches from
 	// the subproblem whose bound is measured to be falling fastest per
 	// access (see runBoundDriven for why descent rate, not bound level, is
-	// the right greedy signal). The termination threshold Σ bounds is
-	// re-checked after every batch rather than once per rotation, so the
-	// loop stops the moment the k-th best score clears it, and the final
-	// batches are clamped to the predicted accesses-to-termination.
+	// the right greedy signal). The termination threshold is re-checked
+	// after every batch rather than once per rotation, so the loop stops
+	// the moment the k-th best score clears it, and the final batches are
+	// clamped to the predicted accesses-to-termination.
 	SchedBoundDriven Scheduler = iota
 	// SchedRoundRobin is the paper's literal §5 loop — every round fetches
 	// one adaptive batch from every subproblem in fixed rotation, and the
@@ -42,31 +42,36 @@ func (s Scheduler) valid() bool {
 	return s == SchedBoundDriven || s == SchedRoundRobin
 }
 
-// Why any access order is sound. Every subproblem emits its points in
-// non-increasing contribution order, so at any moment bounds[j] — the
-// contribution of subproblem j's next unfetched emission — is an upper bound
-// on the contribution of every point j has not yet emitted, no matter how
-// the scheduler has interleaved fetches so far. The two decisions the
-// aggregation makes only ever consult bounds in positions where that
-// inequality applies:
+// Why any access order is sound — now per segment. Every subproblem emits
+// its segment's points in non-increasing contribution order, so at any
+// moment bounds[j] — the contribution of subproblem j's next unfetched
+// emission — is an upper bound on the contribution of every point j has not
+// yet emitted, no matter how the scheduler has interleaved fetches so far.
+// A point lives in exactly one segment and receives contributions only from
+// that segment's subproblems, so the two decisions the aggregation makes
+// consult sibling bounds within the owning segment alone:
 //
 //   - Prune at first emission: when a point p first surfaces (from
-//     subproblem i), it has by definition not been emitted by any sibling
-//     j ≠ i, so contrib_j(p) ≤ bounds[j] for every sibling — visited or
-//     not, because unvisited frontiers only ever bound from above. If
-//     contrib_i(p) + Σ_{j≠i} bounds[j] + pad is still below the k-th best,
-//     p's full score cannot reach the top k now or later (the k-th best
-//     only rises), and p is discarded for good.
-//   - Termination: any point never emitted anywhere has full score
-//     ≤ Σ_j bounds[j]; once the k-th best strictly exceeds that padded sum,
-//     no unseen point can displace a kept one.
+//     subproblem i of segment s), it has by definition not been emitted by
+//     any sibling j ≠ i of s, so contrib_j(p) ≤ bounds[j] for every such
+//     sibling — visited or not, because unvisited frontiers only ever bound
+//     from above. If contrib_i(p) + Σ_{j≠i, j∈s} bounds[j] + pad_s is still
+//     below the k-th best, p's full score cannot reach the top k now or
+//     later (the k-th best only rises), and p is discarded for good.
+//   - Termination: any point of segment s never emitted anywhere has full
+//     score ≤ Σ_{j∈s} bounds[j]; once the k-th best strictly exceeds the
+//     padded per-segment sum of EVERY segment still in play, no unseen
+//     point can displace a kept one. Memtable rows need no bound — they
+//     were all scored exactly before scheduling began.
 //
 // Neither argument references the order in which frontiers were advanced —
 // only that each frontier descends — so the bound-driven schedule returns
 // byte-identical answers to the round-robin one (the property test and the
-// differential harness enforce this). The bound-driven loop additionally
-// initializes bounds from cheap frontier peeks (PeekScore / Bound, no fetch)
-// instead of +Inf, which only tightens the same inequalities.
+// differential harness enforce this), and on a single-segment engine both
+// loops reproduce the pre-segment behaviour access for access. The
+// bound-driven loop additionally initializes bounds from cheap frontier
+// peeks (PeekScore / Bound, no fetch) instead of +Inf, which only tightens
+// the same inequalities.
 
 // rateWindow is the minimum number of sorted accesses a frontier's descent
 // rate is measured over. Longer windows smooth across plateaus of duplicate
@@ -81,18 +86,24 @@ const rateWindow = 8
 // subproblem whose bound is falling fastest per sorted access (the measured
 // descent rate of its frontier, the Quick-Combine heuristic), breaking rate
 // ties toward the higher frontier bound and then the lower index. The
-// termination threshold is Σ bounds, so the steepest frontier is the one
-// whose next batch buys the largest threshold decrease per access; picking
-// by bound level alone stalls on plateaus (many points sharing a
-// contribution), where draining the flat maximum spends accesses without
-// moving the threshold while a steeper sibling would.
-func (c *queryCtx) runBoundDriven(qpt []float64, pad float64, stats *Stats) {
+// termination threshold is the worst per-segment bound sum, so the steepest
+// frontier is the one whose next batch buys the largest threshold decrease
+// per access; picking by bound level alone stalls on plateaus (many points
+// sharing a contribution), where draining the flat maximum spends accesses
+// without moving the threshold while a steeper sibling would.
+func (c *queryCtx) runBoundDriven(qpt []float64, stats *Stats) {
 	subs := c.subs
-	bounds := c.bounds[:len(subs)]
-	bsize := c.bsize[:len(subs)]
-	rate := c.rate[:len(subs)]
-	anchorB := c.anchorB[:len(subs)]
-	sinceN := c.sinceN[:len(subs)]
+	ns := len(subs)
+	bounds := c.bounds[:ns]
+	bsize := c.bsize[:ns]
+	rate := c.rate[:ns]
+	anchorB := c.anchorB[:ns]
+	sinceN := c.sinceN[:ns]
+	refs := c.refs
+	nseg := len(c.sn.segs)
+	segSum := c.segSum[:nseg]
+	segDone := c.segDone[:nseg]
+	segPad := c.segPad[:nseg]
 	for i, s := range subs {
 		bounds[i] = s.bound() // peek, no fetch: live prune line from step one
 		bsize[i] = 1
@@ -100,38 +111,64 @@ func (c *queryCtx) runBoundDriven(qpt []float64, pad float64, stats *Stats) {
 		anchorB[i] = bounds[i]
 		sinceN[i] = 0
 	}
+	for s := range segDone {
+		segDone[s] = false
+	}
 	coll := c.coll
 	for {
-		// One pass finds the steepest frontier and the exact threshold
-		// Σ bounds (recomputed fresh each step — an incrementally maintained
-		// sum would accumulate rounding drift the pad does not budget for).
-		// All tie-breaks are deterministic, so the schedule — and every
-		// Stats counter — is a pure function of the query.
-		best, sum := -1, 0.0
-		exhausted := false
+		// A subproblem exhausts only after emitting every point of its
+		// segment, so one exhausted frontier retires the whole segment:
+		// everything in it has been scored or soundly discarded.
 		for i, b := range bounds {
 			if math.IsInf(b, -1) {
-				exhausted = true
-				break
+				segDone[refs[i].ord] = true
 			}
-			sum += b
+		}
+		// Per-segment frontier sums, recomputed fresh each step — an
+		// incrementally maintained sum would accumulate rounding drift the
+		// pad does not budget for.
+		for s := range segSum {
+			segSum[s] = 0
+		}
+		for i, b := range bounds {
+			if !segDone[refs[i].ord] {
+				segSum[refs[i].ord] += b
+			}
+		}
+		// Retire every segment whose padded frontier sum has fallen
+		// strictly below the k-th best: nothing unseen in it can reach the
+		// top k anymore (its sum only falls, the k-th best only rises), so
+		// fetching from it would be pure waste. This is the per-segment
+		// form of the old single-stack termination test — when the last
+		// segment retires, the query is done. Strict inequality, for the
+		// same tie-at-the-k-th-rank reason as the prune.
+		if coll.Full() {
+			for s := range segSum {
+				if !segDone[s] && coll.Threshold() > segSum[s]+segPad[s] {
+					segDone[s] = true
+				}
+			}
+		}
+		// The steepest live frontier across all remaining segments. All
+		// tie-breaks are deterministic, so the schedule — and every Stats
+		// counter — is a pure function of the query and the snapshot.
+		best := -1
+		for i, b := range bounds {
+			if segDone[refs[i].ord] {
+				continue
+			}
 			if best == -1 || rate[i] > rate[best] ||
 				(rate[i] == rate[best] && b > bounds[best]) {
 				best = i
 			}
 		}
-		// A subproblem exhausts only after emitting every live point, so one
-		// exhausted frontier means every point has already been scored or
-		// soundly discarded — nothing is left to fetch anywhere.
-		if exhausted || best == -1 {
-			break
+		if best == -1 {
+			break // every segment fully enumerated or retired
 		}
-		if coll.Full() && coll.Threshold() > sum+pad {
-			break
-		}
+		bs := refs[best].ord
 		// The sibling sum is re-summed directly, not derived as
-		// sum − bounds[best]: that subtraction re-rounds and can land an ulp
-		// BELOW the true sibling sum, making the first-emission prune
+		// segSum − bounds[best]: that subtraction re-rounds and can land an
+		// ulp BELOW the true sibling sum, making the first-emission prune
 		// slightly aggressive — enough, in an exact tie at the k-th rank
 		// with pad 0 (1D-only subproblems), to discard a point the oracle
 		// keeps. Left-to-right summation over the siblings is the form the
@@ -141,7 +178,7 @@ func (c *queryCtx) runBoundDriven(qpt []float64, pad float64, stats *Stats) {
 		// returned top-k is schedule-independent.
 		other := 0.0
 		for j, b := range bounds {
-			if j != best {
+			if j != best && refs[j].ord == bs {
 				other += b
 			}
 		}
@@ -159,11 +196,11 @@ func (c *queryCtx) runBoundDriven(qpt []float64, pad float64, stats *Stats) {
 				size = rem
 			}
 		} else if r := rate[best]; coll.Full() && r > 0 {
-			if gap := sum + pad - coll.Threshold(); gap/r < float64(size-1) {
+			if gap := segSum[bs] + segPad[bs] - coll.Threshold(); gap/r < float64(size-1) {
 				size = int(gap/r) + 1
 			}
 		}
-		if n := c.runBatch(best, size, qpt, pad, other, stats); n > 0 {
+		if n := c.runBatch(best, size, qpt, segPad[bs], other, stats); n > 0 {
 			// Rates are measured over completed windows of at least
 			// rateWindow accesses, not per batch: a single-access sample on
 			// a plateau of duplicate contributions would read as rate 0 and
@@ -173,8 +210,8 @@ func (c *queryCtx) runBoundDriven(qpt []float64, pad float64, stats *Stats) {
 			// its first window completes a frontier keeps rate +Inf, so
 			// every subproblem is probed rateWindow deep (highest bound
 			// first) before the greedy phase begins. An exhausted frontier
-			// stops updating, but exhaustion ends the loop above before its
-			// rate is consulted.
+			// stops updating, but exhaustion retires its segment above
+			// before its rate is consulted.
 			sinceN[best] += n
 			if sinceN[best] >= rateWindow {
 				rate[best] = (anchorB[best] - bounds[best]) / float64(sinceN[best])
@@ -185,14 +222,20 @@ func (c *queryCtx) runBoundDriven(qpt []float64, pad float64, stats *Stats) {
 	}
 }
 
-// runRoundRobin reproduces the pre-scheduler behaviour exactly: bounds start
-// at +Inf (nothing may be pruned against a frontier that has not emitted),
+// runRoundRobin reproduces the paper's rotation exactly: bounds start at
+// +Inf (nothing may be pruned against a frontier that has not emitted),
 // every round fetches one adaptive batch from every subproblem in rotation,
-// and the threshold is re-evaluated once per round.
-func (c *queryCtx) runRoundRobin(qpt []float64, pad float64, stats *Stats) {
+// and the threshold is re-evaluated once per round — per segment, as the
+// soundness argument above requires.
+func (c *queryCtx) runRoundRobin(qpt []float64, stats *Stats) {
 	subs := c.subs
-	bounds := c.bounds[:len(subs)]
-	bsize := c.bsize[:len(subs)]
+	ns := len(subs)
+	bounds := c.bounds[:ns]
+	bsize := c.bsize[:ns]
+	refs := c.refs
+	nseg := len(c.sn.segs)
+	segSum := c.segSum[:nseg]
+	segPad := c.segPad[:nseg]
 	for i := range bounds {
 		bounds[i] = math.Inf(1)
 		bsize[i] = 1
@@ -203,38 +246,51 @@ func (c *queryCtx) runRoundRobin(qpt []float64, pad float64, stats *Stats) {
 		for i := range subs {
 			other := 0.0
 			for j, b := range bounds {
-				if j != i {
+				if j != i && refs[j].ord == refs[i].ord {
 					other += b
 				}
 			}
-			if c.runBatch(i, c.bsize[i], qpt, pad, other, stats) > 0 {
+			if c.runBatch(i, c.bsize[i], qpt, segPad[refs[i].ord], other, stats) > 0 {
 				progressed = true
 			}
 		}
 		if !progressed {
 			break // every subproblem exhausted: all points were seen
 		}
-		threshold := 0.0
-		for _, b := range bounds {
-			threshold += b
+		// Stop only once the k-th best strictly beats every segment's padded
+		// frontier sum: an unseen point that could tie it (exactly, or
+		// within the float slack of the projection bounds) might still
+		// displace a kept one through the ID tie-break. A segment with an
+		// exhausted subproblem sums to −Inf — fully enumerated, nothing
+		// unseen left in it.
+		for s := range segSum {
+			segSum[s] = 0
 		}
-		// Stop only once the k-th best strictly beats the padded frontier:
-		// an unseen point that could tie it (exactly, or within the float
-		// slack of the projection bounds) might still displace a kept one
-		// through the ID tie-break.
-		if coll.Full() && (math.IsInf(threshold, -1) || coll.Threshold() > threshold+pad) {
-			break
+		for i, b := range bounds {
+			segSum[refs[i].ord] += b
+		}
+		if coll.Full() {
+			worst := math.Inf(-1)
+			for s, sum := range segSum {
+				if t := sum + segPad[s]; t > worst {
+					worst = t
+				}
+			}
+			if math.IsInf(worst, -1) || coll.Threshold() > worst {
+				break
+			}
 		}
 	}
 }
 
 // runBatch performs one scheduling step on subproblem i: bulk-fetch up to
-// size emissions, handle each exactly once (first-emission prune against
-// the sibling frontiers, or exact random-access scoring), refresh bounds[i]
-// from the batch's returned frontier bound, and adapt bsize[i]. otherBounds
-// is Σ bounds over the sibling subproblems — constant across the batch,
-// since sibling frontiers do not move while this one drains. It returns the
-// number of emissions fetched.
+// size emissions, handle each exactly once (tombstone mask, first-emission
+// prune against the segment-sibling frontiers, or exact random-access
+// scoring), refresh bounds[i] from the batch's returned frontier bound, and
+// adapt bsize[i]. otherBounds is Σ bounds over the sibling subproblems of
+// the same segment — constant across the batch, since sibling frontiers do
+// not move while this one drains. It returns the number of emissions
+// fetched.
 func (c *queryCtx) runBatch(i, size int, qpt []float64, pad, otherBounds float64, stats *Stats) int {
 	n, nb := c.subs[i].nextBatch(c.emit[:size])
 	c.bounds[i] = nb
@@ -243,16 +299,22 @@ func (c *queryCtx) runBatch(i, size int, qpt []float64, pad, otherBounds float64
 		return 0
 	}
 	stats.Fetched += n
+	ref := &c.refs[i]
+	seg := ref.seg
 	coll := c.coll
 	for _, em := range c.emit[:n] {
-		if !c.markSeen(em.ID) {
+		gid := seg.ids[em.ID]
+		if !c.markSeen(gid) {
 			continue // already scored or soundly discarded
+		}
+		if bitGet(ref.tomb, int(em.ID)) {
+			continue // tombstoned: removed after this segment sealed
 		}
 		if coll.Full() && em.Contrib+otherBounds+pad < coll.Threshold() {
 			continue // cannot enter the top k, now or later
 		}
 		stats.Scored++
-		coll.Add(int(em.ID), c.scoreOf(qpt, em.ID))
+		coll.Add(int(gid), c.scoreRow(qpt, seg.row(int(em.ID))))
 	}
 	// The batch size adapts: it doubles toward the leaf cap while the
 	// subproblem's frontier stays above the prune line (a subproblem that

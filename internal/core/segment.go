@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	mathbits "math/bits"
+	"sort"
+
+	"repro/internal/dimlist"
+	"repro/internal/query"
+	"repro/internal/topk"
+)
+
+// layout is the engine's fixed subproblem structure, decided once at New from
+// the build-time roles (and, for the data-dependent pairing strategies, the
+// initial dataset) and shared by every sealed segment. Fixing the layout at
+// the engine level — rather than re-deriving it per segment — is what keeps
+// the per-shape plan cache valid across the whole segment stack: a plan's
+// pair and lone indices name the same dimensions in every segment's trees.
+type layout struct {
+	pairs []Pair
+	lone  []int
+	// Adaptive grid structure (PairAdaptive within pairGridCap): see Engine.
+	adaptive bool
+	gridRep  []int
+	gridAtt  []int
+	gridPos  []int32 // dim → its row/column index (shared: roles disjoint)
+}
+
+// segment is one sealed, immutable layer of the engine: a flat row-major
+// coordinate block, the global dataset IDs of its rows (ascending), and the
+// per-layout index structures built once over the segment's local row space.
+// Sealed segments are never mutated — removals tombstone rows in the owning
+// snapshot, and compaction replaces whole segments — so queries walk them
+// without any synchronization.
+type segment struct {
+	ids  []int32   // local row → global dataset ID, strictly ascending
+	flat []float64 // rows × dims, row-major
+	rows int
+	dims int
+
+	trees []*topk.Index   // fixed-pairing: parallel to layout.pairs
+	grid  []*topk.Index   // adaptive: gridRep × gridAtt trees
+	lists []*dimlist.List // parallel to layout.lone
+
+	// structBytes caches the resident size of the index structures (trees,
+	// grid, lists); they never change after the build, so Bytes() does not
+	// re-walk them.
+	structBytes int
+}
+
+// buildSegment seals rows (flat, row-major, with their global IDs) into an
+// immutable segment under the engine's layout and tree configuration. IDs
+// must be strictly ascending. An empty row set returns nil.
+func buildSegment(flat []float64, ids []int32, dims int, lo *layout, treeCfg topk.Config) (*segment, error) {
+	rows := len(ids)
+	if rows == 0 {
+		return nil, nil
+	}
+	s := &segment{ids: ids, flat: flat, rows: rows, dims: dims}
+	// Column extraction is shared by every tree and list over a dimension.
+	col := func(d int) []float64 {
+		out := make([]float64, rows)
+		for i := range out {
+			out[i] = flat[i*dims+d]
+		}
+		return out
+	}
+	cols := make(map[int][]float64)
+	colOf := func(d int) []float64 {
+		if c, ok := cols[d]; ok {
+			return c
+		}
+		c := col(d)
+		cols[d] = c
+		return c
+	}
+	if lo.adaptive {
+		s.grid = make([]*topk.Index, len(lo.gridRep)*len(lo.gridAtt))
+		for ri, r := range lo.gridRep {
+			for ai, a := range lo.gridAtt {
+				tree, err := topk.BuildColumns(colOf(a), colOf(r), treeCfg)
+				if err != nil {
+					return nil, fmt.Errorf("core: pair (%d, %d): %w", r, a, err)
+				}
+				s.grid[ri*len(lo.gridAtt)+ai] = tree
+			}
+		}
+	} else {
+		s.trees = make([]*topk.Index, len(lo.pairs))
+		for i, pr := range lo.pairs {
+			tree, err := topk.BuildColumns(colOf(pr.Attr), colOf(pr.Rep), treeCfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: pair (%d, %d): %w", pr.Rep, pr.Attr, err)
+			}
+			s.trees[i] = tree
+		}
+		s.lists = make([]*dimlist.List, len(lo.lone))
+		for i, d := range lo.lone {
+			s.lists[i] = dimlist.FromColumn(colOf(d))
+		}
+	}
+	for _, t := range s.trees {
+		s.structBytes += t.Bytes()
+	}
+	for _, t := range s.grid {
+		s.structBytes += t.Bytes()
+	}
+	for _, l := range s.lists {
+		s.structBytes += l.Len() * 12 // 8B value + 4B id per entry
+	}
+	return s, nil
+}
+
+// bytes is the segment's resident size: index structures plus the flat copy,
+// the global-ID map, and (caller-supplied) tombstone words.
+func (s *segment) bytes(tombWords int) int {
+	return s.structBytes + 8*len(s.flat) + 4*len(s.ids) + 8*tombWords
+}
+
+// findLocal locates a global ID in the segment by binary search over the
+// ascending ids, returning -1 when absent.
+func (s *segment) findLocal(id int32) int {
+	lo, hi := 0, len(s.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.ids) && s.ids[lo] == id {
+		return lo
+	}
+	return -1
+}
+
+// row returns the segment-local coordinate row.
+func (s *segment) row(local int) []float64 {
+	base := local * s.dims
+	return s.flat[base : base+s.dims : base+s.dims]
+}
+
+// bitset helpers shared by segment tombstones and memtable dead sets. A nil
+// bitset reads as all-alive; setBit copies on write (the COW discipline every
+// published snapshot relies on), growing to cover the index.
+func bitGet(bits []uint64, i int) bool {
+	w := i >> 6
+	return w < len(bits) && bits[w]&(1<<(uint(i)&63)) != 0
+}
+
+// bitSetCopy returns a copy of bits with bit i set, grown as needed. The
+// input is never modified — snapshots holding it stay valid.
+func bitSetCopy(bits []uint64, i int) []uint64 {
+	need := i>>6 + 1
+	out := make([]uint64, max(need, len(bits)))
+	copy(out, bits)
+	out[i>>6] |= 1 << (uint(i) & 63)
+	return out
+}
+
+// popcount counts set bits — the tombstone density the compactor's
+// dead-heavy rewrite policy consults.
+func popcount(bits []uint64) int {
+	n := 0
+	for _, w := range bits {
+		n += mathbits.OnesCount64(w)
+	}
+	return n
+}
+
+// makeLayout fixes the engine's subproblem structure from the build-time
+// roles, falling back from the adaptive grid exactly as New always has. The
+// data parameter feeds the data-dependent pairing strategies only; it may be
+// empty, in which case PairByCorrelation and PairByVariance degrade to the
+// in-order zip (their statistics are undefined on an empty set).
+func makeLayout(data [][]float64, roles []query.Role, pairing Pairing) layout {
+	var repulsive, attractive []int
+	for d, r := range roles {
+		switch r {
+		case query.Repulsive:
+			repulsive = append(repulsive, d)
+		case query.Attractive:
+			attractive = append(attractive, d)
+		}
+	}
+	var lo layout
+	if pairing == PairAdaptive {
+		if len(repulsive) > 0 && len(attractive) > 0 &&
+			len(repulsive)*len(attractive) <= pairGridCap {
+			lo.adaptive = true
+			lo.gridRep = repulsive
+			lo.gridAtt = attractive
+			lo.gridPos = make([]int32, len(roles))
+			for i, d := range repulsive {
+				lo.gridPos[d] = int32(i)
+			}
+			for i, d := range attractive {
+				lo.gridPos[d] = int32(i)
+			}
+			return lo
+		}
+		// Degenerate or oversized grid: the adaptive planner has nothing to
+		// choose from (or too much to index), so fall back to the fixed
+		// in-order structure. Answers are identical either way.
+		pairing = PairInOrder
+	}
+	if len(data) == 0 && (pairing == PairByCorrelation || pairing == PairByVariance) {
+		pairing = PairInOrder
+	}
+	lo.pairs = makePairs(data, repulsive, attractive, pairing)
+	paired := make(map[int]bool)
+	for _, pr := range lo.pairs {
+		paired[pr.Rep] = true
+		paired[pr.Attr] = true
+	}
+	for _, d := range append(append([]int(nil), repulsive...), attractive...) {
+		if !paired[d] {
+			lo.lone = append(lo.lone, d)
+		}
+	}
+	sort.Ints(lo.lone)
+	return lo
+}
+
+// validRow rejects non-finite coordinates and dimension mismatches — the
+// invariant every indexed row satisfies.
+func validRow(p []float64, dims int) error {
+	if len(p) != dims {
+		return fmt.Errorf("core: point has %d dims, want %d", len(p), dims)
+	}
+	for d, c := range p {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("core: dim %d is %v", d, c)
+		}
+	}
+	return nil
+}

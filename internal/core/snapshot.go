@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// snapshot is one immutable epoch of the engine's data: the stack of sealed
+// segments, their tombstone bitsets, and a bounded view of the mutable
+// memtable. Readers obtain the current snapshot with a single atomic load
+// and then touch no synchronization at all; writers (Insert, Remove, the
+// compactor's swap) build a new snapshot value and publish it atomically.
+//
+// Sharing discipline: segment structures are immutable forever. Tombstone
+// bitsets are copy-on-write — a Remove copies the affected segment's bitset,
+// so bitsets reachable from any published snapshot never change. The
+// memtable's backing arrays are append-shared: Insert extends memIDs/memFlat
+// in place when capacity allows, which is safe because every older snapshot
+// bounds its reads by its own slice lengths, and the writer only ever writes
+// beyond every published length (writes are serialized by Engine.wrMu).
+type snapshot struct {
+	segs  []*segment
+	tombs [][]uint64 // parallel to segs; nil = no removals in that segment
+
+	memIDs  []int32   // memtable global IDs, ascending (insertion order)
+	memFlat []float64 // memtable rows, row-major
+	memDead []uint64  // memtable tombstones (COW, like segment tombs)
+
+	total int // global ID space size: the next Insert's ID lower bound
+	live  int // live rows across segments and memtable
+
+	// Per-dimension coordinate extrema over every row ever indexed
+	// (removals keep them, which only loosens the bound). They size the
+	// float-error pad that keeps tie-breaking deterministic — see slack.
+	minVal, maxVal []float64
+}
+
+// memRows reports the number of memtable rows this snapshot can see.
+func (sn *snapshot) memRows() int { return len(sn.memIDs) }
+
+// bytes is the snapshot's resident size: every sealed segment (structures,
+// flat copy, ID map, tombstones), the memtable arrays, and the extrema.
+func (sn *snapshot) bytes() int {
+	total := 8 * (len(sn.minVal) + len(sn.maxVal))
+	for i, s := range sn.segs {
+		total += s.bytes(len(sn.tombs[i]))
+	}
+	total += 4*len(sn.memIDs) + 8*len(sn.memFlat) + 8*len(sn.memDead)
+	return total
+}
+
+// locate finds a global ID in this snapshot: the owning segment's ordinal
+// (or -1 for the memtable) and the local row index, with ok=false when the
+// row is absent (never inserted, or dropped by compaction). Tombstoned rows
+// are still located; callers check liveness separately.
+func (sn *snapshot) locate(id int) (seg int, local int, ok bool) {
+	if id < 0 || id >= sn.total {
+		return 0, 0, false
+	}
+	// Global IDs ascend across the stack: every ID in segs[i] is smaller
+	// than every ID in segs[i+1], and memtable IDs are the largest. Find
+	// the first layer whose max ID covers id, then binary-search within.
+	n := len(sn.segs)
+	li := sort.Search(n, func(i int) bool {
+		s := sn.segs[i]
+		return s.ids[s.rows-1] >= int32(id)
+	})
+	if li < n {
+		if l := sn.segs[li].findLocal(int32(id)); l >= 0 {
+			return li, l, true
+		}
+		return 0, 0, false
+	}
+	ids := sn.memIDs
+	l := sort.Search(len(ids), func(i int) bool { return ids[i] >= int32(id) })
+	if l < len(ids) && ids[l] == int32(id) {
+		return -1, l, true
+	}
+	return 0, 0, false
+}
+
+// alive reports whether a located row is untombstoned.
+func (sn *snapshot) alive(seg, local int) bool {
+	if seg < 0 {
+		return !bitGet(sn.memDead, local)
+	}
+	return !bitGet(sn.tombs[seg], local)
+}
+
+// View is an immutable point-in-time handle over an Engine: queries through
+// a View see exactly the rows that were live when the View was acquired, no
+// matter how many Inserts, Removes, or compactions run afterwards. The zero
+// View is not usable; acquire one with Engine.View.
+type View struct {
+	e  *Engine
+	sn *snapshot
+}
+
+// Valid reports whether the View was acquired from an engine.
+func (v View) Valid() bool { return v.sn != nil }
+
+// Len reports the number of live rows the View can see.
+func (v View) Len() int { return v.sn.live }
+
+// Segments reports the number of sealed segments backing the View, and
+// MemRows the number of memtable rows it can see — observability for
+// compaction behavior.
+func (v View) Segments() int { return len(v.sn.segs) }
+
+// MemRows reports the number of memtable rows visible to the View.
+func (v View) MemRows() int { return v.sn.memRows() }
+
+// View acquires the engine's current snapshot: one atomic pointer load, no
+// lock. The returned View pins the snapshot's row set for as long as the
+// caller holds it (memory is reclaimed by GC once the last View drops).
+func (e *Engine) View() View { return View{e: e, sn: e.snap.Load()} }
+
+// TopK answers the query against the View's frozen row set. See Engine.TopK.
+func (v View) TopK(spec query.Spec) ([]query.Result, error) {
+	res, _, err := v.TopKAppend(nil, spec)
+	return res, err
+}
+
+// TopKAppend is Engine.TopKAppend evaluated at the View's snapshot.
+func (v View) TopKAppend(dst []query.Result, spec query.Spec) ([]query.Result, Stats, error) {
+	return v.e.topKAppendAt(v.sn, dst, spec)
+}
+
+// Insert appends a point to the memtable and returns its global dataset ID.
+// The write path never touches index structures: sealing and tree builds are
+// deferred to the background compactor, so an insert is O(dims) plus one
+// snapshot publish, and in-flight queries are never blocked or perturbed.
+func (e *Engine) Insert(p []float64) (int, error) {
+	if err := validRow(p, e.dims); err != nil {
+		return 0, err
+	}
+	e.wrMu.Lock()
+	cur := e.snap.Load()
+	id := cur.total
+	if int64(id) > math.MaxInt32 {
+		e.wrMu.Unlock()
+		return 0, fmt.Errorf("core: dataset ID space exhausted (%d rows)", id)
+	}
+	e.publishInsert(cur, int32(id), p)
+	memRows := len(e.snap.Load().memIDs)
+	e.wrMu.Unlock()
+	if memRows >= e.memSize {
+		e.kickCompactor()
+	}
+	return id, nil
+}
+
+// insertAt is Insert with a caller-assigned global ID, which must exceed
+// every ID already indexed — the sharded layer deals rows to shard engines
+// this way so results carry global IDs natively. Exported via NewWithIDs /
+// InsertWithID.
+func (e *Engine) InsertWithID(id int, p []float64) error {
+	if err := validRow(p, e.dims); err != nil {
+		return err
+	}
+	if id < 0 || int64(id) > math.MaxInt32 {
+		return fmt.Errorf("core: ID %d outside int32 range", id)
+	}
+	e.wrMu.Lock()
+	cur := e.snap.Load()
+	if id < cur.total {
+		e.wrMu.Unlock()
+		return fmt.Errorf("core: ID %d not above the indexed ID space (%d)", id, cur.total)
+	}
+	e.publishInsert(cur, int32(id), p)
+	memRows := len(e.snap.Load().memIDs)
+	e.wrMu.Unlock()
+	if memRows >= e.memSize {
+		e.kickCompactor()
+	}
+	return nil
+}
+
+// publishInsert builds and publishes the post-insert snapshot. Caller holds
+// wrMu and has validated the row.
+func (e *Engine) publishInsert(cur *snapshot, id int32, p []float64) {
+	ns := &snapshot{
+		segs:    cur.segs,
+		tombs:   cur.tombs,
+		memIDs:  append(cur.memIDs, id),
+		memFlat: append(cur.memFlat, p...),
+		memDead: cur.memDead,
+		total:   int(id) + 1,
+		live:    cur.live + 1,
+		minVal:  cur.minVal,
+		maxVal:  cur.maxVal,
+	}
+	for d, c := range p {
+		if c < ns.minVal[d] || c > ns.maxVal[d] {
+			// Copy-on-widen: published snapshots keep their extrema.
+			ns.minVal = append([]float64(nil), cur.minVal...)
+			ns.maxVal = append([]float64(nil), cur.maxVal...)
+			for dd, cc := range p {
+				ns.minVal[dd] = math.Min(ns.minVal[dd], cc)
+				ns.maxVal[dd] = math.Max(ns.maxVal[dd], cc)
+			}
+			break
+		}
+	}
+	e.snap.Store(ns)
+}
+
+// Remove deletes a point by dataset ID (tombstoning its row), reporting
+// whether it was live. Sealed segments are never rewritten here: the
+// tombstone masks the row at query time, and the compactor reclaims the
+// space when the segment's dead fraction crosses its rewrite threshold.
+func (e *Engine) Remove(id int) bool {
+	e.wrMu.Lock()
+	cur := e.snap.Load()
+	seg, local, ok := cur.locate(id)
+	if !ok || !cur.alive(seg, local) {
+		e.wrMu.Unlock()
+		return false
+	}
+	ns := &snapshot{
+		segs: cur.segs, tombs: cur.tombs,
+		memIDs: cur.memIDs, memFlat: cur.memFlat, memDead: cur.memDead,
+		total: cur.total, live: cur.live - 1,
+		minVal: cur.minVal, maxVal: cur.maxVal,
+	}
+	if seg < 0 {
+		ns.memDead = bitSetCopy(cur.memDead, local)
+	} else {
+		ns.tombs = append([][]uint64(nil), cur.tombs...)
+		ns.tombs[seg] = bitSetCopy(cur.tombs[seg], local)
+	}
+	e.snap.Store(ns)
+	e.wrMu.Unlock()
+	return true
+}
+
+// Alive reports whether a dataset ID names a live (inserted, not removed)
+// row in the engine's current snapshot.
+func (e *Engine) Alive(id int) bool {
+	sn := e.snap.Load()
+	seg, local, ok := sn.locate(id)
+	return ok && sn.alive(seg, local)
+}

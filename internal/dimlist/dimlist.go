@@ -47,6 +47,32 @@ func Build(data [][]float64, dim int) *List {
 	return l
 }
 
+// FromColumn builds a List over one pre-extracted column: entry i carries
+// the implicit local ID i — the sealed-segment constructor, where a
+// segment's rows are identified by their local row index.
+func FromColumn(col []float64) *List {
+	l := &List{
+		vals: make([]float64, len(col)),
+		ids:  make([]int32, len(col)),
+	}
+	idx := make([]int32, len(col))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := col[idx[a]], col[idx[b]]
+		if va != vb {
+			return va < vb
+		}
+		return idx[a] < idx[b]
+	})
+	for i, id := range idx {
+		l.vals[i] = col[id]
+		l.ids[i] = id
+	}
+	return l
+}
+
 // Len returns the number of entries.
 func (l *List) Len() int { return len(l.vals) }
 

@@ -13,7 +13,10 @@
 // must be byte-identical to the oracle; the rest (BRS, PE) must return the
 // exact top-k score multiset with every claimed score verified by
 // rescoring. Engines exposing Insert/Remove are additionally exercised
-// through a randomized update phase with the oracle tracking live rows.
+// through a randomized update phase with the oracle tracking live rows,
+// and engines exposing Snapshot are held to snapshot isolation: views
+// pinned mid-stream are re-queried after every later mutation against the
+// oracle frozen at their acquisition point.
 package enginetest
 
 import (
@@ -46,6 +49,26 @@ type Factory struct {
 type updatable interface {
 	Insert(p []float64) (int, error)
 	Remove(id int) bool
+}
+
+// frozenView is the query surface of a point-in-time snapshot.
+type frozenView interface {
+	TopK(q sdquery.Query) ([]sdquery.Result, error)
+	Len() int
+}
+
+// snapshotOf acquires an engine's snapshot when it offers one (SDIndex and
+// ShardedIndex return distinct concrete types; both satisfy frozenView).
+func snapshotOf(eng sdquery.Engine) frozenView {
+	switch e := eng.(type) {
+	case interface{ Snapshot() *sdquery.Snapshot }:
+		return e.Snapshot()
+	case interface {
+		Snapshot() *sdquery.ShardedSnapshot
+	}:
+		return e.Snapshot()
+	}
+	return nil
 }
 
 // workload is one randomized dataset plus the query mix run against it.
@@ -263,14 +286,59 @@ func Run(t *testing.T, f Factory) {
 }
 
 // runUpdates interleaves inserts, removes, and differential queries,
-// mirroring the live set for the oracle.
+// mirroring the live set for the oracle. Engines that expose snapshots are
+// additionally held to snapshot isolation: snapshots taken mid-stream are
+// re-queried after every later mutation and must keep answering
+// byte-identically to the oracle frozen at their acquisition point, no
+// matter how much insert/remove churn (and, for segment engines, background
+// compaction) has happened since.
 func runUpdates(t *testing.T, f Factory, wl workload, eng sdquery.Engine, up updatable) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(wl.seed * 7))
 	mirror := append([][]float64(nil), wl.data...)
 	dead := make([]bool, len(mirror))
 	dims := len(wl.roles)
+
+	// One frozen view plus the oracle state it was taken against; re-taken
+	// at a few fixed steps so isolation is tested across varying amounts of
+	// subsequent churn.
+	type frozen struct {
+		view   frozenView
+		mirror [][]float64
+		dead   []bool
+		step   int
+	}
+	var snaps []frozen
+	takeSnapshot := func(step int) {
+		if v := snapshotOf(eng); v != nil {
+			snaps = append(snaps, frozen{
+				view:   v,
+				mirror: append([][]float64(nil), mirror...),
+				dead:   append([]bool(nil), dead...),
+				step:   step,
+			})
+		}
+	}
+	checkSnapshots := func(step int) {
+		for _, fr := range snaps {
+			if got := fr.view.Len(); got != liveCount(fr.dead) {
+				t.Fatalf("step %d: snapshot from step %d: Len = %d, frozen oracle has %d",
+					step, fr.step, got, liveCount(fr.dead))
+			}
+			for _, q := range queries(wl, 1) {
+				got, err := fr.view.TopK(q)
+				if err != nil {
+					t.Fatalf("step %d: snapshot from step %d: %v", step, fr.step, err)
+				}
+				check(t, q, fr.mirror, fr.dead, got, f.Deterministic)
+			}
+		}
+	}
+
 	for step := 0; step < 60; step++ {
+		if step == 0 || step == 17 || step == 41 {
+			takeSnapshot(step)
+		}
 		switch rng.Intn(3) {
 		case 0:
 			p := make([]float64, dims)
@@ -286,12 +354,14 @@ func runUpdates(t *testing.T, f Factory, wl workload, eng sdquery.Engine, up upd
 			}
 			mirror = append(mirror, p)
 			dead = append(dead, false)
+			checkSnapshots(step)
 		case 1:
 			id := rng.Intn(len(mirror))
 			if up.Remove(id) != !dead[id] {
 				t.Fatalf("step %d: Remove(%d) liveness disagrees with mirror", step, id)
 			}
 			dead[id] = true
+			checkSnapshots(step)
 		default:
 			for _, q := range queries(wl, 2) {
 				got, err := eng.TopK(q)
@@ -302,4 +372,15 @@ func runUpdates(t *testing.T, f Factory, wl workload, eng sdquery.Engine, up upd
 			}
 		}
 	}
+	checkSnapshots(60)
+}
+
+func liveCount(dead []bool) int {
+	n := 0
+	for _, d := range dead {
+		if !d {
+			n++
+		}
+	}
+	return n
 }

@@ -141,6 +141,21 @@ func Build(points []geom.Point, cfg Config) (*Index, error) {
 	return idx, nil
 }
 
+// BuildColumns builds the index over the implicit point set
+// (ID=i, X=xs[i], Y=ys[i]) — the sealed-segment constructor: a segment's
+// rows are identified by their local row index, so the caller hands over
+// two extracted coordinate columns instead of materializing geom.Points.
+func BuildColumns(xs, ys []float64, cfg Config) (*Index, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("topk: %d x values for %d y values", len(xs), len(ys))
+	}
+	pts := make([]geom.Point, len(xs))
+	for i := range pts {
+		pts[i] = geom.Point{ID: i, X: xs[i], Y: ys[i]}
+	}
+	return Build(pts, cfg)
+}
+
 func checkPoint(p geom.Point) error {
 	if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
 		return fmt.Errorf("topk: point %d has non-finite coordinates (%v, %v)", p.ID, p.X, p.Y)

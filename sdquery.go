@@ -42,10 +42,14 @@ type Result struct {
 	Score float64
 }
 
-// Engine answers SD-Queries over a fixed dataset. All provided engines
-// return score-identical answers; they differ in indexing strategy and
-// therefore speed. Engines are safe for concurrent TopK calls; updates
-// (where supported) require external synchronization.
+// Engine answers SD-Queries over a dataset. All provided engines return
+// score-identical answers; they differ in indexing strategy and therefore
+// speed. Every engine is safe for concurrent TopK calls. SDIndex and
+// ShardedIndex additionally support fully concurrent updates: their
+// queries read an atomically loaded snapshot of an immutable segment
+// store (no lock on the read path), while Insert/Remove/compaction
+// publish new snapshots without blocking readers. The baseline engines
+// (scan, TA, BRS, PE) are read-only.
 type Engine interface {
 	// TopK returns the q.K highest-scoring points, best first. It returns
 	// fewer results only when the dataset is smaller than q.K.

@@ -18,12 +18,14 @@ import (
 // exactly like the sequential scan — the sharded answer is byte-identical
 // to the single-engine one.
 //
-// Unlike SDIndex, a ShardedIndex interleaves reads and writes: TopK and
-// BatchTopK take per-shard read locks while Insert and Remove lock only the
-// shard they touch, so queries keep flowing on the other shards during an
-// update. Dataset IDs are global: build rows keep their row index, Insert
-// returns the next global ID, and results from every engine in the package
-// refer to the same points.
+// Shard engines index rows under their global dataset IDs directly (build
+// rows keep their row index, Insert returns the next global ID), so results
+// from every engine in the package refer to the same points with no
+// translation layer. Queries hold no lock on any shard: each shard engine
+// answers from an atomically loaded snapshot of its immutable segment
+// stack, so TopK and BatchTopK proceed concurrently with Insert, Remove,
+// and background compaction on every shard. Insert and Remove serialize
+// only on the index's small routing table.
 //
 // Close releases the worker pool's goroutines; the index remains usable
 // afterwards, degrading to sequential execution on the caller's goroutine.
@@ -31,11 +33,11 @@ type ShardedIndex struct {
 	roles []Role
 	pool  *workerPool
 
-	// mu guards the global ID table and the insert cursor. Per-shard state
-	// is guarded by each shard's own lock, so queries never take mu.
+	// mu guards the routing table and the insert cursor — writer-side state
+	// only; queries never take it.
 	mu       sync.Mutex
-	byGlobal []shardLoc
-	next     int // round-robin insert cursor
+	byGlobal []int32 // global ID → owning shard
+	next     int     // round-robin insert cursor
 
 	shards []*shard
 
@@ -73,21 +75,8 @@ func (s *ShardedIndex) putCtx(c *shardedCtx) {
 	s.ctxPool.Put(c)
 }
 
-// shardLoc addresses one point inside the sharded layout.
-type shardLoc struct {
-	shard int32
-	local int32
-}
-
 type shard struct {
-	mu  sync.RWMutex
 	eng *core.Engine
-	// globalIDs maps the shard engine's local row IDs back to global
-	// dataset IDs. Inserts are serialized by ShardedIndex.mu, so the
-	// mapping is monotone increasing — within a shard, ascending local ID
-	// is ascending global ID, which the ID tie-break of the merge relies
-	// on.
-	globalIDs []int
 }
 
 // NewShardedIndex builds a sharded SD-Index over data (row-major, n × d)
@@ -121,27 +110,25 @@ func NewShardedIndex(data [][]float64, roles []Role, opts ...SDOption) (*Sharded
 	}
 	s := &ShardedIndex{
 		roles:    append([]Role(nil), roles...),
-		byGlobal: make([]shardLoc, len(data)),
+		byGlobal: make([]int32, len(data)),
 		shards:   make([]*shard, p),
 	}
 	parts := make([][][]float64, p)
+	ids := make([][]int32, p)
 	for i, row := range data {
 		si := i % p
 		parts[si] = append(parts[si], row)
-		s.byGlobal[i] = shardLoc{shard: int32(si), local: int32(len(parts[si]) - 1)}
+		ids[si] = append(ids[si], int32(i))
+		s.byGlobal[i] = int32(si)
 	}
 	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for si := 0; si < p; si++ {
-		sh := &shard{}
-		for g := si; g < len(data); g += p {
-			sh.globalIDs = append(sh.globalIDs, g)
-		}
-		s.shards[si] = sh
+		s.shards[si] = &shard{}
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			eng, err := core.New(parts[si], coreCfg)
+			eng, err := core.NewWithIDs(parts[si], ids[si], coreCfg)
 			if err != nil {
 				errs[si] = fmt.Errorf("shard %d: %w", si, err)
 				return
@@ -167,25 +154,6 @@ func resultBetter(a, b query.Result) bool {
 		return a.Score > b.Score
 	}
 	return a.ID < b.ID
-}
-
-// topKShardAppend answers spec on one shard under its read lock, appending
-// into dst (the per-task pooled buffer) and translating the engine's local
-// IDs to global ones. With a reused dst the per-shard query path performs
-// no allocation. The shard engine's work counters are returned for the
-// stats-reporting surfaces; fast paths ignore them.
-func (sh *shard) topKShardAppend(spec query.Spec, dst []query.Result) ([]query.Result, core.Stats, error) {
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	base := len(dst)
-	res, st, err := sh.eng.TopKAppend(dst, spec)
-	if err != nil {
-		return dst, st, err
-	}
-	for i := base; i < len(res); i++ {
-		res[i].ID = sh.globalIDs[res[i].ID]
-	}
-	return res, st, nil
 }
 
 // mergeShards merges per-shard best-first lists into dst under the global
@@ -225,17 +193,28 @@ func (s *ShardedIndex) TopK(q Query) ([]Result, error) {
 }
 
 // fanOutQuery runs spec on every shard through the pool, filling c.bufs with
-// per-shard answers under the batchErr first-error discipline. When stats is
-// non-nil it receives shard si's work counters at index si; the zero-alloc
-// fast path passes nil. This is the single copy of the per-shard
-// dispatch/skip/buffer-repooling dance TopKAppend and TopKWithStats share.
-func (s *ShardedIndex) fanOutQuery(spec query.Spec, c *shardedCtx, stats []core.Stats) error {
+// per-shard answers under the batchErr first-error discipline. With a
+// non-nil views slice the query runs against those pinned per-shard
+// snapshots instead of each shard's live head (the ShardedSnapshot path).
+// Shard engines answer lock-free either way — one atomic snapshot load per
+// shard. When stats is non-nil it receives shard si's work counters at
+// index si; the zero-alloc fast path passes nil.
+func (s *ShardedIndex) fanOutQuery(spec query.Spec, c *shardedCtx, stats []core.Stats, views []core.View) error {
 	var be batchErr
 	s.pool.do(len(s.shards), func(si int) {
 		if be.shouldSkip(si) {
 			return
 		}
-		res, st, err := s.shards[si].topKShardAppend(spec, c.bufs[si][:0])
+		var (
+			res []query.Result
+			st  core.Stats
+			err error
+		)
+		if views != nil {
+			res, st, err = views[si].TopKAppend(c.bufs[si][:0], spec)
+		} else {
+			res, st, err = s.shards[si].eng.TopKAppend(c.bufs[si][:0], spec)
+		}
 		c.bufs[si] = res[:0] // keep grown capacity pooled
 		if err != nil {
 			be.record(si, err)
@@ -256,19 +235,19 @@ func (s *ShardedIndex) TopKAppend(dst []Result, q Query) ([]Result, error) {
 	p := len(s.shards)
 	c := s.getCtx(p)
 	defer s.putCtx(c)
-	if err := s.fanOutQuery(spec, c, nil); err != nil {
+	if err := s.fanOutQuery(spec, c, nil, nil); err != nil {
 		return dst, err
 	}
 	return mergeShards(dst, c.bufs[:p], c.pos, q.K), nil
 }
 
 // TopKWithStats answers the query and reports the work counters summed over
-// every shard: total sorted accesses, scored points, subproblems, and
-// scheduler rounds across the fan-out, plus how many shard engines answered
-// from their plan cache (each shard keeps its own cache, so a fully warm
-// fan-out reports PlanCacheHits == Shards()). The diagnostic surface behind
-// the per-workload fetched/scored means the benchmark report emits for
-// sharded workloads.
+// every shard: total sorted accesses, scored points, subproblems, segments,
+// and scheduler rounds across the fan-out, plus how many shard engines
+// answered from their plan cache (each shard keeps its own cache, so a
+// fully warm fan-out reports PlanCacheHits == Shards()). The diagnostic
+// surface behind the per-workload fetched/scored means the benchmark report
+// emits for sharded workloads.
 func (s *ShardedIndex) TopKWithStats(q Query) ([]Result, QueryStats, error) {
 	spec := q.spec()
 	p := len(s.shards)
@@ -277,12 +256,13 @@ func (s *ShardedIndex) TopKWithStats(q Query) ([]Result, QueryStats, error) {
 	for len(c.stats) < p {
 		c.stats = append(c.stats, core.Stats{})
 	}
-	if err := s.fanOutQuery(spec, c, c.stats[:p]); err != nil {
+	if err := s.fanOutQuery(spec, c, c.stats[:p], nil); err != nil {
 		return nil, QueryStats{}, err
 	}
 	var total QueryStats
 	for _, st := range c.stats[:p] {
 		total.Subproblems += st.Subproblems
+		total.Segments += st.Segments
 		total.Fetched += st.Fetched
 		total.Scored += st.Scored
 		total.Rounds += st.Rounds
@@ -317,7 +297,7 @@ func (s *ShardedIndex) BatchTopK(queries []Query) ([][]Result, error) {
 			return
 		}
 		qi, si := t/p, t%p
-		res, _, err := s.shards[si].topKShardAppend(c.specs[qi], c.bufs[t][:0])
+		res, _, err := s.shards[si].eng.TopKAppend(c.bufs[t][:0], c.specs[qi])
 		c.bufs[t] = res[:0]
 		if err != nil {
 			be.record(t, fmt.Errorf("query %d: %w", qi, err))
@@ -338,49 +318,51 @@ func (s *ShardedIndex) BatchTopK(queries []Query) ([][]Result, error) {
 }
 
 // Insert adds a point to the next shard in round-robin order and returns its
-// global dataset ID. Inserts are serialized with each other but only lock
-// one shard, so queries on the remaining shards proceed concurrently.
+// global dataset ID. The shard engine indexes the row under that global ID
+// directly; only the routing table is locked, so in-flight queries are
+// never blocked.
 func (s *ShardedIndex) Insert(p []float64) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	si := s.next
-	sh := s.shards[si]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	local, err := sh.eng.Insert(p)
-	if err != nil {
+	global := len(s.byGlobal)
+	if err := s.shards[si].eng.InsertWithID(global, p); err != nil {
 		return 0, err
 	}
-	global := len(s.byGlobal)
-	s.byGlobal = append(s.byGlobal, shardLoc{shard: int32(si), local: int32(local)})
-	sh.globalIDs = append(sh.globalIDs, global)
+	s.byGlobal = append(s.byGlobal, int32(si))
 	s.next = (si + 1) % len(s.shards)
 	return global, nil
 }
 
 // Remove deletes a point by global dataset ID, reporting whether it was
-// live. Only the owning shard is locked.
+// live. The owning shard tombstones the row in its current snapshot;
+// background compaction reclaims the space later.
 func (s *ShardedIndex) Remove(id int) bool {
 	s.mu.Lock()
 	if id < 0 || id >= len(s.byGlobal) {
 		s.mu.Unlock()
 		return false
 	}
-	loc := s.byGlobal[id]
+	sh := s.shards[s.byGlobal[id]]
 	s.mu.Unlock()
-	sh := s.shards[loc.shard]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.eng.Remove(int(loc.local))
+	return sh.eng.Remove(id)
 }
 
-// Len reports the number of live points across all shards.
+// Compact synchronously folds every shard's segment stack and memtable into
+// one sealed segment per shard, dropping tombstoned rows. Queries keep
+// flowing throughout.
+func (s *ShardedIndex) Compact() {
+	for _, sh := range s.shards {
+		sh.eng.Compact()
+	}
+}
+
+// Len reports the number of live points across all shards (one atomic
+// snapshot load per shard; no locks).
 func (s *ShardedIndex) Len() int {
 	total := 0
 	for _, sh := range s.shards {
-		sh.mu.RLock()
 		total += sh.eng.Len()
-		sh.mu.RUnlock()
 	}
 	return total
 }
@@ -389,9 +371,7 @@ func (s *ShardedIndex) Len() int {
 func (s *ShardedIndex) Bytes() int {
 	total := 0
 	for _, sh := range s.shards {
-		sh.mu.RLock()
 		total += sh.eng.Bytes()
-		sh.mu.RUnlock()
 	}
 	return total
 }

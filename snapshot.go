@@ -1,0 +1,116 @@
+package sdquery
+
+import (
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Snapshot is an immutable point-in-time view of an SDIndex: queries
+// through it see exactly the rows that were live when Snapshot was called,
+// no matter how many Inserts, Removes, or background compactions run
+// afterwards. Acquiring one costs a single atomic load — no lock — and a
+// Snapshot never blocks writers; it pins its row set only against the
+// garbage collector, so drop it when done.
+//
+// Snapshot isolation is what the engine's differential harness leans on:
+// every answer through a Snapshot is byte-identical to a sequential scan of
+// the rows live at acquisition time.
+type Snapshot struct {
+	s    *SDIndex
+	view core.View
+}
+
+// Snapshot acquires the index's current snapshot.
+func (s *SDIndex) Snapshot() *Snapshot {
+	return &Snapshot{s: s, view: s.eng.View()}
+}
+
+// Len reports the number of live rows the snapshot can see.
+func (sn *Snapshot) Len() int { return sn.view.Len() }
+
+// Segments reports the sealed-segment count and memtable rows frozen in
+// the snapshot.
+func (sn *Snapshot) Segments() (segments, memRows int) {
+	return sn.view.Segments(), sn.view.MemRows()
+}
+
+// TopK answers the query against the snapshot's frozen row set. See
+// Engine.TopK.
+func (sn *Snapshot) TopK(q Query) ([]Result, error) {
+	return sn.TopKAppend(nil, q)
+}
+
+// TopKAppend is TopK appending into dst; it shares the parent index's
+// pooled buffers, so with a caller-reused dst the steady-state path
+// performs no allocation.
+func (sn *Snapshot) TopKAppend(dst []Result, q Query) ([]Result, error) {
+	return sn.s.appendVia(sn.view, dst, q)
+}
+
+// ShardedSnapshot is the cross-shard analogue of Snapshot: one pinned
+// per-shard view for every shard, acquired atomically with respect to the
+// index's writers, so the set of global rows it sees is a consistent cut.
+// Queries fan out over the pinned views on the index's worker pool exactly
+// like live queries, still without taking any shard lock.
+type ShardedSnapshot struct {
+	s     *ShardedIndex
+	views []core.View
+}
+
+// Snapshot acquires a consistent cross-shard snapshot. It briefly takes the
+// index's routing lock — serializing only against Insert and Remove, never
+// against queries — so a write is either visible on its shard's view or not
+// yet routed at all.
+func (s *ShardedIndex) Snapshot() *ShardedSnapshot {
+	sn := &ShardedSnapshot{s: s, views: make([]core.View, len(s.shards))}
+	s.mu.Lock()
+	for i, sh := range s.shards {
+		sn.views[i] = sh.eng.View()
+	}
+	s.mu.Unlock()
+	return sn
+}
+
+// Len reports the number of live rows across the snapshot's shard views.
+func (sn *ShardedSnapshot) Len() int {
+	total := 0
+	for _, v := range sn.views {
+		total += v.Len()
+	}
+	return total
+}
+
+// TopK answers the query against the snapshot's frozen row set, merging
+// per-shard answers exactly like the live path.
+func (sn *ShardedSnapshot) TopK(q Query) ([]Result, error) {
+	s := sn.s
+	spec := q.spec()
+	p := len(s.shards)
+	c := s.getCtx(p)
+	defer s.putCtx(c)
+	if err := s.fanOutQuery(spec, c, nil, sn.views); err != nil {
+		return nil, err
+	}
+	return mergeShards(make([]Result, 0, q.K), c.bufs[:p], c.pos, q.K), nil
+}
+
+// appendVia is the shared SDIndex/Snapshot append path: run the core query
+// against the given view into a pooled scratch buffer, then convert into
+// dst.
+func (s *SDIndex) appendVia(view core.View, dst []Result, q Query) ([]Result, error) {
+	bp, _ := s.buf.Get().(*[]query.Result)
+	if bp == nil {
+		bp = new([]query.Result)
+	}
+	res, _, err := view.TopKAppend((*bp)[:0], q.spec())
+	*bp = res[:0] // keep the grown capacity pooled either way
+	if err != nil {
+		s.buf.Put(bp)
+		return dst, err
+	}
+	for _, r := range res {
+		dst = append(dst, Result{ID: r.ID, Score: r.Score})
+	}
+	s.buf.Put(bp)
+	return dst, nil
+}
