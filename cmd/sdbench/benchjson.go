@@ -60,6 +60,14 @@ type workloadJSON struct {
 	// completed during the measurement window (mixed workloads only) —
 	// context for judging the write pressure behind the latency figures.
 	WriterOps int64 `json:"writer_ops,omitempty"`
+	// QPS is the end-to-end throughput of the serve load workload: requests
+	// completed per wall second by the closed-loop client pool.
+	QPS float64 `json:"qps,omitempty"`
+	// CoalescedBatchMean is the serve workload's mean coalesced batch size —
+	// queries per BatchTopK call executed by the admission layer. > 1 means
+	// request coalescing is actually batching concurrent traffic; the diff
+	// gate fails if it collapses back to 1.
+	CoalescedBatchMean float64 `json:"coalesced_batch_mean,omitempty"`
 	// Work counters averaged over the query set. For sharded workloads the
 	// counters are summed across shards first, so scheduler and plan-cache
 	// wins stay visible end-to-end.
@@ -72,7 +80,7 @@ type workloadJSON struct {
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate,omitempty"`
 }
 
-const benchJSONSchema = "sdbench/v3"
+const benchJSONSchema = "sdbench/v4"
 
 // statsSource is the work-counter surface shared by SDIndex and
 // ShardedIndex.
@@ -345,6 +353,31 @@ func runBenchJSON(path, baselinePath string, scale float64, queryCount int, seed
 	mixed.N, mixed.Dims, mixed.K, mixed.Queries = n, dims, k, len(queries)
 	mixed.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	report.Workloads = append(report.Workloads, mixed)
+
+	// Serve load: end-to-end HTTP latency/throughput through the coalescing
+	// admission layer, closed-loop clients over real TCP. Like the sharded
+	// batch workload it elevates GOMAXPROCS to NumCPU for its lifetime —
+	// the serving layer's whole point is concurrent traffic.
+	if err := func() error {
+		prev := runtime.GOMAXPROCS(0)
+		procs := prev
+		if runtime.NumCPU() > procs {
+			procs = runtime.NumCPU()
+			runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+		}
+		sw, err := runServeLoad(scale, len(queries), seed, 4096)
+		if err != nil {
+			return err
+		}
+		sw.Name = "serve/topk"
+		sw.Queries = len(queries)
+		sw.GOMAXPROCS = procs
+		report.Workloads = append(report.Workloads, sw)
+		return nil
+	}(); err != nil {
+		return err
+	}
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -11,6 +11,7 @@
 //	sdbench -all -scale 0.1
 //	sdbench -json BENCH_sdbench.json [-scale 1] [-queries 64]
 //	sdbench -json report.json -baseline BENCH_sdbench.json   # regression gate
+//	sdbench -serve                                           # HTTP serve load test
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		exp        = flag.String("exp", "", "experiment id to run (e.g. fig7a, table1, ablation-angles)")
 		all        = flag.Bool("all", false, "run every experiment")
 		shardSweep = flag.Bool("shardsweep", false, "sweep shard counts for the sharded batch execution layer")
+		serveLoad  = flag.Bool("serve", false, "load-test the HTTP serving layer in-process (closed-loop client pool)")
 		jsonOut    = flag.String("json", "", "write the machine-readable micro-benchmark report to this path (\"-\" for stdout)")
 		baseline   = flag.String("baseline", "", "with -json: diff the fresh report against this committed baseline and exit non-zero on regression")
 		scale      = flag.Float64("scale", 1.0, "dataset size multiplier (1.0 = paper scale)")
@@ -54,6 +56,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sdbench: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *serveLoad {
+		runServeStandalone(*scale, *queries, *seed)
 		return
 	}
 

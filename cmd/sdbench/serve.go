@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	sdquery "repro"
+	"repro/internal/bench"
+	"repro/internal/dataset"
+	"repro/serve"
+)
+
+// Serve load workload: spin the HTTP serving layer up in-process, drive it
+// with a closed-loop client pool over real TCP connections, and report
+// end-to-end request latency (mean/p50/p99), throughput, and the mean
+// coalesced batch size. This is the end-to-end figure the serving layer is
+// accountable for — engine time plus coalescing delay plus HTTP overhead —
+// and the coalesced_batch_mean > 1 expectation is what proves the admission
+// layer actually batches under concurrent load (the diff gate enforces it
+// against the committed baseline).
+
+// serveClients is the closed-loop client count: enough concurrency to keep
+// batches forming on small CI machines without drowning them.
+func serveClients() int {
+	c := 2 * runtime.GOMAXPROCS(0)
+	if c < 8 {
+		c = 8
+	}
+	return c
+}
+
+// runServeLoad builds the default evaluation workload, serves it, and
+// hammers it with serveClients() closed-loop clients for totalOps requests.
+func runServeLoad(scale float64, queryCount int, seed int64, totalOps int) (workloadJSON, error) {
+	var w workloadJSON
+	n := int(50_000 * scale)
+	if n < 1000 {
+		n = 1000
+	}
+	if queryCount <= 0 {
+		queryCount = 64
+	}
+	const dims, attractive, k = 6, 3, 5
+	data := dataset.Generate(dataset.Uniform, n, dims, seed)
+	specs, roles := bench.BatchSpecs(dims, attractive, k, queryCount, seed+1)
+
+	idx, err := sdquery.NewShardedIndex(data, roles)
+	if err != nil {
+		return w, err
+	}
+	defer idx.Close()
+	srv := serve.New(idx,
+		serve.WithCoalesceWindow(time.Millisecond),
+		serve.WithQueueDepth(8192))
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return w, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String() + "/v1/topk"
+
+	// Pre-marshal every request body: the harness measures the server, not
+	// the client's JSON encoder.
+	bodies := make([][]byte, len(specs))
+	for i, sp := range specs {
+		names := make([]string, dims)
+		for d, r := range sp.Roles {
+			names[d] = r.String()
+		}
+		bodies[i] = []byte(fmt.Sprintf(
+			`{"point":%s,"k":%d,"roles":%s,"weights":%s}`,
+			jsonFloats(sp.Point), sp.K, jsonStrings(names), jsonFloats(sp.Weights)))
+	}
+
+	clients := serveClients()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients,
+		MaxIdleConnsPerHost: clients,
+	}}
+	doOne := func(body []byte) (time.Duration, error) {
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		var sink [512]byte
+		for {
+			if _, err := resp.Body.Read(sink[:]); err != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("serve load: status %d", resp.StatusCode)
+		}
+		return time.Since(t0), nil
+	}
+	// Warm-up: connections, engine pools, plan caches.
+	for i := 0; i < clients; i++ {
+		if _, err := doOne(bodies[i%len(bodies)]); err != nil {
+			return w, err
+		}
+	}
+
+	perClient := totalOps / clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	lats := make([][]int64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			<-start
+			mine := make([]int64, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				d, err := doOne(bodies[(c*perClient+i)%len(bodies)])
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				mine = append(mine, d.Nanoseconds())
+			}
+			lats[c] = mine
+		}(c)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return w, err
+		}
+	}
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum int64
+	for _, l := range all {
+		sum += l
+	}
+	st := srv.Statz()
+	w.N, w.Dims, w.K, w.Queries = n, dims, k, queryCount
+	w.NsPerOp = sum / int64(len(all))
+	w.P50NsPerOp = all[len(all)/2]
+	w.P99NsPerOp = all[len(all)*99/100]
+	w.AllocsPerOp = -1 // cross-goroutine HTTP path: no per-op attribution
+	w.BytesPerOp = -1
+	w.QPS = float64(len(all)) / wall.Seconds()
+	w.CoalescedBatchMean = st.CoalescedBatchMean
+	return w, nil
+}
+
+// runServeStandalone is the human-facing `sdbench -serve` mode.
+func runServeStandalone(scale float64, queryCount int, seed int64) {
+	prev := runtime.GOMAXPROCS(0)
+	if runtime.NumCPU() > prev {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		defer runtime.GOMAXPROCS(prev)
+	}
+	w, err := runServeLoad(scale, queryCount, seed, 4096)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sdbench: serve load: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("== serve load: n=%d, d=%d, k=%d, %d closed-loop clients, GOMAXPROCS=%d\n",
+		w.N, w.Dims, w.K, serveClients(), runtime.GOMAXPROCS(0))
+	fmt.Printf("%-22s %12.0f\n", "qps", w.QPS)
+	fmt.Printf("%-22s %12.2f\n", "mean latency (ms)", float64(w.NsPerOp)/1e6)
+	fmt.Printf("%-22s %12.2f\n", "p50 latency (ms)", float64(w.P50NsPerOp)/1e6)
+	fmt.Printf("%-22s %12.2f\n", "p99 latency (ms)", float64(w.P99NsPerOp)/1e6)
+	fmt.Printf("%-22s %12.2f\n", "mean coalesced batch", w.CoalescedBatchMean)
+}
+
+func jsonFloats(vals []float64) string {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+func jsonStrings(vals []string) string {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,152 @@
+// Command sdserver serves SD-Queries over HTTP: the production front end of
+// the engine (package serve), with request coalescing, backpressure, and
+// zero-downtime index swaps.
+//
+// Serve a CSV dataset (roles as one letter per column — a/r/i):
+//
+//	sdserver -addr :8080 -data points.csv -roles rrraaa
+//
+// Serve a persisted index (cmd/sdquery -save, or a previous sdserver's
+// swap source) with no rebuild:
+//
+//	sdserver -addr :8080 -index points.sdx
+//
+// Query it:
+//
+//	curl -s localhost:8080/v1/topk -d '{"point":[0.1,0.2,0.3,0.4,0.5,0.6],
+//	    "k":5,"roles":["r","r","r","a","a","a"]}'
+//
+// Swap the serving index live (queries keep flowing; no request observes a
+// torn index):
+//
+//	curl -s localhost:8080/v1/admin/swap -d '{"path":"tomorrow.sdx"}'
+//
+// On SIGINT/SIGTERM the server drains gracefully: /healthz flips to 503 so
+// load balancers stop routing, in-flight requests finish (bounded by
+// -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	sdquery "repro"
+	"repro/internal/dataset"
+	"repro/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		path    = flag.String("data", "", "CSV file of points (required unless -index)")
+		header  = flag.Bool("header", false, "CSV has a header row")
+		rolesF  = flag.String("roles", "", "one letter per column: a/r/i (required unless -index)")
+		indexF  = flag.String("index", "", "serve a persisted index from this file instead of building from CSV")
+		shards  = flag.Int("shards", 0, "data shards (≤ 0 selects GOMAXPROCS)")
+		workers = flag.Int("workers", 0, "worker-pool size (≤ 0 selects GOMAXPROCS)")
+
+		window   = flag.Duration("coalesce-window", 500*time.Microsecond, "how long the first query of a batch waits for company (0 batches only what is queued; negative disables coalescing)")
+		maxBatch = flag.Int("max-batch", 64, "maximum queries per coalesced batch")
+		queue    = flag.Int("queue", 1024, "admission queue depth for /v1/topk (full queue answers 429)")
+		execs    = flag.Int("executors", 0, "concurrent coalesced batches (≤ 0 selects GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-request deadline enforced mid-query (0 disables)")
+		drainT   = flag.Duration("drain-timeout", 15*time.Second, "maximum graceful-drain wait on SIGTERM")
+	)
+	flag.Parse()
+
+	idx, err := buildIndex(*path, *header, *rolesF, *indexF, *shards, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []serve.Option{
+		serve.WithCoalesceWindow(*window),
+		serve.WithMaxBatch(*maxBatch),
+		serve.WithQueueDepth(*queue),
+		serve.WithRequestTimeout(*timeout),
+		serve.WithLoadOptions(sdquery.WithWorkers(*workers)),
+	}
+	if *execs > 0 {
+		opts = append(opts, serve.WithExecutors(*execs))
+	}
+	srv := serve.New(idx, opts...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Fprintf(os.Stderr, "sdserver: serving %d points on %s\n", idx.Len(), *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		fmt.Fprintf(os.Stderr, "sdserver: draining (up to %s)\n", *drainT)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainT)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		fmt.Fprintln(os.Stderr, "sdserver: drained")
+	}
+}
+
+// buildIndex constructs the serving index from a CSV or a persisted file.
+func buildIndex(path string, header bool, rolesF, indexF string, shards, workers int) (serve.Index, error) {
+	if indexF != "" {
+		f, err := os.Open(indexF)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		eng, err := sdquery.Load(f, sdquery.WithWorkers(workers))
+		if err != nil {
+			return nil, err
+		}
+		return serve.AsIndex(eng)
+	}
+	if path == "" || rolesF == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := dataset.ReadCSV(f, header)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("no data rows in %s", path)
+	}
+	roles := make([]sdquery.Role, len(rolesF))
+	for i, c := range strings.ToLower(rolesF) {
+		switch c {
+		case 'a':
+			roles[i] = sdquery.Attractive
+		case 'r':
+			roles[i] = sdquery.Repulsive
+		case 'i':
+			roles[i] = sdquery.Ignored
+		default:
+			return nil, fmt.Errorf("role %q: use a, r, or i", c)
+		}
+	}
+	return sdquery.NewShardedIndex(data, roles,
+		sdquery.WithShards(shards), sdquery.WithWorkers(workers))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdserver:", err)
+	os.Exit(1)
+}

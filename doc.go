@@ -66,6 +66,24 @@
 // cmd/sdquery exposes the same flow: -save persists an index built from
 // CSV, -index serves a persisted one without any rebuild.
 //
+// # Serving
+//
+// Package repro/serve and cmd/sdserver put the engine behind an HTTP/JSON
+// API (POST /v1/topk, /v1/batch, /v1/insert, DELETE /v1/points/{id}, plus
+// /healthz, /metrics in Prometheus text format, and /statz). The serving
+// layer coalesces concurrently-arriving single queries into BatchTopK
+// calls (bounded window and batch size, riding the pooled batch path
+// above), answers 429 with Retry-After when its bounded admission queue
+// fills, and enforces per-request deadlines through TopKContext /
+// TopKAppendContext: the aggregation loop polls the context's Done channel
+// once per scheduling step, so a cancelled or timed-out query stops within
+// one adaptive batch and releases every pooled buffer. POST /v1/admin/swap
+// loads a persisted index and publishes it with one atomic pointer store —
+// in-flight queries finish on the index they grabbed, so no request ever
+// observes a torn index — and SIGTERM drains gracefully (healthz flips to
+// 503, in-flight requests finish, then the process exits). The JSON wire
+// format is documented in serve/wire.go, next to this binary format.
+//
 // Scan, SDIndex, TA, and ShardedIndex break score ties by ascending dataset
 // ID, so their answers are byte-identical to each other; BRS and PE resolve
 // exact ties at the k-th rank arbitrarily but return the same score

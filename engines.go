@@ -219,7 +219,7 @@ func (s *SDIndex) TopK(q Query) ([]Result, error) {
 // preserved; a nil dst behaves like TopK. The whole path is lock-free —
 // snapshot acquisition is a single atomic load (see Snapshot).
 func (s *SDIndex) TopKAppend(dst []Result, q Query) ([]Result, error) {
-	return s.appendVia(s.eng.View(), dst, q)
+	return s.appendVia(s.eng.View(), dst, q, nil)
 }
 
 // Len reports the number of live points.

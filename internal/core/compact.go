@@ -197,6 +197,7 @@ func (e *Engine) compactTail(nSegs, memUpto int) {
 	}
 	e.snap.Store(ns)
 	e.wrMu.Unlock()
+	e.compactions.Add(1)
 }
 
 // shiftBits re-bases a memtable tombstone bitset after the first `from` rows

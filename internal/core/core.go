@@ -25,6 +25,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -35,6 +36,12 @@ import (
 	"repro/internal/query"
 	"repro/internal/topk"
 )
+
+// ErrCanceled is returned by the cancellation-aware query paths
+// (TopKAppendCancel) when the caller's done channel closes before the
+// aggregation terminates. The public API wrappers translate it into the
+// originating context's error.
+var ErrCanceled = errors.New("core: query canceled")
 
 // Pairing selects the strategy mapping repulsive to attractive dimensions
 // (the bijection f of Eqn. 10).
@@ -152,10 +159,11 @@ type Engine struct {
 	wrMu sync.Mutex
 
 	// Compaction state — see compact.go.
-	compactMu  sync.Mutex
-	compacting atomic.Bool
-	memSize    int
-	noCompact  bool
+	compactMu   sync.Mutex
+	compacting  atomic.Bool
+	compactions atomic.Uint64 // completed seal/fold/reclaim steps, for ops telemetry
+	memSize     int
+	noCompact   bool
 
 	ctxPool sync.Pool // *queryCtx — see hotpath.go
 
@@ -375,6 +383,12 @@ func (e *Engine) Segments() (segments, memRows int) {
 	sn := e.snap.Load()
 	return len(sn.segs), sn.memRows()
 }
+
+// Compactions reports how many compaction steps (memtable seals, stack
+// folds, dead-row reclaims — background or explicit) the engine has
+// completed since construction. A monotonic counter for the serving layer's
+// metrics surface; it never resets.
+func (e *Engine) Compactions() uint64 { return e.compactions.Load() }
 
 // Bytes estimates the resident size of the engine: every sealed segment's
 // index structures, flat row block, global-ID map, and tombstone bitset,

@@ -105,6 +105,15 @@ type queryCtx struct {
 	scratch queryPlan // plan storage for uncached shapes
 	sortRep []int32   // adaptive planner scratch: active dims by weight
 	sortAtt []int32
+
+	// done is the query's optional cancellation signal (a context's Done
+	// channel on the serving path); nil means the query runs to completion.
+	// The scheduler loops poll it once per scheduling step, so cancellation
+	// latency is one adaptive batch (≤ maxBatch sorted accesses), and the
+	// context is released back to the pool on every exit path — a cancelled
+	// query leaks no pooled buffers.
+	done     <-chan struct{}
+	canceled bool
 }
 
 // initCtxPool wires the engine's context pool; called once at build time,
@@ -183,6 +192,7 @@ func (e *Engine) putCtx(c *queryCtx) {
 	c.subs = c.subs[:0]
 	c.refs = c.refs[:0]
 	c.sn = nil
+	c.done, c.canceled = nil, false // never pin a request's Done channel
 	clear(c.seen)
 	e.ctxPool.Put(c)
 }
@@ -225,18 +235,32 @@ func (c *queryCtx) scoreRow(qpt, row []float64) float64 {
 // and the engine's configured scheduler (scheduler.go) drives the §5
 // aggregation to the exact answer.
 func (e *Engine) TopKAppend(dst []query.Result, spec query.Spec) ([]query.Result, Stats, error) {
-	return e.topKAppendAt(e.snap.Load(), dst, spec)
+	return e.topKAppendAt(e.snap.Load(), dst, spec, nil)
+}
+
+// TopKAppendCancel is TopKAppend with a cancellation signal: when done is
+// closed, the aggregation stops at its next scheduling step — at most one
+// adaptive batch of sorted accesses later — releases every pooled resource,
+// and returns ErrCanceled. A nil done behaves exactly like TopKAppend (the
+// zero-allocation hot path is unchanged; the poll is nil-guarded). This is
+// the deadline plumbing the serving layer's per-request timeouts stand on.
+func (e *Engine) TopKAppendCancel(dst []query.Result, spec query.Spec, done <-chan struct{}) ([]query.Result, Stats, error) {
+	return e.topKAppendAt(e.snap.Load(), dst, spec, done)
 }
 
 // topKAppendAt is TopKAppend evaluated at a pinned snapshot (the View query
 // path and the default path share it).
-func (e *Engine) topKAppendAt(sn *snapshot, dst []query.Result, spec query.Spec) ([]query.Result, Stats, error) {
+func (e *Engine) topKAppendAt(sn *snapshot, dst []query.Result, spec query.Spec, done <-chan struct{}) ([]query.Result, Stats, error) {
 	var stats Stats
 	if err := spec.Validate(e.dims); err != nil {
 		return dst, stats, err
 	}
 	c := e.getCtx(sn)
 	defer e.putCtx(c)
+	c.done = done
+	if c.pollCancel() { // already-cancelled requests pay for nothing
+		return dst, stats, ErrCanceled
+	}
 
 	pl, hit := e.planFor(spec, &c.scratch)
 	if pl.err != nil {
@@ -343,6 +367,12 @@ func (e *Engine) topKAppendAt(sn *snapshot, dst []query.Result, spec query.Spec)
 		} else {
 			c.runBoundDriven(spec.Point, &stats)
 		}
+	}
+	if c.canceled {
+		// The partial collector state is meaningless to the caller; the
+		// deferred putCtx still closes every stream and returns the context
+		// to the pool, so cancellation leaks nothing.
+		return dst, stats, ErrCanceled
 	}
 	return c.appendResults(dst), stats, nil
 }

@@ -81,6 +81,24 @@ func (s Scheduler) valid() bool {
 // forced probe of a useless frontier cheap.
 const rateWindow = 8
 
+// pollCancel reports whether the query's cancellation signal has fired,
+// latching the result into c.canceled. Both scheduler loops poll it once
+// per scheduling step — a nil-guarded non-blocking receive, free on the
+// uncancellable hot path — so a cancelled query stops within one adaptive
+// batch instead of running its aggregation to termination.
+func (c *queryCtx) pollCancel() bool {
+	if c.done == nil {
+		return false
+	}
+	select {
+	case <-c.done:
+		c.canceled = true
+		return true
+	default:
+		return false
+	}
+}
+
 // runBoundDriven is the SchedBoundDriven aggregation loop. The schedule is
 // driven by the subproblems' frontier-bound telemetry: each step drains the
 // subproblem whose bound is falling fastest per sorted access (the measured
@@ -116,6 +134,9 @@ func (c *queryCtx) runBoundDriven(qpt []float64, stats *Stats) {
 	}
 	coll := c.coll
 	for {
+		if c.pollCancel() {
+			return
+		}
 		// A subproblem exhausts only after emitting every point of its
 		// segment, so one exhausted frontier retires the whole segment:
 		// everything in it has been scored or soundly discarded.
@@ -242,6 +263,9 @@ func (c *queryCtx) runRoundRobin(qpt []float64, stats *Stats) {
 	}
 	coll := c.coll
 	for {
+		if c.pollCancel() {
+			return
+		}
 		progressed := false
 		for i := range subs {
 			other := 0.0

@@ -126,7 +126,14 @@ func (v View) TopK(spec query.Spec) ([]query.Result, error) {
 
 // TopKAppend is Engine.TopKAppend evaluated at the View's snapshot.
 func (v View) TopKAppend(dst []query.Result, spec query.Spec) ([]query.Result, Stats, error) {
-	return v.e.topKAppendAt(v.sn, dst, spec)
+	return v.e.topKAppendAt(v.sn, dst, spec, nil)
+}
+
+// TopKAppendCancel is Engine.TopKAppendCancel evaluated at the View's
+// snapshot: when done is closed the aggregation stops at its next
+// scheduling step and returns ErrCanceled.
+func (v View) TopKAppendCancel(dst []query.Result, spec query.Spec, done <-chan struct{}) ([]query.Result, Stats, error) {
+	return v.e.topKAppendAt(v.sn, dst, spec, done)
 }
 
 // Insert appends a point to the memtable and returns its global dataset ID.

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoalescingUnderConcurrency is the admission-layer acceptance test:
+// under genuinely concurrent clients the server must gather single queries
+// into multi-query batches (mean coalesced batch size > 1), and every
+// coalesced answer must stay byte-identical to the direct engine call.
+func TestCoalescingUnderConcurrency(t *testing.T) {
+	idx := testIndex(t, 5_000, 40)
+	srv := New(idx, WithCoalesceWindow(2*time.Millisecond), WithQueueDepth(4096))
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	queries := testQueries(16, 41)
+	bodies := make([][]byte, len(queries))
+	goldens := make([][]byte, len(queries))
+	for i, q := range queries {
+		direct, err := idx.TopK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = queryBody(t, q)
+		goldens[i] = goldenBody(t, direct)
+	}
+
+	const clients, rounds = 16, 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			qi := w % len(queries)
+			for r := 0; r < rounds; r++ {
+				status, out, err := postE(ts.Client(), ts.URL+"/v1/topk", bodies[qi])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if status != http.StatusOK {
+					t.Errorf("client %d: status %d: %s", w, status, out)
+					return
+				}
+				if !bytes.Equal(out, goldens[qi]) {
+					t.Errorf("client %d: coalesced answer differs from direct TopK\ngot  %s\nwant %s", w, out, goldens[qi])
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+
+	st := srv.Statz()
+	if st.CoalescedQueries != clients*rounds {
+		t.Fatalf("coalesced %d queries, want %d", st.CoalescedQueries, clients*rounds)
+	}
+	if st.CoalescedBatchMean <= 1 {
+		t.Fatalf("mean coalesced batch size %.2f, want > 1 under %d concurrent clients",
+			st.CoalescedBatchMean, clients)
+	}
+	t.Logf("coalescing: %d queries in %d batches (mean %.2f)",
+		st.CoalescedQueries, st.CoalescedBatches, st.CoalescedBatchMean)
+}
+
+// TestCoalescerShutdownDrains: closing the server with requests parked in
+// the queue must fail them cleanly, not hang or panic.
+func TestCoalescerShutdownDrains(t *testing.T) {
+	idx := testIndex(t, 500, 42)
+	slow := &slowIndex{Index: idx, gate: make(chan struct{})}
+	srv := New(slow, WithExecutors(1), WithMaxBatch(1), WithQueueDepth(64), WithCoalesceWindow(0))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := queryBody(t, testQueries(1, 43)[0])
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postE(ts.Client(), ts.URL+"/v1/topk", body) // outcome irrelevant; must terminate
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(slow.gate)
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server Close hung with queued requests")
+	}
+	wg.Wait()
+}

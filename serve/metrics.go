@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Serving metrics: fixed-shape atomic counters — no locks, no maps on the
+// request path — exported two ways: Prometheus text format on GET /metrics
+// and a human-oriented JSON snapshot on GET /statz. Latency is recorded in
+// a log-bucketed histogram (Prometheus histogram semantics); p50/p99 in
+// /statz are bucket upper bounds, the same resolution a Prometheus
+// histogram_quantile would report.
+
+// endpoint enumerates the metered request families.
+type endpoint int
+
+const (
+	epTopK endpoint = iota
+	epBatch
+	epInsert
+	epRemove
+	epSwap
+	nEndpoints
+)
+
+func (e endpoint) String() string {
+	switch e {
+	case epTopK:
+		return "topk"
+	case epBatch:
+		return "batch"
+	case epInsert:
+		return "insert"
+	case epRemove:
+		return "remove"
+	case epSwap:
+		return "swap"
+	}
+	return "unknown"
+}
+
+// nLatBuckets finite histogram buckets: 50µs doubling to ~1.6s, plus the
+// implicit +Inf bucket. Sixteen buckets straddle everything from a warm
+// in-memory query to a stalled swap.
+const nLatBuckets = 16
+
+var latBuckets = func() [nLatBuckets]float64 {
+	var b [nLatBuckets]float64
+	v := 50e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// histogram is a fixed-bucket latency histogram. counts[nLatBuckets] is the
+// +Inf bucket.
+type histogram struct {
+	counts [nLatBuckets + 1]atomic.Uint64
+	sumNs  atomic.Uint64
+	n      atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latBuckets) && s > latBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(uint64(d.Nanoseconds()))
+	h.n.Add(1)
+}
+
+// quantile returns the upper bound of the bucket holding the q-quantile
+// observation (0 when empty). The +Inf bucket reports the largest finite
+// bound — a floor, which is the honest direction for a tail estimate.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			if i < len(latBuckets) {
+				return latBuckets[i]
+			}
+			return latBuckets[len(latBuckets)-1]
+		}
+	}
+	return latBuckets[len(latBuckets)-1]
+}
+
+// metrics is the server's counter surface.
+type metrics struct {
+	start time.Time
+
+	requests [nEndpoints]atomic.Uint64 // all finished requests, any status
+	errors   [nEndpoints]atomic.Uint64 // 4xx/5xx except rejections
+	rejected [nEndpoints]atomic.Uint64 // 429 backpressure rejections
+	latency  [nEndpoints]histogram
+
+	// Coalescing telemetry: executed batches and the queries they carried;
+	// the mean batch size is the coalescing win the load harness gates on.
+	batches   atomic.Uint64
+	coalesced atomic.Uint64
+
+	swaps atomic.Uint64
+
+	// Engine work counters, accumulated from stats-enabled queries (the
+	// TopKWithStats path); statQueries is their denominator.
+	fetched     atomic.Uint64
+	scored      atomic.Uint64
+	planHits    atomic.Uint64
+	statQueries atomic.Uint64
+}
+
+func (m *metrics) observe(ep endpoint, d time.Duration, status int) {
+	m.requests[ep].Add(1)
+	m.latency[ep].observe(d)
+	switch {
+	case status == 429:
+		m.rejected[ep].Add(1)
+	case status >= 400:
+		m.errors[ep].Add(1)
+	}
+}
+
+func (m *metrics) observeBatch(n int) {
+	m.batches.Add(1)
+	m.coalesced.Add(uint64(n))
+}
+
+// meanBatch is the mean coalesced batch size so far (0 when no batch ran).
+func (m *metrics) meanBatch() float64 {
+	b := m.batches.Load()
+	if b == 0 {
+		return 0
+	}
+	return float64(m.coalesced.Load()) / float64(b)
+}
+
+// writeProm renders the Prometheus text exposition format.
+func (m *metrics) writeProm(w io.Writer, idx Index) {
+	fmt.Fprintf(w, "# HELP sdserver_uptime_seconds Time since the server started.\n# TYPE sdserver_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "sdserver_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP sdserver_requests_total Finished requests by endpoint.\n# TYPE sdserver_requests_total counter\n")
+	for ep := endpoint(0); ep < nEndpoints; ep++ {
+		fmt.Fprintf(w, "sdserver_requests_total{endpoint=%q} %d\n", ep, m.requests[ep].Load())
+	}
+	fmt.Fprintf(w, "# HELP sdserver_errors_total Failed requests (4xx/5xx, rejections excluded) by endpoint.\n# TYPE sdserver_errors_total counter\n")
+	for ep := endpoint(0); ep < nEndpoints; ep++ {
+		fmt.Fprintf(w, "sdserver_errors_total{endpoint=%q} %d\n", ep, m.errors[ep].Load())
+	}
+	fmt.Fprintf(w, "# HELP sdserver_rejected_total Backpressure rejections (429) by endpoint.\n# TYPE sdserver_rejected_total counter\n")
+	for ep := endpoint(0); ep < nEndpoints; ep++ {
+		fmt.Fprintf(w, "sdserver_rejected_total{endpoint=%q} %d\n", ep, m.rejected[ep].Load())
+	}
+
+	fmt.Fprintf(w, "# HELP sdserver_request_duration_seconds Request latency by endpoint.\n# TYPE sdserver_request_duration_seconds histogram\n")
+	for ep := endpoint(0); ep < nEndpoints; ep++ {
+		h := &m.latency[ep]
+		var cum uint64
+		for i, ub := range latBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "sdserver_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n", ep, fmt.Sprintf("%g", ub), cum)
+		}
+		cum += h.counts[len(latBuckets)].Load()
+		fmt.Fprintf(w, "sdserver_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "sdserver_request_duration_seconds_sum{endpoint=%q} %g\n", ep, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "sdserver_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.n.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP sdserver_coalesced_batches_total Executed coalesced batches.\n# TYPE sdserver_coalesced_batches_total counter\n")
+	fmt.Fprintf(w, "sdserver_coalesced_batches_total %d\n", m.batches.Load())
+	fmt.Fprintf(w, "# HELP sdserver_coalesced_queries_total Queries executed through coalesced batches.\n# TYPE sdserver_coalesced_queries_total counter\n")
+	fmt.Fprintf(w, "sdserver_coalesced_queries_total %d\n", m.coalesced.Load())
+	fmt.Fprintf(w, "# HELP sdserver_index_swaps_total Completed zero-downtime index swaps.\n# TYPE sdserver_index_swaps_total counter\n")
+	fmt.Fprintf(w, "sdserver_index_swaps_total %d\n", m.swaps.Load())
+
+	fmt.Fprintf(w, "# HELP sdserver_engine_fetched_total Sorted accesses spent by stats-enabled queries.\n# TYPE sdserver_engine_fetched_total counter\n")
+	fmt.Fprintf(w, "sdserver_engine_fetched_total %d\n", m.fetched.Load())
+	fmt.Fprintf(w, "# HELP sdserver_engine_scored_total Points scored by stats-enabled queries.\n# TYPE sdserver_engine_scored_total counter\n")
+	fmt.Fprintf(w, "sdserver_engine_scored_total %d\n", m.scored.Load())
+	fmt.Fprintf(w, "# HELP sdserver_engine_plan_cache_hits_total Plan-cache hits reported by stats-enabled queries.\n# TYPE sdserver_engine_plan_cache_hits_total counter\n")
+	fmt.Fprintf(w, "sdserver_engine_plan_cache_hits_total %d\n", m.planHits.Load())
+	fmt.Fprintf(w, "# HELP sdserver_engine_stats_queries_total Queries that carried stats=true.\n# TYPE sdserver_engine_stats_queries_total counter\n")
+	fmt.Fprintf(w, "sdserver_engine_stats_queries_total %d\n", m.statQueries.Load())
+
+	// Index-shape gauges: live points, resident bytes, and — when the index
+	// exposes them — the segment stack shape and the compaction counter.
+	fmt.Fprintf(w, "# HELP sdserver_index_points Live points in the serving index.\n# TYPE sdserver_index_points gauge\n")
+	fmt.Fprintf(w, "sdserver_index_points %d\n", idx.Len())
+	fmt.Fprintf(w, "# HELP sdserver_index_bytes Estimated resident bytes of the serving index.\n# TYPE sdserver_index_bytes gauge\n")
+	fmt.Fprintf(w, "sdserver_index_bytes %d\n", idx.Bytes())
+	if sg, ok := idx.(segmenter); ok {
+		segs, mem := sg.Segments()
+		fmt.Fprintf(w, "# HELP sdserver_index_segments Sealed segments across the serving index.\n# TYPE sdserver_index_segments gauge\n")
+		fmt.Fprintf(w, "sdserver_index_segments %d\n", segs)
+		fmt.Fprintf(w, "# HELP sdserver_index_memtable_rows Unsealed memtable rows across the serving index.\n# TYPE sdserver_index_memtable_rows gauge\n")
+		fmt.Fprintf(w, "sdserver_index_memtable_rows %d\n", mem)
+	}
+	if cp, ok := idx.(compactioner); ok {
+		fmt.Fprintf(w, "# HELP sdserver_index_compactions_total Compaction steps completed by the serving index.\n# TYPE sdserver_index_compactions_total counter\n")
+		fmt.Fprintf(w, "sdserver_index_compactions_total %d\n", cp.Compactions())
+	}
+}
+
+// EndpointStatz is one endpoint's row in the Statz snapshot.
+type EndpointStatz struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	Rejected uint64  `json:"rejected"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+}
+
+// Statz is the JSON diagnostic snapshot served on GET /statz (and returned
+// by Server.Statz for in-process consumers like the load harness).
+type Statz struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	QPS           float64                  `json:"qps"`
+	Endpoints     map[string]EndpointStatz `json:"endpoints"`
+
+	CoalescedBatches   uint64  `json:"coalesced_batches"`
+	CoalescedQueries   uint64  `json:"coalesced_queries"`
+	CoalescedBatchMean float64 `json:"coalesced_batch_mean"`
+
+	IndexPoints      int    `json:"index_points"`
+	IndexBytes       int    `json:"index_bytes"`
+	IndexSegments    int    `json:"index_segments,omitempty"`
+	IndexMemRows     int    `json:"index_memtable_rows,omitempty"`
+	IndexCompactions uint64 `json:"index_compactions,omitempty"`
+	Swaps            uint64 `json:"swaps"`
+
+	EngineFetched  uint64 `json:"engine_fetched"`
+	EngineScored   uint64 `json:"engine_scored"`
+	EnginePlanHits uint64 `json:"engine_plan_cache_hits"`
+	StatsQueries   uint64 `json:"stats_queries"`
+}
+
+func (m *metrics) statz(idx Index) Statz {
+	up := time.Since(m.start).Seconds()
+	st := Statz{
+		UptimeSeconds:      up,
+		Endpoints:          make(map[string]EndpointStatz, nEndpoints),
+		CoalescedBatches:   m.batches.Load(),
+		CoalescedQueries:   m.coalesced.Load(),
+		CoalescedBatchMean: m.meanBatch(),
+		IndexPoints:        idx.Len(),
+		IndexBytes:         idx.Bytes(),
+		Swaps:              m.swaps.Load(),
+		EngineFetched:      m.fetched.Load(),
+		EngineScored:       m.scored.Load(),
+		EnginePlanHits:     m.planHits.Load(),
+		StatsQueries:       m.statQueries.Load(),
+	}
+	var total uint64
+	for ep := endpoint(0); ep < nEndpoints; ep++ {
+		h := &m.latency[ep]
+		n := h.n.Load()
+		row := EndpointStatz{
+			Requests: m.requests[ep].Load(),
+			Errors:   m.errors[ep].Load(),
+			Rejected: m.rejected[ep].Load(),
+			P50Ms:    h.quantile(0.50) * 1e3,
+			P99Ms:    h.quantile(0.99) * 1e3,
+		}
+		if n > 0 {
+			row.MeanMs = float64(h.sumNs.Load()) / float64(n) / 1e6
+		}
+		st.Endpoints[ep.String()] = row
+		total += row.Requests
+	}
+	if up > 0 {
+		st.QPS = float64(total) / up
+	}
+	if sg, ok := idx.(segmenter); ok {
+		st.IndexSegments, st.IndexMemRows = sg.Segments()
+	}
+	if cp, ok := idx.(compactioner); ok {
+		st.IndexCompactions = cp.Compactions()
+	}
+	return st
+}

@@ -1,0 +1,509 @@
+// Package serve is the production HTTP serving layer over the SD-Query
+// engines: an HTTP/JSON API on top of ShardedIndex (or any Index), built
+// for heavy concurrent traffic.
+//
+//	POST   /v1/topk          one SD-Query → top-k results
+//	POST   /v1/batch         many queries in one call
+//	POST   /v1/insert        add a point
+//	DELETE /v1/points/{id}   tombstone a point
+//	POST   /v1/admin/swap    zero-downtime swap to a persisted index
+//	GET    /healthz          liveness (503 while draining)
+//	GET    /metrics          Prometheus text exposition
+//	GET    /statz            JSON diagnostic snapshot
+//
+// Three serving mechanics distinguish it from a plain mux over the engine:
+//
+//   - Request coalescing (coalesce.go): concurrently-arriving /v1/topk
+//     requests are gathered — bounded window, bounded batch — into single
+//     BatchTopK calls, riding the engine's pooled, pipelined batch path
+//     instead of paying one independent shard fan-out per request.
+//   - Backpressure: the admission queue and the per-endpoint concurrency
+//     limits are bounded; when they are full the server answers 429 with
+//     Retry-After immediately instead of letting goroutines and latency
+//     pile up. Per-request deadlines (WithRequestTimeout) cancel queries
+//     mid-aggregation through the engine's TopKContext plumbing.
+//   - Zero-downtime swap (swap.go): POST /v1/admin/swap loads a persisted
+//     index and publishes it with one atomic pointer store. In-flight
+//     queries keep the index they grabbed — the engine's snapshot
+//     discipline guarantees each request a consistent view — so no request
+//     ever observes a torn index. SIGTERM handling in cmd/sdserver drains
+//     gracefully: /healthz flips to 503, in-flight requests finish, then
+//     the coalescer shuts down.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sdquery "repro"
+)
+
+// Index is the engine surface the server needs. *sdquery.ShardedIndex
+// implements it directly; wrap an *sdquery.SDIndex with AsIndex.
+type Index interface {
+	TopK(q sdquery.Query) ([]sdquery.Result, error)
+	TopKContext(ctx context.Context, q sdquery.Query) ([]sdquery.Result, error)
+	TopKWithStats(q sdquery.Query) ([]sdquery.Result, sdquery.QueryStats, error)
+	BatchTopK(queries []sdquery.Query) ([][]sdquery.Result, error)
+	BatchTopKContext(ctx context.Context, queries []sdquery.Query) ([][]sdquery.Result, error)
+	Insert(p []float64) (int, error)
+	Remove(id int) bool
+	Len() int
+	Bytes() int
+	Roles() []sdquery.Role
+}
+
+// Optional index capabilities, surfaced in metrics when present.
+type segmenter interface {
+	Segments() (segments, memRows int)
+}
+type compactioner interface {
+	Compactions() uint64
+}
+type closer interface {
+	Close()
+}
+type sharder interface {
+	Shards() int
+}
+
+var _ Index = (*sdquery.ShardedIndex)(nil)
+var _ segmenter = (*sdquery.ShardedIndex)(nil)
+var _ compactioner = (*sdquery.ShardedIndex)(nil)
+
+// Option configures a Server.
+type Option func(*config)
+
+type config struct {
+	window     time.Duration
+	maxBatch   int
+	queueDepth int
+	executors  int
+	reqTimeout time.Duration
+	writeLimit int
+	batchLimit int
+	loader     func(path string) (Index, error)
+	loadOpts   []sdquery.SDOption
+}
+
+// WithCoalesceWindow sets how long the admission layer holds the first
+// query of a batch open for company (default 500µs). 0 still batches
+// whatever is instantaneously queued without waiting; negative disables
+// coalescing entirely — every /v1/topk runs its own TopKContext call.
+func WithCoalesceWindow(d time.Duration) Option { return func(c *config) { c.window = d } }
+
+// WithMaxBatch caps the queries per coalesced batch (default 64).
+func WithMaxBatch(n int) Option { return func(c *config) { c.maxBatch = n } }
+
+// WithQueueDepth sets the admission queue capacity for /v1/topk (default
+// 1024). A full queue is the backpressure signal: requests are answered
+// 429 + Retry-After immediately.
+func WithQueueDepth(n int) Option { return func(c *config) { c.queueDepth = n } }
+
+// WithExecutors sets how many coalesced batches may execute concurrently —
+// the /v1/topk concurrency limit (default GOMAXPROCS).
+func WithExecutors(n int) Option { return func(c *config) { c.executors = n } }
+
+// WithRequestTimeout sets the per-request deadline enforced through the
+// engine's context plumbing (default 0 = none). A timed-out request
+// answers 503, and the engine work behind it is cancelled
+// mid-aggregation: directly on the uncoalesced paths, and on the
+// coalesced path once every request sharing the batch has expired (one
+// request's deadline must not kill its coalesced neighbors). stats=true
+// queries run uncancellable (TopKWithStats carries no context).
+func WithRequestTimeout(d time.Duration) Option { return func(c *config) { c.reqTimeout = d } }
+
+// WithWriteConcurrency bounds concurrent /v1/insert + DELETE handlers
+// (default 64); excess writes get 429.
+func WithWriteConcurrency(n int) Option { return func(c *config) { c.writeLimit = n } }
+
+// WithBatchConcurrency bounds concurrent /v1/batch handlers and stats=true
+// /v1/topk queries (default 4) — both run their own full fan-out outside
+// the coalescer, so a few in flight saturate the pool.
+func WithBatchConcurrency(n int) Option { return func(c *config) { c.batchLimit = n } }
+
+// WithLoader replaces how /v1/admin/swap turns a path into an Index. The
+// default opens the file and loads whichever persisted index kind it holds
+// (sdquery.Load), applying the options given to WithLoadOptions.
+func WithLoader(f func(path string) (Index, error)) Option { return func(c *config) { c.loader = f } }
+
+// WithLoadOptions sets the sdquery options the default swap loader applies
+// (runtime knobs: scheduler, plan cache, memtable size, workers).
+func WithLoadOptions(opts ...sdquery.SDOption) Option {
+	return func(c *config) { c.loadOpts = append([]sdquery.SDOption(nil), opts...) }
+}
+
+// indexBox wraps the Index interface value for atomic publication, caching
+// the dimensionality so request decoding never pays Roles()'s defensive
+// copy.
+type indexBox struct {
+	idx  Index
+	dims int
+}
+
+func boxOf(idx Index) *indexBox { return &indexBox{idx: idx, dims: len(idx.Roles())} }
+
+// Server serves SD-Queries over HTTP. Create with New, mount Handler on any
+// http.Server (or use ListenAndServe/Serve), and stop with Shutdown.
+type Server struct {
+	cfg config
+	box atomic.Pointer[indexBox]
+	mux *http.ServeMux
+	co  *coalescer
+	met *metrics
+
+	writeSem chan struct{}
+	batchSem chan struct{}
+
+	swapMu   sync.Mutex // serializes /v1/admin/swap
+	draining atomic.Bool
+
+	hsMu sync.Mutex
+	hs   *http.Server
+}
+
+// New builds a Server over idx. The server owns no listener until
+// ListenAndServe/Serve; Handler can be mounted anywhere (httptest included).
+func New(idx Index, opts ...Option) *Server {
+	cfg := config{
+		window:     500 * time.Microsecond,
+		maxBatch:   64,
+		queueDepth: 1024,
+		executors:  runtime.GOMAXPROCS(0),
+		writeLimit: 64,
+		batchLimit: 4,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxBatch < 1 {
+		cfg.maxBatch = 1
+	}
+	if cfg.queueDepth < 1 {
+		cfg.queueDepth = 1
+	}
+	if cfg.executors < 1 {
+		cfg.executors = 1
+	}
+	if cfg.writeLimit < 1 {
+		cfg.writeLimit = 1
+	}
+	if cfg.batchLimit < 1 {
+		cfg.batchLimit = 1
+	}
+	s := &Server{
+		cfg:      cfg,
+		met:      &metrics{start: time.Now()},
+		writeSem: make(chan struct{}, cfg.writeLimit),
+		batchSem: make(chan struct{}, cfg.batchLimit),
+	}
+	if cfg.loader == nil {
+		s.cfg.loader = defaultLoader(cfg.loadOpts)
+	}
+	s.box.Store(boxOf(idx))
+	if cfg.window >= 0 {
+		s.co = newCoalescer(s.Index, s.met, cfg.window, cfg.maxBatch, cfg.queueDepth, cfg.executors)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	mux.HandleFunc("DELETE /v1/points/{id}", s.handleRemove)
+	mux.HandleFunc("POST /v1/admin/swap", s.handleSwap)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	s.mux = mux
+	return s
+}
+
+// Index returns the currently served index (one atomic load).
+func (s *Server) Index() Index { return s.box.Load().idx }
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Statz returns the current diagnostic snapshot (what GET /statz serves).
+func (s *Server) Statz() Statz { return s.met.statz(s.Index()) }
+
+// requestCtx applies the configured per-request deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.reqTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.reqTimeout)
+}
+
+// statusFor maps handler errors to HTTP statuses: backpressure → 429,
+// deadline/cancellation and drain → 503, everything else (validation,
+// role mismatches) → 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
+		errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(epTopK, time.Since(t0), status) }()
+
+	body, err := readBody(w, r)
+	if err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, err)
+		return
+	}
+	box := s.box.Load()
+	idx := box.idx
+	q, wantStats, err := decodeQuery(body, box.dims)
+	if err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	var resp topkResponse
+	if wantStats {
+		// Stats-enabled queries need per-query counters, so they bypass the
+		// coalescer (their counters feed the /metrics engine totals) — but
+		// not backpressure: they share /v1/batch's concurrency limit, since
+		// each runs its own uncoalesced, uncancellable fan-out.
+		select {
+		case s.batchSem <- struct{}{}:
+			defer func() { <-s.batchSem }()
+		default:
+			status = http.StatusTooManyRequests
+			writeError(w, status, fmt.Errorf("serve: stats-query concurrency limit reached"))
+			return
+		}
+		res, st, err := idx.TopKWithStats(q)
+		if err != nil {
+			status = statusFor(err)
+			writeError(w, status, err)
+			return
+		}
+		s.met.statQueries.Add(1)
+		s.met.fetched.Add(uint64(st.Fetched))
+		s.met.scored.Add(uint64(st.Scored))
+		s.met.planHits.Add(uint64(st.PlanCacheHits))
+		resp = topkResponse{Results: wireResults(res), Stats: wireQueryStats(st)}
+	} else {
+		var res []sdquery.Result
+		if s.co != nil {
+			res, err = s.co.do(ctx, q)
+		} else {
+			res, err = idx.TopKContext(ctx, q)
+		}
+		if err != nil {
+			status = statusFor(err)
+			writeError(w, status, err)
+			return
+		}
+		resp = topkResponse{Results: wireResults(res)}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(epBatch, time.Since(t0), status) }()
+
+	select {
+	case s.batchSem <- struct{}{}:
+		defer func() { <-s.batchSem }()
+	default:
+		status = http.StatusTooManyRequests
+		writeError(w, status, fmt.Errorf("serve: batch concurrency limit reached"))
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, err)
+		return
+	}
+	var wb wireBatch
+	if err := strictUnmarshal(body, &wb); err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, err)
+		return
+	}
+	if len(wb.Queries) == 0 {
+		status = http.StatusBadRequest
+		writeError(w, status, fmt.Errorf("batch has no queries"))
+		return
+	}
+	box := s.box.Load()
+	queries := make([]sdquery.Query, len(wb.Queries))
+	for i := range wb.Queries {
+		q, err := wb.Queries[i].toQuery(box.dims)
+		if err != nil {
+			status = http.StatusBadRequest
+			writeError(w, status, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		queries[i] = q
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	out, err := box.idx.BatchTopKContext(ctx, queries)
+	if err != nil {
+		status = statusFor(err)
+		writeError(w, status, err)
+		return
+	}
+	resp := batchResponse{Results: make([][]wireResult, len(out))}
+	for i, res := range out {
+		resp.Results[i] = wireResults(res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(epInsert, time.Since(t0), status) }()
+
+	select {
+	case s.writeSem <- struct{}{}:
+		defer func() { <-s.writeSem }()
+	default:
+		status = http.StatusTooManyRequests
+		writeError(w, status, fmt.Errorf("serve: write concurrency limit reached"))
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, err)
+		return
+	}
+	var wi wireInsert
+	if err := strictUnmarshal(body, &wi); err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, err)
+		return
+	}
+	id, err := s.Index().Insert(wi.Point)
+	if err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, insertResponse{ID: id})
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(epRemove, time.Since(t0), status) }()
+
+	select {
+	case s.writeSem <- struct{}{}:
+		defer func() { <-s.writeSem }()
+	default:
+		status = http.StatusTooManyRequests
+		writeError(w, status, fmt.Errorf("serve: write concurrency limit reached"))
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, fmt.Errorf("point id %q: %w", r.PathValue("id"), err))
+		return
+	}
+	writeJSON(w, http.StatusOK, removeResponse{ID: id, Removed: s.Index().Remove(id)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.writeProm(w, s.Index())
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Statz())
+}
+
+// Serve accepts connections on l until Shutdown (or Close on the listener).
+func (s *Server) Serve(l net.Listener) error {
+	hs := &http.Server{Handler: s.mux}
+	s.hsMu.Lock()
+	s.hs = hs
+	s.hsMu.Unlock()
+	err := hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains gracefully: /healthz flips to 503 (so load balancers stop
+// routing), the HTTP server stops accepting and waits for in-flight
+// handlers up to ctx's deadline, then the coalescer stops. The serving
+// index is left untouched — it belongs to the caller.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	s.hsMu.Lock()
+	hs := s.hs
+	s.hsMu.Unlock()
+	if hs != nil {
+		err = hs.Shutdown(ctx)
+	}
+	s.Close()
+	return err
+}
+
+// Close releases the server's goroutines (the coalescer) without waiting
+// for in-flight HTTP requests; use Shutdown for graceful drain. Safe after
+// Shutdown; idempotent.
+func (s *Server) Close() {
+	if s.co != nil {
+		s.co.close()
+	}
+}
+
+// strictUnmarshal is json.Unmarshal with unknown fields and trailing data
+// rejected.
+func strictUnmarshal(data []byte, v any) error {
+	if err := strictDecode(data, v); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	sdquery "repro"
+)
+
+// Zero-downtime index swap. POST /v1/admin/swap {"path": "file.sdx"} loads
+// a persisted index (the binary Save/Load format) and publishes it with one
+// atomic pointer store. The load — file read, segment decode, deterministic
+// tree rebuild — happens entirely on the admin request's goroutine while
+// queries keep flowing against the old index; the swap itself is the
+// pointer store. Requests that grabbed the old index before the store keep
+// using it to completion: every query path takes the index exactly once
+// (handlers and the coalescer grab it per request/batch, never per shard),
+// and within an index the engine's snapshot discipline pins a consistent
+// row set, so no request can observe half an old index and half a new one.
+//
+// The old index's worker pool is released after the swap. Close only parks
+// the pool's goroutines — queries already running on the old index degrade
+// to caller-goroutine execution and still answer correctly (documented on
+// ShardedIndex.Close), so releasing immediately is safe.
+
+// defaultLoader builds the swap loader used when WithLoader is not given:
+// open the file, load whichever index kind it holds, and adapt it to the
+// serving interface.
+func defaultLoader(opts []sdquery.SDOption) func(path string) (Index, error) {
+	return func(path string) (Index, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		eng, err := sdquery.Load(f, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return AsIndex(eng)
+	}
+}
+
+// AsIndex adapts an engine to the serving Index interface. A ShardedIndex
+// passes through; an SDIndex is wrapped so its TopKBatch stands in for
+// BatchTopK. Other engines (the read-only baselines) are rejected.
+func AsIndex(eng sdquery.Engine) (Index, error) {
+	switch e := eng.(type) {
+	case Index:
+		return e, nil
+	case *sdquery.SDIndex:
+		return singleIndex{e}, nil
+	}
+	return nil, fmt.Errorf("serve: engine %T does not support serving (need ShardedIndex or SDIndex)", eng)
+}
+
+// singleIndex adapts *sdquery.SDIndex: everything is already there except
+// BatchTopK's name and shape.
+type singleIndex struct {
+	*sdquery.SDIndex
+}
+
+func (s singleIndex) BatchTopK(queries []sdquery.Query) ([][]sdquery.Result, error) {
+	return s.TopKBatch(queries, 0)
+}
+
+// BatchTopKContext degrades to a sequential TopKContext loop when the
+// context is cancellable — SDIndex.TopKBatch has no cancellation plumbing —
+// and to the parallel TopKBatch otherwise (context.Background and friends).
+func (s singleIndex) BatchTopKContext(ctx context.Context, queries []sdquery.Query) ([][]sdquery.Result, error) {
+	if ctx.Done() == nil {
+		return s.TopKBatch(queries, 0)
+	}
+	out := make([][]sdquery.Result, len(queries))
+	for i, q := range queries {
+		res, err := s.SDIndex.TopKContext(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// Swap atomically replaces the serving index and returns the previous one.
+// In-flight requests finish on whichever index they grabbed. The caller
+// owns the returned index (the HTTP swap handler releases its worker pool;
+// an in-process caller may want to keep it).
+func (s *Server) Swap(idx Index) Index {
+	old := s.box.Swap(boxOf(idx))
+	s.met.swaps.Add(1)
+	return old.idx
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(epSwap, time.Since(t0), status) }()
+
+	// One swap at a time: concurrent admin calls would race their loads and
+	// leak whichever index lost the pointer store.
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+
+	body, err := readBody(w, r)
+	if err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, err)
+		return
+	}
+	var ws wireSwap
+	if err := strictUnmarshal(body, &ws); err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, err)
+		return
+	}
+	if ws.Path == "" {
+		status = http.StatusBadRequest
+		writeError(w, status, fmt.Errorf("swap needs a path"))
+		return
+	}
+	next, err := s.cfg.loader(ws.Path)
+	if err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, fmt.Errorf("load %s: %w", ws.Path, err))
+		return
+	}
+	old := s.Swap(next)
+	if c, ok := old.(closer); ok && old != next {
+		c.Close()
+	}
+	writeJSON(w, http.StatusOK, swapResponse{Swapped: true, Points: next.Len()})
+}

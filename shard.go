@@ -1,6 +1,7 @@
 package sdquery
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -198,8 +199,10 @@ func (s *ShardedIndex) TopK(q Query) ([]Result, error) {
 // snapshots instead of each shard's live head (the ShardedSnapshot path).
 // Shard engines answer lock-free either way — one atomic snapshot load per
 // shard. When stats is non-nil it receives shard si's work counters at
-// index si; the zero-alloc fast path passes nil.
-func (s *ShardedIndex) fanOutQuery(spec query.Spec, c *shardedCtx, stats []core.Stats, views []core.View) error {
+// index si; the zero-alloc fast path passes nil. A non-nil done channel
+// cancels every shard's aggregation at its next scheduling step (the
+// TopKContext path); nil costs nothing.
+func (s *ShardedIndex) fanOutQuery(spec query.Spec, c *shardedCtx, stats []core.Stats, views []core.View, done <-chan struct{}) error {
 	var be batchErr
 	s.pool.do(len(s.shards), func(si int) {
 		if be.shouldSkip(si) {
@@ -211,9 +214,9 @@ func (s *ShardedIndex) fanOutQuery(spec query.Spec, c *shardedCtx, stats []core.
 			err error
 		)
 		if views != nil {
-			res, st, err = views[si].TopKAppend(c.bufs[si][:0], spec)
+			res, st, err = views[si].TopKAppendCancel(c.bufs[si][:0], spec, done)
 		} else {
-			res, st, err = s.shards[si].eng.TopKAppend(c.bufs[si][:0], spec)
+			res, st, err = s.shards[si].eng.TopKAppendCancel(c.bufs[si][:0], spec, done)
 		}
 		c.bufs[si] = res[:0] // keep grown capacity pooled
 		if err != nil {
@@ -230,15 +233,10 @@ func (s *ShardedIndex) fanOutQuery(spec query.Spec, c *shardedCtx, stats []core.
 
 // TopKAppend is TopK appending into dst: with a caller-reused dst and warm
 // pools the whole sharded fan-out allocates only the worker dispatch state.
+// (context.Background's Done channel is nil, so the delegation costs
+// nothing on the uncancellable hot path.)
 func (s *ShardedIndex) TopKAppend(dst []Result, q Query) ([]Result, error) {
-	spec := q.spec()
-	p := len(s.shards)
-	c := s.getCtx(p)
-	defer s.putCtx(c)
-	if err := s.fanOutQuery(spec, c, nil, nil); err != nil {
-		return dst, err
-	}
-	return mergeShards(dst, c.bufs[:p], c.pos, q.K), nil
+	return s.TopKAppendContext(context.Background(), dst, q)
 }
 
 // TopKWithStats answers the query and reports the work counters summed over
@@ -256,7 +254,7 @@ func (s *ShardedIndex) TopKWithStats(q Query) ([]Result, QueryStats, error) {
 	for len(c.stats) < p {
 		c.stats = append(c.stats, core.Stats{})
 	}
-	if err := s.fanOutQuery(spec, c, c.stats[:p], nil); err != nil {
+	if err := s.fanOutQuery(spec, c, c.stats[:p], nil, nil); err != nil {
 		return nil, QueryStats{}, err
 	}
 	var total QueryStats
@@ -280,6 +278,13 @@ func (s *ShardedIndex) TopKWithStats(q Query) ([]Result, QueryStats, error) {
 // query order; the first error (lowest query index, then lowest shard)
 // aborts the batch.
 func (s *ShardedIndex) BatchTopK(queries []Query) ([][]Result, error) {
+	return s.batchTopK(queries, nil)
+}
+
+// batchTopK is the shared BatchTopK/BatchTopKContext body; a non-nil done
+// channel cancels every in-flight shard aggregation at its next scheduling
+// step.
+func (s *ShardedIndex) batchTopK(queries []Query, done <-chan struct{}) ([][]Result, error) {
 	out := make([][]Result, len(queries))
 	if len(queries) == 0 {
 		return out, nil
@@ -297,7 +302,7 @@ func (s *ShardedIndex) BatchTopK(queries []Query) ([][]Result, error) {
 			return
 		}
 		qi, si := t/p, t%p
-		res, _, err := s.shards[si].eng.TopKAppend(c.bufs[t][:0], c.specs[qi])
+		res, _, err := s.shards[si].eng.TopKAppendCancel(c.bufs[t][:0], c.specs[qi], done)
 		c.bufs[t] = res[:0]
 		if err != nil {
 			be.record(t, fmt.Errorf("query %d: %w", qi, err))

@@ -44,7 +44,7 @@ func (sn *Snapshot) TopK(q Query) ([]Result, error) {
 // pooled buffers, so with a caller-reused dst the steady-state path
 // performs no allocation.
 func (sn *Snapshot) TopKAppend(dst []Result, q Query) ([]Result, error) {
-	return sn.s.appendVia(sn.view, dst, q)
+	return sn.s.appendVia(sn.view, dst, q, nil)
 }
 
 // ShardedSnapshot is the cross-shard analogue of Snapshot: one pinned
@@ -88,7 +88,7 @@ func (sn *ShardedSnapshot) TopK(q Query) ([]Result, error) {
 	p := len(s.shards)
 	c := s.getCtx(p)
 	defer s.putCtx(c)
-	if err := s.fanOutQuery(spec, c, nil, sn.views); err != nil {
+	if err := s.fanOutQuery(spec, c, nil, sn.views, nil); err != nil {
 		return nil, err
 	}
 	return mergeShards(make([]Result, 0, q.K), c.bufs[:p], c.pos, q.K), nil
@@ -96,13 +96,14 @@ func (sn *ShardedSnapshot) TopK(q Query) ([]Result, error) {
 
 // appendVia is the shared SDIndex/Snapshot append path: run the core query
 // against the given view into a pooled scratch buffer, then convert into
-// dst.
-func (s *SDIndex) appendVia(view core.View, dst []Result, q Query) ([]Result, error) {
+// dst. A non-nil done channel cancels the aggregation (the TopKContext
+// path); nil costs nothing.
+func (s *SDIndex) appendVia(view core.View, dst []Result, q Query, done <-chan struct{}) ([]Result, error) {
 	bp, _ := s.buf.Get().(*[]query.Result)
 	if bp == nil {
 		bp = new([]query.Result)
 	}
-	res, _, err := view.TopKAppend((*bp)[:0], q.spec())
+	res, _, err := view.TopKAppendCancel((*bp)[:0], q.spec(), done)
 	*bp = res[:0] // keep the grown capacity pooled either way
 	if err != nil {
 		s.buf.Put(bp)
