@@ -68,6 +68,12 @@ type workloadJSON struct {
 	// request coalescing is actually batching concurrent traffic; the diff
 	// gate fails if it collapses back to 1.
 	CoalescedBatchMean float64 `json:"coalesced_batch_mean,omitempty"`
+	// CacheHitRate is the serve/hot workload's achieved result-cache hit
+	// rate (hits / lookups) under Zipf traffic. The diff gate fails if it
+	// collapses to under half the baseline: the cache silently admitting
+	// nothing (or invalidating everything) halves no latency number as
+	// loudly as it should.
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 	// Work counters averaged over the query set. For sharded workloads the
 	// counters are summed across shards first, so scheduler and plan-cache
 	// wins stay visible end-to-end.
@@ -80,7 +86,7 @@ type workloadJSON struct {
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate,omitempty"`
 }
 
-const benchJSONSchema = "sdbench/v4"
+const benchJSONSchema = "sdbench/v5"
 
 // statsSource is the work-counter surface shared by SDIndex and
 // ShardedIndex.
@@ -366,7 +372,7 @@ func runBenchJSON(path, baselinePath string, scale float64, queryCount int, seed
 			runtime.GOMAXPROCS(procs)
 			defer runtime.GOMAXPROCS(prev)
 		}
-		sw, err := runServeLoad(scale, len(queries), seed, 4096)
+		sw, err := runServeLoad(scale, len(queries), seed, 4096, false)
 		if err != nil {
 			return err
 		}
@@ -374,6 +380,20 @@ func runBenchJSON(path, baselinePath string, scale float64, queryCount int, seed
 		sw.Queries = len(queries)
 		sw.GOMAXPROCS = procs
 		report.Workloads = append(report.Workloads, sw)
+
+		// Serve hot: the same serving stack with the result cache enabled and
+		// Zipf-skewed traffic — the hot-head/long-tail shape production top-k
+		// traffic has. Reports the achieved hit rate (gated against collapse)
+		// and the cache hit path's allocation count (gated exactly at the
+		// committed baseline of zero, via AllocsPerOp).
+		hw, err := runServeLoad(scale, len(queries), seed, 4096, true)
+		if err != nil {
+			return err
+		}
+		hw.Name = "serve/hot"
+		hw.Queries = len(queries)
+		hw.GOMAXPROCS = procs
+		report.Workloads = append(report.Workloads, hw)
 		return nil
 	}(); err != nil {
 		return err

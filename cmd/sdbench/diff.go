@@ -121,6 +121,17 @@ func diffAgainstBaseline(baselinePath string, fresh benchJSON) error {
 				"workload %q: coalesced_batch_mean %.2f, baseline %.2f — request coalescing stopped batching",
 				b.Name, f.CoalescedBatchMean, b.CoalescedBatchMean))
 		}
+		// Cache gate: a baseline that achieved a real hit rate under Zipf
+		// traffic must not collapse to under half of it. Hit-rate noise
+		// run-to-run is small (the workload is seeded); a halving means the
+		// cache stopped admitting, started invalidating everything, or the
+		// sketch stopped tracking the head — all silent correctness-adjacent
+		// failures the latency tolerances are too loose to catch.
+		if b.CacheHitRate > 0 && f.CacheHitRate < b.CacheHitRate*0.5 {
+			violations = append(violations, fmt.Sprintf(
+				"workload %q: cache_hit_rate %.3f collapsed from baseline %.3f",
+				b.Name, f.CacheHitRate, b.CacheHitRate))
+		}
 		if strings.HasPrefix(b.Name, "topk/") && b.FetchedMean > 0 {
 			if limit := b.FetchedMean * (1 + fetchedRegressionTolerance); f.FetchedMean > limit {
 				violations = append(violations, fmt.Sprintf(

@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"fmt"
+	mrand "math/rand"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"testing"
 	"time"
 
 	sdquery "repro"
@@ -36,9 +38,20 @@ func serveClients() int {
 	return c
 }
 
+// hotCacheCapacity is the serve/hot workload's result-cache bound:
+// deliberately smaller than the query-set size, so the HeavyKeeper
+// admission sketch has real work to do — the Zipf head must earn and keep
+// its cache slots against the long tail, exactly the production shape the
+// cache is built for.
+const hotCacheCapacity = 32
+
 // runServeLoad builds the default evaluation workload, serves it, and
 // hammers it with serveClients() closed-loop clients for totalOps requests.
-func runServeLoad(scale float64, queryCount int, seed int64, totalOps int) (workloadJSON, error) {
+// With hot=true it becomes the serve/hot workload: the result cache is
+// enabled and clients draw queries from a Zipf distribution instead of
+// round-robin, reporting the achieved cache hit rate and the measured
+// allocation count of the cache hit path.
+func runServeLoad(scale float64, queryCount int, seed int64, totalOps int, hot bool) (workloadJSON, error) {
 	var w workloadJSON
 	n := int(50_000 * scale)
 	if n < 1000 {
@@ -56,9 +69,14 @@ func runServeLoad(scale float64, queryCount int, seed int64, totalOps int) (work
 		return w, err
 	}
 	defer idx.Close()
-	srv := serve.New(idx,
+	srvOpts := []serve.Option{
 		serve.WithCoalesceWindow(time.Millisecond),
-		serve.WithQueueDepth(8192))
+		serve.WithQueueDepth(8192),
+	}
+	if hot {
+		srvOpts = append(srvOpts, serve.WithResultCache(true), serve.WithCacheCapacity(hotCacheCapacity))
+	}
+	srv := serve.New(idx, srvOpts...)
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -124,10 +142,23 @@ func runServeLoad(scale float64, queryCount int, seed int64, totalOps int) (work
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			// Query selection: round-robin for the uncached baseline (every
+			// query equally hot — the cache-hostile shape), Zipf for the hot
+			// workload (a heavy head over a long tail — the cache-friendly
+			// production shape). Per-client seeded generators keep runs
+			// reproducible.
+			var zipf *mrand.Zipf
+			if hot {
+				zipf = mrand.NewZipf(mrand.New(mrand.NewSource(seed+int64(c))), 1.3, 1, uint64(len(bodies)-1))
+			}
 			<-start
 			mine := make([]int64, 0, perClient)
 			for i := 0; i < perClient; i++ {
-				d, err := doOne(bodies[(c*perClient+i)%len(bodies)])
+				bi := (c*perClient + i) % len(bodies)
+				if zipf != nil {
+					bi = int(zipf.Uint64())
+				}
+				d, err := doOne(bodies[bi])
 				if err != nil {
 					errs[c] = err
 					return
@@ -165,6 +196,24 @@ func runServeLoad(scale float64, queryCount int, seed int64, totalOps int) (work
 	w.BytesPerOp = -1
 	w.QPS = float64(len(all)) / wall.Seconds()
 	w.CoalescedBatchMean = st.CoalescedBatchMean
+	if hot {
+		w.CacheHitRate = st.CacheHitRate
+		// The hit path's allocation count IS attributable: ProbeCache runs
+		// the exact serving fast path (pooled key buffer, canonical encode,
+		// hash, versioned lookup) in-process. Reported through AllocsPerOp so
+		// the diff gate's exact zero-alloc rule covers it — the Zipf head is
+		// resident after the load, so probing the hottest query measures a
+		// hit, and the committed baseline of 0 makes any allocation a
+		// regression.
+		hottest := sdquery.Query{Point: specs[0].Point, K: specs[0].K, Roles: specs[0].Roles, Weights: specs[0].Weights}
+		if !srv.ProbeCache(hottest) {
+			return w, fmt.Errorf("serve/hot: Zipf-hottest query not resident in the cache after %d ops (hit rate %.2f)",
+				len(all), st.CacheHitRate)
+		}
+		w.AllocsPerOp = int64(testing.AllocsPerRun(500, func() {
+			srv.ProbeCache(hottest)
+		}))
+	}
 	return w, nil
 }
 
@@ -175,7 +224,7 @@ func runServeStandalone(scale float64, queryCount int, seed int64) {
 		runtime.GOMAXPROCS(runtime.NumCPU())
 		defer runtime.GOMAXPROCS(prev)
 	}
-	w, err := runServeLoad(scale, queryCount, seed, 4096)
+	w, err := runServeLoad(scale, queryCount, seed, 4096, false)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sdbench: serve load: %v\n", err)
 		os.Exit(1)

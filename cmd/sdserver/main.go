@@ -1,6 +1,6 @@
 // Command sdserver serves SD-Queries over HTTP: the production front end of
-// the engine (package serve), with request coalescing, backpressure, and
-// zero-downtime index swaps.
+// the engine (package serve), with request coalescing, a hot-query result
+// cache, backpressure, and zero-downtime index swaps.
 //
 // Serve a CSV dataset (roles as one letter per column — a/r/i):
 //
@@ -57,6 +57,9 @@ func main() {
 		execs    = flag.Int("executors", 0, "concurrent coalesced batches (≤ 0 selects GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 0, "per-request deadline enforced mid-query (0 disables)")
 		drainT   = flag.Duration("drain-timeout", 15*time.Second, "maximum graceful-drain wait on SIGTERM")
+
+		cache    = flag.Bool("cache", true, "hot-query result cache with heavy-hitter admission")
+		cacheCap = flag.Int("cache-capacity", 1024, "maximum resident cached answers")
 	)
 	flag.Parse()
 
@@ -69,6 +72,8 @@ func main() {
 		serve.WithMaxBatch(*maxBatch),
 		serve.WithQueueDepth(*queue),
 		serve.WithRequestTimeout(*timeout),
+		serve.WithResultCache(*cache),
+		serve.WithCacheCapacity(*cacheCap),
 		serve.WithLoadOptions(sdquery.WithWorkers(*workers)),
 	}
 	if *execs > 0 {

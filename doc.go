@@ -81,8 +81,14 @@
 // loads a persisted index and publishes it with one atomic pointer store —
 // in-flight queries finish on the index they grabbed, so no request ever
 // observes a torn index — and SIGTERM drains gracefully (healthz flips to
-// 503, in-flight requests finish, then the process exits). The JSON wire
-// format is documented in serve/wire.go, next to this binary format.
+// 503, in-flight requests finish, then the process exits). A hot-query
+// result cache (serve.WithResultCache) sits between admission and the
+// engine: entries are keyed on canonical query bytes and versioned by the
+// snapshot epoch every publish bumps, so swap/compaction invalidation is
+// free and hits stay byte-identical to the live engine; a HeavyKeeper
+// frequency sketch admits only the traffic's hot head, and the hit path
+// allocates nothing. /statz and /metrics expose the hit rate. The JSON
+// wire format is documented in serve/wire.go, next to this binary format.
 //
 // Scan, SDIndex, TA, and ShardedIndex break score ties by ascending dataset
 // ID, so their answers are byte-identical to each other; BRS and PE resolve

@@ -225,6 +225,13 @@ func (s *SDIndex) TopKAppend(dst []Result, q Query) ([]Result, error) {
 // Len reports the number of live points.
 func (s *SDIndex) Len() int { return s.eng.Len() }
 
+// Epoch returns the version number of the index's current snapshot: 0 at
+// construction, bumped by every Insert, Remove, and compaction step (one
+// atomic load, no lock). Epochs strictly increase, so equal values from two
+// calls prove the visible row set did not change in between — the free
+// invalidation key the serving layer's result cache relies on.
+func (s *SDIndex) Epoch() uint64 { return s.eng.Epoch() }
+
 // Roles returns the build-time dimension roles.
 func (s *SDIndex) Roles() []Role { return append([]Role(nil), s.roles...) }
 

@@ -181,6 +181,7 @@ func (e *Engine) compactTail(nSegs, memUpto int) {
 		}
 	}
 	ns := &snapshot{
+		epoch:   cur.epoch + 1,
 		segs:    append([]*segment(nil), cur.segs[:first]...),
 		tombs:   append([][]uint64(nil), cur.tombs[:first]...),
 		memIDs:  cur.memIDs[memUpto:],

@@ -376,6 +376,15 @@ func (e *Engine) Roles() []query.Role { return append([]query.Role(nil), e.roles
 // Len returns the number of live points.
 func (e *Engine) Len() int { return e.snap.Load().live }
 
+// Epoch returns the version number of the engine's current snapshot: 0 at
+// construction (and after Load), bumped by every Insert, Remove, and
+// compaction swap. Because epochs are assigned under the writer lock and
+// strictly increase, two Epoch calls returning the same value prove no
+// snapshot was published between them — which makes the epoch a free cache
+// invalidation key: any answer computed while the epoch held steady is
+// exactly the answer a fresh query at that epoch would compute.
+func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
+
 // Segments reports the number of sealed segments in the current snapshot
 // and the number of memtable rows — the observable shape of the storage
 // stack, which compaction continuously reorganizes.

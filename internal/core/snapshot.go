@@ -22,6 +22,14 @@ import (
 // bounds its reads by its own slice lengths, and the writer only ever writes
 // beyond every published length (writes are serialized by Engine.wrMu).
 type snapshot struct {
+	// epoch is the snapshot's version number: strictly increasing across
+	// every publish (insert, remove, compaction swap), assigned under wrMu
+	// as cur.epoch+1. Two loads returning equal epochs therefore prove no
+	// snapshot was published in between — the invariant the serve layer's
+	// result cache keys on (an answer computed while the epoch held steady
+	// is exactly the answer any later query at that epoch would get).
+	epoch uint64
+
 	segs  []*segment
 	tombs [][]uint64 // parallel to segs; nil = no removals in that segment
 
@@ -113,6 +121,10 @@ func (v View) Segments() int { return len(v.sn.segs) }
 // MemRows reports the number of memtable rows visible to the View.
 func (v View) MemRows() int { return v.sn.memRows() }
 
+// Epoch reports the version number of the snapshot backing the View. See
+// Engine.Epoch.
+func (v View) Epoch() uint64 { return v.sn.epoch }
+
 // View acquires the engine's current snapshot: one atomic pointer load, no
 // lock. The returned View pins the snapshot's row set for as long as the
 // caller holds it (memory is reclaimed by GC once the last View drops).
@@ -190,6 +202,7 @@ func (e *Engine) InsertWithID(id int, p []float64) error {
 // wrMu and has validated the row.
 func (e *Engine) publishInsert(cur *snapshot, id int32, p []float64) {
 	ns := &snapshot{
+		epoch:   cur.epoch + 1,
 		segs:    cur.segs,
 		tombs:   cur.tombs,
 		memIDs:  append(cur.memIDs, id),
@@ -228,7 +241,8 @@ func (e *Engine) Remove(id int) bool {
 		return false
 	}
 	ns := &snapshot{
-		segs: cur.segs, tombs: cur.tombs,
+		epoch: cur.epoch + 1,
+		segs:  cur.segs, tombs: cur.tombs,
 		memIDs: cur.memIDs, memFlat: cur.memFlat, memDead: cur.memDead,
 		total: cur.total, live: cur.live - 1,
 		minVal: cur.minVal, maxVal: cur.maxVal,

@@ -299,6 +299,30 @@ func runUpdates(t *testing.T, f Factory, wl workload, eng sdquery.Engine, up upd
 	dead := make([]bool, len(mirror))
 	dims := len(wl.roles)
 
+	// Epoch discipline, for engines that expose it (the serve layer's result
+	// cache keys on these invariants): the epoch never moves backwards, and
+	// every mutation strictly advances it. Queries and no-op removes must
+	// not regress it either — though background compaction may legitimately
+	// advance it at any time, so only monotonicity is asserted there.
+	ep, hasEpoch := eng.(interface{ Epoch() uint64 })
+	var lastEpoch uint64
+	if hasEpoch {
+		lastEpoch = ep.Epoch()
+	}
+	checkEpoch := func(step int, mutated bool) {
+		if !hasEpoch {
+			return
+		}
+		now := ep.Epoch()
+		if now < lastEpoch {
+			t.Fatalf("step %d: epoch went backwards: %d -> %d", step, lastEpoch, now)
+		}
+		if mutated && now == lastEpoch {
+			t.Fatalf("step %d: mutation did not advance the epoch (still %d)", step, now)
+		}
+		lastEpoch = now
+	}
+
 	// One frozen view plus the oracle state it was taken against; re-taken
 	// at a few fixed steps so isolation is tested across varying amounts of
 	// subsequent churn.
@@ -354,13 +378,16 @@ func runUpdates(t *testing.T, f Factory, wl workload, eng sdquery.Engine, up upd
 			}
 			mirror = append(mirror, p)
 			dead = append(dead, false)
+			checkEpoch(step, true)
 			checkSnapshots(step)
 		case 1:
 			id := rng.Intn(len(mirror))
-			if up.Remove(id) != !dead[id] {
+			removed := up.Remove(id)
+			if removed != !dead[id] {
 				t.Fatalf("step %d: Remove(%d) liveness disagrees with mirror", step, id)
 			}
 			dead[id] = true
+			checkEpoch(step, removed)
 			checkSnapshots(step)
 		default:
 			for _, q := range queries(wl, 2) {
@@ -370,6 +397,7 @@ func runUpdates(t *testing.T, f Factory, wl workload, eng sdquery.Engine, up upd
 				}
 				check(t, q, mirror, dead, got, f.Deterministic)
 			}
+			checkEpoch(step, false)
 		}
 	}
 	checkSnapshots(60)

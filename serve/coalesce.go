@@ -40,12 +40,17 @@ var errQueueFull = errors.New("serve: query queue full")
 // errDraining is returned to requests abandoned in the queue at shutdown.
 var errDraining = errors.New("serve: server draining")
 
-// pending is one in-flight coalesced request. The done channel is buffered
-// so the executor's completion signal never blocks on a handler that gave
-// up (request context expired); such orphans are simply left to the GC
-// instead of returning to the pool.
+// pending is one in-flight coalesced request. box is the indexBox the
+// handler decoded the query against: the executor runs the query against
+// exactly that box, never against whatever box is current at execution
+// time — a swap between decode and execution must not run a query
+// validated for one index's dimensionality against a different index.
+// The done channel is buffered so the executor's completion signal never
+// blocks on a handler that gave up (request context expired); such orphans
+// are simply left to the GC instead of returning to the pool.
 type pending struct {
 	ctx  context.Context
+	box  *indexBox
 	q    sdquery.Query
 	res  []sdquery.Result
 	err  error
@@ -57,7 +62,6 @@ type coalescer struct {
 	jobs     chan []*pending
 	window   time.Duration
 	maxBatch int
-	idx      func() Index
 	met      *metrics
 
 	pool      sync.Pool // *pending
@@ -69,13 +73,12 @@ type coalescer struct {
 	execWg    sync.WaitGroup
 }
 
-func newCoalescer(idx func() Index, met *metrics, window time.Duration, maxBatch, queueDepth, executors int) *coalescer {
+func newCoalescer(met *metrics, window time.Duration, maxBatch, queueDepth, executors int) *coalescer {
 	co := &coalescer{
 		queue:    make(chan *pending, queueDepth),
 		jobs:     make(chan []*pending),
 		window:   window,
 		maxBatch: maxBatch,
-		idx:      idx,
 		met:      met,
 		quit:     make(chan struct{}),
 	}
@@ -88,24 +91,25 @@ func newCoalescer(idx func() Index, met *metrics, window time.Duration, maxBatch
 	return co
 }
 
-// do submits one query and blocks until its batch executes or ctx expires.
-func (co *coalescer) do(ctx context.Context, q sdquery.Query) ([]sdquery.Result, error) {
+// do submits one query, pinned to the box it was decoded against, and
+// blocks until its batch executes or ctx expires.
+func (co *coalescer) do(ctx context.Context, box *indexBox, q sdquery.Query) ([]sdquery.Result, error) {
 	p, _ := co.pool.Get().(*pending)
 	if p == nil {
 		p = &pending{done: make(chan struct{}, 1)}
 	}
-	p.ctx, p.q = ctx, q
+	p.ctx, p.box, p.q = ctx, box, q
 	select {
 	case co.queue <- p:
 	default:
-		p.ctx, p.q = nil, sdquery.Query{}
+		p.ctx, p.box, p.q = nil, nil, sdquery.Query{}
 		co.pool.Put(p)
 		return nil, errQueueFull
 	}
 	select {
 	case <-p.done:
 		res, err := p.res, p.err
-		p.ctx, p.q, p.res, p.err = nil, sdquery.Query{}, nil, nil
+		p.ctx, p.box, p.q, p.res, p.err = nil, nil, sdquery.Query{}, nil, nil
 		co.pool.Put(p)
 		return res, err
 	case <-ctx.Done():
@@ -204,8 +208,13 @@ func (co *coalescer) execute() {
 // queriesPool recycles the per-batch query slice.
 var queriesPool = sync.Pool{New: func() any { return new([]sdquery.Query) }}
 
-// run executes one batch against the server's current index and delivers
-// per-request results.
+// run executes one batch and delivers per-request results. Requests are
+// grouped by the box each was decoded against, and every group executes
+// against its own box's index: under a concurrent swap a batch can straddle
+// two boxes, and running the whole batch against either one would execute
+// queries validated for the other index's dimensionality against the wrong
+// engine. Outside a swap every request shares one box, so the grouping
+// degenerates to a single pointer comparison per request.
 func (co *coalescer) run(batch []*pending) {
 	// Drop requests whose context already expired: their handlers are gone,
 	// and the engine shouldn't pay for them.
@@ -218,10 +227,24 @@ func (co *coalescer) run(batch []*pending) {
 		}
 		live = append(live, p)
 	}
-	if len(live) == 0 {
-		co.putBatch(batch)
-		return
+	for len(live) > 0 {
+		box := live[0].box
+		n := 0
+		for i := range live {
+			if live[i].box == box {
+				live[n], live[i] = live[i], live[n]
+				n++
+			}
+		}
+		co.runGroup(box, live[:n])
+		live = live[n:]
 	}
+	co.putBatch(batch)
+}
+
+// runGroup executes one same-box group of live requests as a single engine
+// batch.
+func (co *coalescer) runGroup(box *indexBox, live []*pending) {
 	qp := queriesPool.Get().(*[]sdquery.Query)
 	queries := (*qp)[:0]
 	for _, p := range live {
@@ -247,8 +270,7 @@ func (co *coalescer) run(batch []*pending) {
 		}
 		cancel()
 	}()
-	idx := co.idx() // one grab per batch: a concurrent swap never tears it
-	out, err := idx.BatchTopKContext(batchCtx, queries)
+	out, err := box.idx.BatchTopKContext(batchCtx, queries)
 	close(stopWatch)
 	<-watcherDone
 	cancel()
@@ -261,7 +283,7 @@ func (co *coalescer) run(batch []*pending) {
 		// batching while every batch was actually falling back (the exact
 		// collapse the bench diff gate watches for).
 		for _, p := range live {
-			p.res, p.err = idx.TopKContext(p.ctx, p.q)
+			p.res, p.err = box.idx.TopKContext(p.ctx, p.q)
 			p.done <- struct{}{}
 		}
 	} else {
@@ -274,7 +296,6 @@ func (co *coalescer) run(batch []*pending) {
 	clear(queries)
 	*qp = queries[:0]
 	queriesPool.Put(qp)
-	co.putBatch(batch)
 }
 
 func (co *coalescer) putBatch(batch []*pending) {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"math"
 	"sync"
 	"testing"
@@ -48,6 +49,9 @@ func FuzzDecodeQuery(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(``))
 	f.Add([]byte(`{"point":[0.1,0.2,0.3,0.4],"k":3,"roles":["r","a","r","a"]} trailing`))
+	f.Add([]byte(`{"point":[-0.0,0.2,0.3,0.4],"k":3,"roles":["r","a","r","a"],"weights":[-0.0,1,1,1]}`))
+	f.Add([]byte(`{"point":[NaN,0.2,0.3,0.4],"k":3,"roles":["r","a","r","a"]}`))
+	f.Add([]byte(`{"point":[1e-323,2.2250738585072014e-308,0.3,0.4],"k":3,"roles":["r","a","r","a"]}`))
 	f.Fuzz(func(t *testing.T, body []byte) {
 		q, _, err := decodeQuery(body, fuzzDims)
 		if err != nil {
@@ -79,6 +83,31 @@ func FuzzDecodeQuery(f *testing.F) {
 		}
 		if active == 0 {
 			t.Fatal("decoder accepted a query with no active dimensions")
+		}
+		// The cache-key encoder must handle anything the decoder accepts:
+		// deterministic bytes, and numerically-equal floats (+0.0 vs -0.0)
+		// collapsing to one key, since the result cache would otherwise hold
+		// duplicate entries for one logical query.
+		key := appendQueryKey(nil, q)
+		if !bytes.Equal(key, appendQueryKey(nil, q)) {
+			t.Fatal("cache key encoding is not deterministic")
+		}
+		flipped := sdquery.Query{
+			Point:   append([]float64(nil), q.Point...),
+			K:       q.K,
+			Roles:   q.Roles,
+			Weights: append([]float64(nil), q.Weights...),
+		}
+		for i := range flipped.Point {
+			if flipped.Point[i] == 0 {
+				flipped.Point[i] = math.Copysign(0, -1)
+			}
+			if flipped.Weights[i] == 0 {
+				flipped.Weights[i] = math.Copysign(0, -1)
+			}
+		}
+		if !bytes.Equal(key, appendQueryKey(nil, flipped)) {
+			t.Fatal("±0.0 produced distinct cache keys")
 		}
 		// End to end: the engine may still reject (build-time role flips are
 		// invisible to the decoder) but must never panic on decoder-accepted

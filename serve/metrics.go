@@ -105,10 +105,11 @@ func (h *histogram) quantile(q float64) float64 {
 type metrics struct {
 	start time.Time
 
-	requests [nEndpoints]atomic.Uint64 // all finished requests, any status
-	errors   [nEndpoints]atomic.Uint64 // 4xx/5xx except rejections
-	rejected [nEndpoints]atomic.Uint64 // 429 backpressure rejections
-	latency  [nEndpoints]histogram
+	requests   [nEndpoints]atomic.Uint64 // all finished requests, any status
+	errors     [nEndpoints]atomic.Uint64 // 4xx/5xx except rejections and disconnects
+	rejected   [nEndpoints]atomic.Uint64 // 429 backpressure rejections
+	clientGone [nEndpoints]atomic.Uint64 // 499 client disconnects (not errors)
+	latency    [nEndpoints]histogram
 
 	// Coalescing telemetry: executed batches and the queries they carried;
 	// the mean batch size is the coalescing win the load harness gates on.
@@ -116,6 +117,14 @@ type metrics struct {
 	coalesced atomic.Uint64
 
 	swaps atomic.Uint64
+
+	// Result-cache telemetry. Hits and misses are /v1/topk lookups against
+	// the cache; rejects are computed answers the HeavyKeeper admission
+	// sketch declined to store (the key was not among the tracked heavy
+	// hitters) or that failed the post-execution epoch check.
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	cacheRejects atomic.Uint64
 
 	// Engine work counters, accumulated from stats-enabled queries (the
 	// TopKWithStats path); statQueries is their denominator.
@@ -131,6 +140,10 @@ func (m *metrics) observe(ep endpoint, d time.Duration, status int) {
 	switch {
 	case status == 429:
 		m.rejected[ep].Add(1)
+	case status == statusClientClosedRequest:
+		// The client hung up; the server did nothing wrong. Counted apart
+		// from errors so disconnect waves can't trip error-rate alerts.
+		m.clientGone[ep].Add(1)
 	case status >= 400:
 		m.errors[ep].Add(1)
 	}
@@ -150,8 +163,19 @@ func (m *metrics) meanBatch() float64 {
 	return float64(m.coalesced.Load()) / float64(b)
 }
 
-// writeProm renders the Prometheus text exposition format.
-func (m *metrics) writeProm(w io.Writer, idx Index) {
+// cacheHitRate is hits / (hits + misses), 0 when the cache saw no lookups.
+func (m *metrics) cacheHitRate() float64 {
+	h, mi := m.cacheHits.Load(), m.cacheMisses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// writeProm renders the Prometheus text exposition format. cache is nil
+// when the result cache is disabled; its series are emitted either way so
+// the exposition schema is stable across configurations.
+func (m *metrics) writeProm(w io.Writer, idx Index, cache *resultCache) {
 	fmt.Fprintf(w, "# HELP sdserver_uptime_seconds Time since the server started.\n# TYPE sdserver_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "sdserver_uptime_seconds %g\n", time.Since(m.start).Seconds())
 
@@ -166,6 +190,10 @@ func (m *metrics) writeProm(w io.Writer, idx Index) {
 	fmt.Fprintf(w, "# HELP sdserver_rejected_total Backpressure rejections (429) by endpoint.\n# TYPE sdserver_rejected_total counter\n")
 	for ep := endpoint(0); ep < nEndpoints; ep++ {
 		fmt.Fprintf(w, "sdserver_rejected_total{endpoint=%q} %d\n", ep, m.rejected[ep].Load())
+	}
+	fmt.Fprintf(w, "# HELP sdserver_client_disconnects_total Requests abandoned by the client (499) by endpoint.\n# TYPE sdserver_client_disconnects_total counter\n")
+	for ep := endpoint(0); ep < nEndpoints; ep++ {
+		fmt.Fprintf(w, "sdserver_client_disconnects_total{endpoint=%q} %d\n", ep, m.clientGone[ep].Load())
 	}
 
 	fmt.Fprintf(w, "# HELP sdserver_request_duration_seconds Request latency by endpoint.\n# TYPE sdserver_request_duration_seconds histogram\n")
@@ -188,6 +216,21 @@ func (m *metrics) writeProm(w io.Writer, idx Index) {
 	fmt.Fprintf(w, "sdserver_coalesced_queries_total %d\n", m.coalesced.Load())
 	fmt.Fprintf(w, "# HELP sdserver_index_swaps_total Completed zero-downtime index swaps.\n# TYPE sdserver_index_swaps_total counter\n")
 	fmt.Fprintf(w, "sdserver_index_swaps_total %d\n", m.swaps.Load())
+
+	fmt.Fprintf(w, "# HELP sdserver_cache_hits_total Result-cache hits on /v1/topk.\n# TYPE sdserver_cache_hits_total counter\n")
+	fmt.Fprintf(w, "sdserver_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "# HELP sdserver_cache_misses_total Result-cache misses on /v1/topk.\n# TYPE sdserver_cache_misses_total counter\n")
+	fmt.Fprintf(w, "sdserver_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(w, "# HELP sdserver_cache_admission_rejects_total Computed answers the heavy-hitter sketch declined to cache.\n# TYPE sdserver_cache_admission_rejects_total counter\n")
+	fmt.Fprintf(w, "sdserver_cache_admission_rejects_total %d\n", m.cacheRejects.Load())
+	fmt.Fprintf(w, "# HELP sdserver_cache_hit_rate Result-cache hit rate since start (hits / lookups).\n# TYPE sdserver_cache_hit_rate gauge\n")
+	fmt.Fprintf(w, "sdserver_cache_hit_rate %g\n", m.cacheHitRate())
+	fmt.Fprintf(w, "# HELP sdserver_cache_entries Resident result-cache entries.\n# TYPE sdserver_cache_entries gauge\n")
+	if cache != nil {
+		fmt.Fprintf(w, "sdserver_cache_entries %d\n", cache.len())
+	} else {
+		fmt.Fprintf(w, "sdserver_cache_entries 0\n")
+	}
 
 	fmt.Fprintf(w, "# HELP sdserver_engine_fetched_total Sorted accesses spent by stats-enabled queries.\n# TYPE sdserver_engine_fetched_total counter\n")
 	fmt.Fprintf(w, "sdserver_engine_fetched_total %d\n", m.fetched.Load())
@@ -219,12 +262,13 @@ func (m *metrics) writeProm(w io.Writer, idx Index) {
 
 // EndpointStatz is one endpoint's row in the Statz snapshot.
 type EndpointStatz struct {
-	Requests uint64  `json:"requests"`
-	Errors   uint64  `json:"errors"`
-	Rejected uint64  `json:"rejected"`
-	P50Ms    float64 `json:"p50_ms"`
-	P99Ms    float64 `json:"p99_ms"`
-	MeanMs   float64 `json:"mean_ms"`
+	Requests    uint64  `json:"requests"`
+	Errors      uint64  `json:"errors"`
+	Rejected    uint64  `json:"rejected"`
+	Disconnects uint64  `json:"client_disconnects"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MeanMs      float64 `json:"mean_ms"`
 }
 
 // Statz is the JSON diagnostic snapshot served on GET /statz (and returned
@@ -237,6 +281,13 @@ type Statz struct {
 	CoalescedBatches   uint64  `json:"coalesced_batches"`
 	CoalescedQueries   uint64  `json:"coalesced_queries"`
 	CoalescedBatchMean float64 `json:"coalesced_batch_mean"`
+
+	CacheEnabled bool    `json:"cache_enabled"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheRejects uint64  `json:"cache_admission_rejects"`
+	CacheEntries int     `json:"cache_entries"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
 
 	IndexPoints      int    `json:"index_points"`
 	IndexBytes       int    `json:"index_bytes"`
@@ -251,7 +302,7 @@ type Statz struct {
 	StatsQueries   uint64 `json:"stats_queries"`
 }
 
-func (m *metrics) statz(idx Index) Statz {
+func (m *metrics) statz(idx Index, cache *resultCache) Statz {
 	up := time.Since(m.start).Seconds()
 	st := Statz{
 		UptimeSeconds:      up,
@@ -259,6 +310,11 @@ func (m *metrics) statz(idx Index) Statz {
 		CoalescedBatches:   m.batches.Load(),
 		CoalescedQueries:   m.coalesced.Load(),
 		CoalescedBatchMean: m.meanBatch(),
+		CacheEnabled:       cache != nil,
+		CacheHits:          m.cacheHits.Load(),
+		CacheMisses:        m.cacheMisses.Load(),
+		CacheRejects:       m.cacheRejects.Load(),
+		CacheHitRate:       m.cacheHitRate(),
 		IndexPoints:        idx.Len(),
 		IndexBytes:         idx.Bytes(),
 		Swaps:              m.swaps.Load(),
@@ -272,11 +328,12 @@ func (m *metrics) statz(idx Index) Statz {
 		h := &m.latency[ep]
 		n := h.n.Load()
 		row := EndpointStatz{
-			Requests: m.requests[ep].Load(),
-			Errors:   m.errors[ep].Load(),
-			Rejected: m.rejected[ep].Load(),
-			P50Ms:    h.quantile(0.50) * 1e3,
-			P99Ms:    h.quantile(0.99) * 1e3,
+			Requests:    m.requests[ep].Load(),
+			Errors:      m.errors[ep].Load(),
+			Rejected:    m.rejected[ep].Load(),
+			Disconnects: m.clientGone[ep].Load(),
+			P50Ms:       h.quantile(0.50) * 1e3,
+			P99Ms:       h.quantile(0.99) * 1e3,
 		}
 		if n > 0 {
 			row.MeanMs = float64(h.sumNs.Load()) / float64(n) / 1e6
@@ -292,6 +349,9 @@ func (m *metrics) statz(idx Index) Statz {
 	}
 	if cp, ok := idx.(compactioner); ok {
 		st.IndexCompactions = cp.Compactions()
+	}
+	if cache != nil {
+		st.CacheEntries = cache.len()
 	}
 	return st
 }

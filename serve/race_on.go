@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is active; the
+// zero-allocation assertions are skipped under -race, whose instrumentation
+// allocates on paths the production build does not.
+const raceEnabled = true

@@ -11,12 +11,20 @@
 //	GET    /metrics          Prometheus text exposition
 //	GET    /statz            JSON diagnostic snapshot
 //
-// Three serving mechanics distinguish it from a plain mux over the engine:
+// Four serving mechanics distinguish it from a plain mux over the engine:
 //
 //   - Request coalescing (coalesce.go): concurrently-arriving /v1/topk
 //     requests are gathered — bounded window, bounded batch — into single
 //     BatchTopK calls, riding the engine's pooled, pipelined batch path
 //     instead of paying one independent shard fan-out per request.
+//   - Hot-query result cache (cache.go, sketch.go; WithResultCache):
+//     answers are cached keyed on canonical query bytes and versioned by
+//     the snapshot epoch, which every insert/remove/compaction/swap
+//     publish bumps — so invalidation is free and a hit is byte-identical
+//     to what the engine would return now. A HeavyKeeper top-k frequency
+//     sketch gates admission so only the Zipf head of the traffic occupies
+//     the bounded cache, and the hit path allocates nothing and never
+//     enters the coalescer queue.
 //   - Backpressure: the admission queue and the per-endpoint concurrency
 //     limits are bounded; when they are full the server answers 429 with
 //     Retry-After immediately instead of letting goroutines and latency
@@ -59,6 +67,12 @@ type Index interface {
 	Len() int
 	Bytes() int
 	Roles() []sdquery.Role
+	// Epoch is the version number of the index's visible row set: strictly
+	// increasing across inserts, removes, and compactions, equal across
+	// calls only when nothing changed. The result cache keys entries on it,
+	// so a mutation invalidates every cached answer without any explicit
+	// invalidation path.
+	Epoch() uint64
 }
 
 // Optional index capabilities, surfaced in metrics when present.
@@ -90,6 +104,8 @@ type config struct {
 	reqTimeout time.Duration
 	writeLimit int
 	batchLimit int
+	cacheOn    bool
+	cacheCap   int
 	loader     func(path string) (Index, error)
 	loadOpts   []sdquery.SDOption
 }
@@ -130,6 +146,21 @@ func WithWriteConcurrency(n int) Option { return func(c *config) { c.writeLimit 
 // the coalescer, so a few in flight saturate the pool.
 func WithBatchConcurrency(n int) Option { return func(c *config) { c.batchLimit = n } }
 
+// WithResultCache enables the hot-query result cache (default off). Cached
+// /v1/topk answers are keyed on the canonical query encoding and versioned
+// by (swap generation, index epoch), so a hit is byte-identical to what the
+// current index would answer and any write or swap invalidates implicitly —
+// see cache.go. Admission is gated by a HeavyKeeper top-k frequency sketch:
+// only queries ranking among the hottest WithCacheCapacity keys are stored,
+// so scan-like cold traffic cannot thrash the hot set.
+func WithResultCache(on bool) Option { return func(c *config) { c.cacheOn = on } }
+
+// WithCacheCapacity bounds the result cache to the n hottest queries
+// (default 1024). Implies nothing about memory precisely — entries are
+// whole response bodies — but k=10-ish answers are ~300 bytes, so the
+// default is a few hundred KB at saturation.
+func WithCacheCapacity(n int) Option { return func(c *config) { c.cacheCap = n } }
+
 // WithLoader replaces how /v1/admin/swap turns a path into an Index. The
 // default opens the file and loads whichever persisted index kind it holds
 // (sdquery.Load), applying the options given to WithLoadOptions.
@@ -143,22 +174,34 @@ func WithLoadOptions(opts ...sdquery.SDOption) Option {
 
 // indexBox wraps the Index interface value for atomic publication, caching
 // the dimensionality so request decoding never pays Roles()'s defensive
-// copy.
+// copy. Every request path that decodes a query against a box must also
+// execute against that same box (the coalescer carries it through pending)
+// — a swap between decode and execute must never run a query validated for
+// one index against another with different dimensions.
 type indexBox struct {
 	idx  Index
 	dims int
+	// gen is the box's publication generation, unique per server across
+	// swaps. Epochs are only comparable within one Index value (a swapped-in
+	// index restarts its own counter), so the result cache versions entries
+	// by the (gen, epoch) pair.
+	gen uint64
 }
 
-func boxOf(idx Index) *indexBox { return &indexBox{idx: idx, dims: len(idx.Roles())} }
+func (s *Server) newBox(idx Index) *indexBox {
+	return &indexBox{idx: idx, dims: len(idx.Roles()), gen: s.genCtr.Add(1)}
+}
 
 // Server serves SD-Queries over HTTP. Create with New, mount Handler on any
 // http.Server (or use ListenAndServe/Serve), and stop with Shutdown.
 type Server struct {
-	cfg config
-	box atomic.Pointer[indexBox]
-	mux *http.ServeMux
-	co  *coalescer
-	met *metrics
+	cfg    config
+	box    atomic.Pointer[indexBox]
+	genCtr atomic.Uint64
+	mux    *http.ServeMux
+	co     *coalescer
+	met    *metrics
+	cache  *resultCache // nil unless WithResultCache(true)
 
 	writeSem chan struct{}
 	batchSem chan struct{}
@@ -199,6 +242,9 @@ func New(idx Index, opts ...Option) *Server {
 	if cfg.batchLimit < 1 {
 		cfg.batchLimit = 1
 	}
+	if cfg.cacheCap < 1 {
+		cfg.cacheCap = 1024
+	}
 	s := &Server{
 		cfg:      cfg,
 		met:      &metrics{start: time.Now()},
@@ -208,9 +254,12 @@ func New(idx Index, opts ...Option) *Server {
 	if cfg.loader == nil {
 		s.cfg.loader = defaultLoader(cfg.loadOpts)
 	}
-	s.box.Store(boxOf(idx))
+	if cfg.cacheOn {
+		s.cache = newResultCache(s.cfg.cacheCap)
+	}
+	s.box.Store(s.newBox(idx))
 	if cfg.window >= 0 {
-		s.co = newCoalescer(s.Index, s.met, cfg.window, cfg.maxBatch, cfg.queueDepth, cfg.executors)
+		s.co = newCoalescer(s.met, cfg.window, cfg.maxBatch, cfg.queueDepth, cfg.executors)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
@@ -232,7 +281,7 @@ func (s *Server) Index() Index { return s.box.Load().idx }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Statz returns the current diagnostic snapshot (what GET /statz serves).
-func (s *Server) Statz() Statz { return s.met.statz(s.Index()) }
+func (s *Server) Statz() Statz { return s.met.statz(s.Index(), s.cache) }
 
 // requestCtx applies the configured per-request deadline.
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
@@ -242,16 +291,27 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), s.cfg.reqTimeout)
 }
 
-// statusFor maps handler errors to HTTP statuses: backpressure → 429,
-// deadline/cancellation and drain → 503, everything else (validation,
-// role mismatches) → 400.
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the response was written. It is bookkeeping, not a server
+// failure — metrics count it separately from errors, so a wave of impatient
+// clients (or a load balancer trimming its connection pool) cannot trip an
+// error-rate alert on a perfectly healthy server.
+const statusClientClosedRequest = 499
+
+// statusFor maps handler errors to HTTP statuses: backpressure → 429;
+// server-side deadline and drain → 503; client cancellation → 499;
+// everything else (validation, role mismatches) → 400. DeadlineExceeded is
+// checked before Canceled: a request can carry both (client gone AND
+// deadline passed), and blaming the server's own timeout is the
+// conservative choice there.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, errQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
-		errors.Is(err, errDraining):
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
 	default:
 		return http.StatusBadRequest
 	}
@@ -279,7 +339,6 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 
-	var resp topkResponse
 	if wantStats {
 		// Stats-enabled queries need per-query counters, so they bypass the
 		// coalescer (their counters feed the /metrics engine totals) — but
@@ -303,22 +362,84 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.met.fetched.Add(uint64(st.Fetched))
 		s.met.scored.Add(uint64(st.Scored))
 		s.met.planHits.Add(uint64(st.PlanCacheHits))
-		resp = topkResponse{Results: wireResults(res), Stats: wireQueryStats(st)}
-	} else {
-		var res []sdquery.Result
-		if s.co != nil {
-			res, err = s.co.do(ctx, q)
-		} else {
-			res, err = idx.TopKContext(ctx, q)
-		}
-		if err != nil {
-			status = statusFor(err)
-			writeError(w, status, err)
+		writeJSON(w, http.StatusOK, topkResponse{Results: wireResults(res), Stats: wireQueryStats(st)})
+		return
+	}
+
+	// Cached fast path: a hit writes the stored body straight out — no
+	// coalescer queue, no engine work, no marshaling, no allocation.
+	var key []byte
+	var kb *[]byte
+	var epoch uint64
+	if s.cache != nil {
+		kb = s.cache.getBuf()
+		key = appendQueryKey((*kb)[:0], q)
+		// Read the epoch BEFORE executing. If it reads the same after the
+		// answer is computed, no insert/remove/compaction published in
+		// between (epochs strictly increase), so the body is exactly this
+		// epoch's answer and is safe to cache under it.
+		epoch = box.idx.Epoch()
+		if body, ok := s.cache.get(key, box.gen, epoch); ok {
+			s.met.cacheHits.Add(1)
+			*kb = key
+			s.cache.putBuf(kb)
+			writeRawJSON(w, http.StatusOK, body)
 			return
 		}
-		resp = topkResponse{Results: wireResults(res)}
+		s.met.cacheMisses.Add(1)
+		defer func() { *kb = key; s.cache.putBuf(kb) }()
 	}
-	writeJSON(w, http.StatusOK, resp)
+
+	var res []sdquery.Result
+	if s.co != nil {
+		res, err = s.co.do(ctx, box, q)
+	} else {
+		res, err = box.idx.TopKContext(ctx, q)
+	}
+	if err != nil {
+		status = statusFor(err)
+		writeError(w, status, err)
+		return
+	}
+	body, merr := marshalBody(topkResponse{Results: wireResults(res)})
+	if merr != nil {
+		status = http.StatusInternalServerError
+		http.Error(w, `{"error":"encode response"}`, status)
+		return
+	}
+	if s.cache != nil {
+		// Store only if the world held still while we computed: the same box
+		// is still published and its epoch is unchanged. Anything else — a
+		// swap, a write, a compaction mid-query — and the body may reflect a
+		// snapshot the current (gen, epoch) pair no longer describes, so it
+		// is served once and not cached.
+		if s.box.Load() == box && box.idx.Epoch() == epoch {
+			if !s.cache.put(key, box.gen, epoch, body) {
+				s.met.cacheRejects.Add(1)
+			}
+		} else {
+			s.met.cacheRejects.Add(1)
+		}
+	}
+	writeRawJSON(w, http.StatusOK, body)
+}
+
+// ProbeCache reports whether q would be answered from the result cache
+// right now, exercising the exact hit path (key encode, pooled buffer,
+// lookup, version check) minus HTTP. The probe feeds the admission sketch
+// like any lookup but does not move the hit/miss counters — it exists so
+// the bench harness can measure hit-path allocations in-process.
+func (s *Server) ProbeCache(q sdquery.Query) bool {
+	if s.cache == nil {
+		return false
+	}
+	box := s.box.Load()
+	kb := s.cache.getBuf()
+	key := appendQueryKey((*kb)[:0], q)
+	_, ok := s.cache.get(key, box.gen, box.idx.Epoch())
+	*kb = key
+	s.cache.putBuf(kb)
+	return ok
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -444,7 +565,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.writeProm(w, s.Index())
+	s.met.writeProm(w, s.Index(), s.cache)
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,231 @@
+package serve
+
+// heavyKeeper is a HeavyKeeper-style top-k frequency sketch: the admission
+// filter in front of the result cache. Production top-k traffic is
+// Zipf-skewed — a small set of hot queries dominates — and the cache should
+// spend its bounded capacity only on that set, not on the long cold tail
+// that would otherwise thrash it one-hit-wonder by one-hit-wonder.
+//
+// Structure (following the HeavyKeeper design: fingerprint buckets,
+// exponential-decay counters, min-heap of the current top k):
+//
+//   - A depth×width array of buckets, each holding a 32-bit key fingerprint
+//     and a counter. An arriving key hashes to one bucket per row. A bucket
+//     owned by the key increments; an empty bucket is claimed; a bucket
+//     owned by a different key decays — its counter decrements with
+//     probability decayBase^-count, so entrenched counts are hard to tear
+//     down (a hot key's count survives cold collisions) while small counts
+//     turn over quickly (cold keys cannot squat).
+//   - A min-heap of the k keys with the largest estimated counts, with a
+//     hash→position index for O(1) membership tests. A key whose estimate
+//     beats the heap minimum expels that minimum; the eviction callback
+//     lets the cache drop the expelled key's entry, which keeps the cache a
+//     subset of the current heavy hitters.
+//
+// The estimate for a key is the maximum matching-bucket count across rows.
+// All state mutation happens under the owning cache's lock; the decay coin
+// flips come from a deterministic splitmix64 stream, so tests are
+// reproducible.
+
+const (
+	// hkDepth is the number of bucket rows; each key gets one bucket per row.
+	hkDepth = 4
+	// hkDecayBase sets the decay probability decayBase^-count for a
+	// colliding bucket. 1.08 is the HeavyKeeper paper's recommendation:
+	// count 1 decays with p≈0.93, count 50 with p≈0.02, count 256 with
+	// p≈3e-9 (treated as never below).
+	hkDecayBase = 1.08
+	// hkDecayTableSize bounds the precomputed decay-probability table;
+	// counts at or beyond it never decay.
+	hkDecayTableSize = 256
+)
+
+type hkBucket struct {
+	fp    uint32 // key fingerprint (high 32 bits of the key hash)
+	count uint32
+}
+
+// hkEntry is one tracked heavy hitter in the min-heap.
+type hkEntry struct {
+	hash  uint64
+	key   string // the full cache key, for the eviction callback
+	count uint32
+}
+
+type heavyKeeper struct {
+	width   uint64
+	buckets []hkBucket // hkDepth rows × width, row-major
+	decay   []float64  // decay[c] = hkDecayBase^-c
+	rng     uint64     // splitmix64 state for decay coin flips
+
+	k       int
+	heap    []hkEntry      // min-heap by count
+	pos     map[uint64]int // key hash → heap position
+	onEvict func(key string)
+}
+
+// newHeavyKeeper tracks the k hottest keys. onEvict (may be nil) fires when
+// a tracked key is expelled by a hotter one.
+func newHeavyKeeper(k int, onEvict func(string)) *heavyKeeper {
+	if k < 1 {
+		k = 1
+	}
+	// ~8 buckets per tracked key per row keeps fingerprint collisions rare
+	// at the scale the heap cares about; power-of-two width makes the
+	// row-index computation a mask.
+	width := uint64(64)
+	for width < uint64(k)*8 {
+		width *= 2
+	}
+	hk := &heavyKeeper{
+		width:   width,
+		buckets: make([]hkBucket, hkDepth*int(width)),
+		decay:   make([]float64, hkDecayTableSize),
+		rng:     0x9e3779b97f4a7c15,
+		k:       k,
+		heap:    make([]hkEntry, 0, k),
+		pos:     make(map[uint64]int, k),
+		onEvict: onEvict,
+	}
+	p := 1.0
+	for c := range hk.decay {
+		hk.decay[c] = p
+		p /= hkDecayBase
+	}
+	return hk
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator: a strong 64-bit
+// mix used both to derive per-row bucket indexes and to advance the decay
+// RNG.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// add records one access of the key identified by hash and returns its new
+// estimated count. key is the full cache key; it is copied to a string only
+// if the key newly enters the top-k heap, so the established-hot path
+// allocates nothing.
+func (hk *heavyKeeper) add(hash uint64, key []byte) uint32 {
+	fp := uint32(hash >> 32)
+	var est uint32
+	for d := uint64(0); d < hkDepth; d++ {
+		b := &hk.buckets[d*hk.width+(splitmix64(hash^d)&(hk.width-1))]
+		switch {
+		case b.count == 0:
+			b.fp, b.count = fp, 1
+			if est < 1 {
+				est = 1
+			}
+		case b.fp == fp:
+			if b.count < ^uint32(0) {
+				b.count++
+			}
+			if est < b.count {
+				est = b.count
+			}
+		default:
+			if hk.decayRoll(b.count) {
+				b.count--
+				if b.count == 0 {
+					b.fp, b.count = fp, 1
+					if est < 1 {
+						est = 1
+					}
+				}
+			}
+		}
+	}
+	hk.offer(hash, key, est)
+	return est
+}
+
+// decayRoll flips the exponential-decay coin for a colliding bucket.
+func (hk *heavyKeeper) decayRoll(count uint32) bool {
+	if count >= hkDecayTableSize {
+		return false
+	}
+	hk.rng = splitmix64(hk.rng)
+	return float64(hk.rng>>11)/(1<<53) < hk.decay[count]
+}
+
+// hot reports whether the key is currently one of the tracked top-k heavy
+// hitters — the cache's admission test.
+func (hk *heavyKeeper) hot(hash uint64) bool {
+	_, ok := hk.pos[hash]
+	return ok
+}
+
+// min returns the smallest tracked count (0 when the heap has room).
+func (hk *heavyKeeper) min() uint32 {
+	if len(hk.heap) < hk.k {
+		return 0
+	}
+	return hk.heap[0].count
+}
+
+// offer updates the key's standing in the top-k heap after an add.
+func (hk *heavyKeeper) offer(hash uint64, key []byte, est uint32) {
+	if i, ok := hk.pos[hash]; ok {
+		if est > hk.heap[i].count {
+			hk.heap[i].count = est
+			hk.siftDown(i)
+		}
+		return
+	}
+	if len(hk.heap) < hk.k {
+		hk.heap = append(hk.heap, hkEntry{hash: hash, key: string(key), count: est})
+		hk.pos[hash] = len(hk.heap) - 1
+		hk.siftUp(len(hk.heap) - 1)
+		return
+	}
+	if est <= hk.heap[0].count {
+		return
+	}
+	expelled := hk.heap[0]
+	delete(hk.pos, expelled.hash)
+	hk.heap[0] = hkEntry{hash: hash, key: string(key), count: est}
+	hk.pos[hash] = 0
+	hk.siftDown(0)
+	if hk.onEvict != nil {
+		hk.onEvict(expelled.key)
+	}
+}
+
+func (hk *heavyKeeper) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if hk.heap[parent].count <= hk.heap[i].count {
+			return
+		}
+		hk.swap(i, parent)
+		i = parent
+	}
+}
+
+func (hk *heavyKeeper) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(hk.heap) && hk.heap[l].count < hk.heap[small].count {
+			small = l
+		}
+		if r < len(hk.heap) && hk.heap[r].count < hk.heap[small].count {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		hk.swap(i, small)
+		i = small
+	}
+}
+
+func (hk *heavyKeeper) swap(i, j int) {
+	hk.heap[i], hk.heap[j] = hk.heap[j], hk.heap[i]
+	hk.pos[hk.heap[i].hash] = i
+	hk.pos[hk.heap[j].hash] = j
+}

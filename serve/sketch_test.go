@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// keyOf builds a distinct synthetic cache key per logical key id.
+func hkKey(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+
+// TestHeavyKeeperTracksHotKeys drives a skewed stream — a few heavy keys
+// inside a storm of one-off keys — and requires every heavy key to be
+// tracked as hot at the end while the overwhelming majority of one-offs are
+// not. This is the cache-admission property: cold scans cannot claim the
+// hot set.
+func TestHeavyKeeperTracksHotKeys(t *testing.T) {
+	const heavy, capacity = 8, 16
+	hk := newHeavyKeeper(capacity, nil)
+	rng := rand.New(rand.NewSource(1))
+	// Interleave: each round touches every heavy key a few times and a fresh
+	// batch of never-repeating keys once each.
+	cold := 1 << 20
+	for round := 0; round < 400; round++ {
+		for h := 0; h < heavy; h++ {
+			for rep := 0; rep < 3; rep++ {
+				k := hkKey(h)
+				hk.add(hashKey(k), k)
+			}
+		}
+		for c := 0; c < 10; c++ {
+			cold++
+			k := hkKey(cold)
+			hk.add(hashKey(k), k)
+		}
+		_ = rng
+	}
+	for h := 0; h < heavy; h++ {
+		if !hk.hot(hashKey(hkKey(h))) {
+			t.Errorf("heavy key %d not tracked as hot", h)
+		}
+	}
+	// The heap holds at most capacity keys, so at least cold-capacity one-off
+	// keys must be untracked; spot-check a sample.
+	tracked := 0
+	for c := 1<<20 + 1; c < 1<<20+200; c++ {
+		if hk.hot(hashKey(hkKey(c))) {
+			tracked++
+		}
+	}
+	if tracked > capacity {
+		t.Errorf("%d one-off keys tracked, want ≤ %d", tracked, capacity)
+	}
+}
+
+// TestHeavyKeeperEviction pins the heap-expulsion contract: the sketch
+// never tracks more than k keys, and every expulsion reports the expelled
+// key through the callback exactly once — the hook the cache uses to stay a
+// subset of the tracked heavy hitters.
+func TestHeavyKeeperEviction(t *testing.T) {
+	evicted := make(map[string]int)
+	hk := newHeavyKeeper(2, func(key string) { evicted[key]++ })
+	// Three keys with strictly increasing frequency: the lightest must be
+	// expelled once both heavier keys outrank it.
+	counts := []int{3, 30, 300}
+	for rep := 0; rep < 300; rep++ {
+		for i, n := range counts {
+			if rep < n {
+				k := hkKey(i)
+				hk.add(hashKey(k), k)
+			}
+		}
+	}
+	if len(hk.heap) > 2 {
+		t.Fatalf("heap holds %d keys, capacity 2", len(hk.heap))
+	}
+	if !hk.hot(hashKey(hkKey(1))) || !hk.hot(hashKey(hkKey(2))) {
+		t.Fatal("the two heaviest keys are not both tracked")
+	}
+	if hk.hot(hashKey(hkKey(0))) {
+		t.Fatal("lightest key still tracked in a full heap of heavier keys")
+	}
+	if evicted[string(hkKey(0))] == 0 {
+		t.Fatal("expulsion of the lightest key never reported")
+	}
+	// Heap and position index must agree exactly.
+	if len(hk.pos) != len(hk.heap) {
+		t.Fatalf("pos has %d entries, heap %d", len(hk.pos), len(hk.heap))
+	}
+	for i, e := range hk.heap {
+		if hk.pos[e.hash] != i {
+			t.Fatalf("pos[%x]=%d, want %d", e.hash, hk.pos[e.hash], i)
+		}
+	}
+}
+
+// TestHeavyKeeperDeterministic: identical streams produce identical sketch
+// state — the decay coin flips come from a fixed-seed generator, not global
+// randomness, so admission behavior is reproducible in tests and replays.
+func TestHeavyKeeperDeterministic(t *testing.T) {
+	run := func() *heavyKeeper {
+		hk := newHeavyKeeper(8, nil)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 20000; i++ {
+			k := hkKey(rng.Intn(500))
+			hk.add(hashKey(k), k)
+		}
+		return hk
+	}
+	a, b := run(), run()
+	if len(a.heap) != len(b.heap) {
+		t.Fatalf("heap sizes differ: %d vs %d", len(a.heap), len(b.heap))
+	}
+	for i := range a.heap {
+		if a.heap[i] != b.heap[i] {
+			t.Fatalf("heap[%d] differs: %+v vs %+v", i, a.heap[i], b.heap[i])
+		}
+	}
+	for i := range a.buckets {
+		if a.buckets[i] != b.buckets[i] {
+			t.Fatalf("bucket %d differs: %+v vs %+v", i, a.buckets[i], b.buckets[i])
+		}
+	}
+}
+
+// TestHeavyKeeperMinHeapOrder: the heap must be a valid min-heap after
+// arbitrary churn (offer with rising counts exercises siftDown, insertion
+// siftUp).
+func TestHeavyKeeperMinHeapOrder(t *testing.T) {
+	hk := newHeavyKeeper(16, nil)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		k := hkKey(rng.Intn(64))
+		hk.add(hashKey(k), k)
+	}
+	for i := range hk.heap {
+		for _, child := range []int{2*i + 1, 2*i + 2} {
+			if child < len(hk.heap) && hk.heap[child].count < hk.heap[i].count {
+				t.Fatalf("heap violation: parent %d count %d > child %d count %d",
+					i, hk.heap[i].count, child, hk.heap[child].count)
+			}
+		}
+	}
+}

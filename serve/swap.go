@@ -90,7 +90,9 @@ func (s singleIndex) BatchTopKContext(ctx context.Context, queries []sdquery.Que
 // owns the returned index (the HTTP swap handler releases its worker pool;
 // an in-process caller may want to keep it).
 func (s *Server) Swap(idx Index) Index {
-	old := s.box.Swap(boxOf(idx))
+	// The new box's generation makes every cached entry stale at once:
+	// entries are versioned by (gen, epoch) and no entry carries the new gen.
+	old := s.box.Swap(s.newBox(idx))
 	s.met.swaps.Add(1)
 	return old.idx
 }

@@ -223,18 +223,35 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	return data, nil
 }
 
+// marshalBody encodes v into exactly the bytes writeJSON puts on the wire —
+// the JSON document plus its trailing newline. The result cache stores
+// these bytes verbatim, which is what makes a cache hit trivially
+// byte-identical to a freshly computed response.
+func marshalBody(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+// writeRawJSON writes a pre-marshaled body (from marshalBody, possibly via
+// the result cache).
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
 // writeJSON encodes v with a status code. Encoding into a buffer first keeps
 // a marshal failure from emitting a half-written 200.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	body, err := json.Marshal(v)
+	body, err := marshalBody(v)
 	if err != nil {
 		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	w.Write(body)
-	w.Write([]byte{'\n'})
+	writeRawJSON(w, status, body)
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

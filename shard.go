@@ -372,6 +372,22 @@ func (s *ShardedIndex) Len() int {
 	return total
 }
 
+// Epoch returns the version number of the index's visible state: the sum of
+// every shard engine's snapshot epoch (one atomic load per shard, no lock).
+// Each component is monotonic, so the sum strictly increases whenever any
+// shard publishes a new snapshot (insert, remove, compaction) and two equal
+// Epoch readings prove that no shard changed between them — even though the
+// per-shard loads are not mutually atomic, a publish landing mid-read can
+// only inflate the later reading, never restore an earlier value. That
+// makes the epoch a safe cache invalidation key for the serving layer.
+func (s *ShardedIndex) Epoch() uint64 {
+	var e uint64
+	for _, sh := range s.shards {
+		e += sh.eng.Epoch()
+	}
+	return e
+}
+
 // Bytes estimates the resident size of all per-shard index structures.
 func (s *ShardedIndex) Bytes() int {
 	total := 0
