@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -61,8 +62,14 @@ type workloadJSON struct {
 	// context for judging the write pressure behind the latency figures.
 	WriterOps int64 `json:"writer_ops,omitempty"`
 	// QPS is the end-to-end throughput of the serve load workload: requests
-	// completed per wall second by the closed-loop client pool.
+	// completed per wall second by the closed-loop client pool. For the
+	// durable mixed workloads it is the writers' durable-mutation throughput.
 	QPS float64 `json:"qps,omitempty"`
+	// FsyncsPerOp is the durable mixed workloads' WAL fsync count per
+	// acknowledged mutation. Under SyncAlways with concurrent writers, group
+	// commit keeps it well below 1 (one fsync acknowledges a whole commit
+	// window); the diff gate fails if it collapses toward one-fsync-per-write.
+	FsyncsPerOp float64 `json:"fsyncs_per_op,omitempty"`
 	// CoalescedBatchMean is the serve workload's mean coalesced batch size —
 	// queries per BatchTopK call executed by the admission layer. > 1 means
 	// request coalescing is actually batching concurrent traffic; the diff
@@ -86,7 +93,7 @@ type workloadJSON struct {
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate,omitempty"`
 }
 
-const benchJSONSchema = "sdbench/v5"
+const benchJSONSchema = "sdbench/v6"
 
 // statsSource is the work-counter surface shared by SDIndex and
 // ShardedIndex.
@@ -211,6 +218,130 @@ func runMixedRW(data [][]float64, roles []sdquery.Role, queries []sdquery.Query)
 	w.AllocsPerOp = -1
 	w.BytesPerOp = -1
 	w.WriterOps = writerOps
+	return w, nil
+}
+
+// runDurableMixedRW measures the write-ahead log's cost, and group commit's
+// recovery of it, under the given sync policy. Four writer goroutines churn
+// durable remove+insert pairs through a WAL-backed sharded index on the real
+// filesystem while the read path is timed exactly as in runMixedRW; the
+// report carries read p50/p99 (the WAL must be write-path-only — these track
+// the log-less mixed-rw figures), writer throughput as QPS, and the WAL
+// fsync count per acknowledged mutation. Under SyncAlways the concurrent
+// writers share commit windows, so fsyncs/op sits well below 1; that
+// collapse ratio, not the absolute latency, is the hardware-independent
+// signal the diff gate protects.
+func runDurableMixedRW(data [][]float64, roles []sdquery.Role, queries []sdquery.Query,
+	policy sdquery.SyncPolicy) (workloadJSON, error) {
+	var w workloadJSON
+	dir, err := os.MkdirTemp("", "sdbench-wal-*")
+	if err != nil {
+		return w, err
+	}
+	defer os.RemoveAll(dir)
+	idx, err := sdquery.NewShardedIndex(data, roles,
+		sdquery.WithShards(2),
+		sdquery.WithWAL(dir+"/idx"),
+		sdquery.WithSyncPolicy(policy),
+		sdquery.WithSyncInterval(2*time.Millisecond))
+	if err != nil {
+		return w, err
+	}
+	defer idx.Close()
+
+	const writers = 4
+	churn := len(data) / 20 / writers
+	if churn < 1 {
+		churn = 1
+	}
+	stop := make(chan struct{})
+	var writerOps atomic.Int64
+	writerErrs := make([]error, writers)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			slots := make([]int, churn)
+			rows := make([][]float64, churn)
+			for i := range slots {
+				slots[i] = len(data) - (g+1)*churn + i
+				rows[i] = data[slots[i]]
+			}
+			for i := 0; ; i = (i + 1) % churn {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := idx.RemoveDurable(slots[i]); err != nil {
+					writerErrs[g] = err
+					return
+				}
+				id, err := idx.Insert(rows[i])
+				if err != nil {
+					writerErrs[g] = err
+					return
+				}
+				slots[i] = id
+				writerOps.Add(2) // remove + insert, each individually durable
+			}
+		}(g)
+	}
+
+	const measureOps = 512
+	var buf []sdquery.Result
+	for i := 0; i < 32; i++ { // warm pools under durable churn
+		if buf, err = idx.TopKAppend(buf[:0], queries[i%len(queries)]); err != nil {
+			close(stop)
+			wg.Wait()
+			return w, err
+		}
+	}
+	opsBefore := writerOps.Load()
+	fsyncsBefore := idx.WALStats().Fsyncs
+	wall := time.Now()
+	lats := make([]int64, 0, measureOps)
+	for i := 0; i < measureOps; i++ {
+		q := queries[i%len(queries)]
+		t0 := time.Now()
+		buf, err = idx.TopKAppend(buf[:0], q)
+		lat := time.Since(t0)
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return w, err
+		}
+		lats = append(lats, lat.Nanoseconds())
+	}
+	elapsed := time.Since(wall)
+	ops := writerOps.Load() - opsBefore
+	fsyncs := idx.WALStats().Fsyncs - fsyncsBefore
+	close(stop)
+	wg.Wait()
+	for g, werr := range writerErrs {
+		if werr != nil {
+			return w, fmt.Errorf("durable writer %d died: %w", g, werr)
+		}
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum int64
+	for _, l := range lats {
+		sum += l
+	}
+	w.NsPerOp = sum / int64(len(lats))
+	w.P50NsPerOp = lats[len(lats)/2]
+	w.P99NsPerOp = lats[len(lats)*99/100]
+	w.AllocsPerOp = -1
+	w.BytesPerOp = -1
+	w.WriterOps = ops
+	if s := elapsed.Seconds(); s > 0 && ops > 0 {
+		w.QPS = float64(ops) / s
+	}
+	if ops > 0 {
+		w.FsyncsPerOp = float64(fsyncs) / float64(ops)
+	}
 	return w, nil
 }
 
@@ -359,6 +490,29 @@ func runBenchJSON(path, baselinePath string, scale float64, queryCount int, seed
 	mixed.N, mixed.Dims, mixed.K, mixed.Queries = n, dims, k, len(queries)
 	mixed.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	report.Workloads = append(report.Workloads, mixed)
+
+	// Durable mixed read/write: the same read-under-churn shape with every
+	// mutation group-committed to a per-shard WAL on the real filesystem,
+	// once per sync policy. always vs interval vs off quantifies what each
+	// durability level costs the writers (QPS, fsyncs/op) — and the read
+	// percentiles document that it costs the read path nothing.
+	for _, pol := range []struct {
+		name   string
+		policy sdquery.SyncPolicy
+	}{
+		{"mixed-rw/durable-always", sdquery.SyncAlways},
+		{"mixed-rw/durable-interval", sdquery.SyncInterval},
+		{"mixed-rw/durable-off", sdquery.SyncNever},
+	} {
+		dw, err := runDurableMixedRW(data, roles, queries, pol.policy)
+		if err != nil {
+			return err
+		}
+		dw.Name = pol.name
+		dw.N, dw.Dims, dw.K, dw.Queries = n, dims, k, len(queries)
+		dw.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		report.Workloads = append(report.Workloads, dw)
+	}
 
 	// Serve load: end-to-end HTTP latency/throughput through the coalescing
 	// admission layer, closed-loop clients over real TCP. Like the sharded

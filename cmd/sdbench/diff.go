@@ -132,6 +132,27 @@ func diffAgainstBaseline(baselinePath string, fresh benchJSON) error {
 				"workload %q: cache_hit_rate %.3f collapsed from baseline %.3f",
 				b.Name, f.CacheHitRate, b.CacheHitRate))
 		}
+		// Group-commit gate: a durable workload whose baseline shows commit
+		// windows being shared (fsyncs/op well below one mutation) must keep
+		// sharing them. fsyncs/op drifting up to ~1 means every writer fsyncs
+		// alone again — the group-commit batcher has silently stopped
+		// batching, which the loose latency tolerances won't catch. Exact
+		// batching ratios are timing-dependent, so the gate allows a doubling
+		// plus absolute headroom before failing; it also fails in the other
+		// direction, on a durable-always baseline whose fresh report stops
+		// fsyncing entirely.
+		if b.FsyncsPerOp > 0 {
+			if limit := b.FsyncsPerOp*2 + 0.1; f.FsyncsPerOp > limit {
+				violations = append(violations, fmt.Sprintf(
+					"workload %q: fsyncs/op %.3f vs baseline %.3f — group commit stopped collapsing fsyncs",
+					b.Name, f.FsyncsPerOp, b.FsyncsPerOp))
+			}
+			if strings.HasSuffix(b.Name, "durable-always") && f.FsyncsPerOp == 0 {
+				violations = append(violations, fmt.Sprintf(
+					"workload %q: 0 fsyncs under SyncAlways, baseline %.3f — writes are no longer durable",
+					b.Name, b.FsyncsPerOp))
+			}
+		}
 		if strings.HasPrefix(b.Name, "topk/") && b.FetchedMean > 0 {
 			if limit := b.FetchedMean * (1 + fetchedRegressionTolerance); f.FetchedMean > limit {
 				violations = append(violations, fmt.Sprintf(

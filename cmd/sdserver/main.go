@@ -21,9 +21,16 @@
 //
 //	curl -s localhost:8080/v1/admin/swap -d '{"path":"tomorrow.sdx"}'
 //
+// Serve durably: every insert/delete is group-committed to a per-shard
+// write-ahead log before its 200, and a restart pointed at the same
+// directory recovers every acknowledged write (torn tails included):
+//
+//	sdserver -addr :8080 -data points.csv -roles rrraaa -wal-dir /var/lib/sd
+//	sdserver -addr :8080 -wal-dir /var/lib/sd   # later: recover, no CSV
+//
 // On SIGINT/SIGTERM the server drains gracefully: /healthz flips to 503 so
 // load balancers stop routing, in-flight requests finish (bounded by
-// -drain-timeout), then the process exits.
+// -drain-timeout), then the WAL is synced and sealed and the process exits.
 package main
 
 import (
@@ -51,6 +58,10 @@ func main() {
 		shards  = flag.Int("shards", 0, "data shards (≤ 0 selects GOMAXPROCS)")
 		workers = flag.Int("workers", 0, "worker-pool size (≤ 0 selects GOMAXPROCS)")
 
+		walDir   = flag.String("wal-dir", "", "write-ahead-log directory: recover the durable index living there, or (with -data) create one and log every write")
+		syncF    = flag.String("sync", "always", "WAL fsync policy: always (fsync before each 200), interval (timer), never (rotation/shutdown only)")
+		syncIntF = flag.Duration("sync-interval", 100*time.Millisecond, "fsync cadence under -sync interval")
+
 		window   = flag.Duration("coalesce-window", 500*time.Microsecond, "how long the first query of a batch waits for company (0 batches only what is queued; negative disables coalescing)")
 		maxBatch = flag.Int("max-batch", 64, "maximum queries per coalesced batch")
 		queue    = flag.Int("queue", 1024, "admission queue depth for /v1/topk (full queue answers 429)")
@@ -63,7 +74,12 @@ func main() {
 	)
 	flag.Parse()
 
-	idx, err := buildIndex(*path, *header, *rolesF, *indexF, *shards, *workers)
+	sync, err := parseSync(*syncF)
+	if err != nil {
+		fatal(err)
+	}
+	idx, err := buildIndex(*path, *header, *rolesF, *indexF, *shards, *workers,
+		*walDir, sync, *syncIntF)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,12 +116,47 @@ func main() {
 		if err := srv.Shutdown(dctx); err != nil {
 			fatal(fmt.Errorf("drain: %w", err))
 		}
+		// Shutdown already force-synced the WAL; Close flushes the group-commit
+		// queue and seals the log files so the next Open replays a clean tail.
+		if cl, ok := srv.Index().(interface{ Close() }); ok {
+			cl.Close()
+		}
 		fmt.Fprintln(os.Stderr, "sdserver: drained")
 	}
 }
 
-// buildIndex constructs the serving index from a CSV or a persisted file.
-func buildIndex(path string, header bool, rolesF, indexF string, shards, workers int) (serve.Index, error) {
+func parseSync(s string) (sdquery.SyncPolicy, error) {
+	switch s {
+	case "always":
+		return sdquery.SyncAlways, nil
+	case "interval":
+		return sdquery.SyncInterval, nil
+	case "never":
+		return sdquery.SyncNever, nil
+	}
+	return 0, fmt.Errorf("-sync %q: use always, interval, or never", s)
+}
+
+// buildIndex constructs the serving index from a CSV, a persisted file, or —
+// when -wal-dir is set — a durable directory: recovered if it already holds a
+// MANIFEST, created from the CSV otherwise.
+func buildIndex(path string, header bool, rolesF, indexF string, shards, workers int,
+	walDir string, sync sdquery.SyncPolicy, syncInt time.Duration) (serve.Index, error) {
+	if walDir != "" {
+		if indexF != "" {
+			return nil, fmt.Errorf("-wal-dir and -index are mutually exclusive (a durable directory is its own persistence)")
+		}
+		if _, err := os.Stat(walDir + "/MANIFEST"); err == nil {
+			fmt.Fprintf(os.Stderr, "sdserver: recovering durable index from %s\n", walDir)
+			eng, err := sdquery.Open(walDir,
+				sdquery.WithWorkers(workers),
+				sdquery.WithSyncPolicy(sync), sdquery.WithSyncInterval(syncInt))
+			if err != nil {
+				return nil, err
+			}
+			return serve.AsIndex(eng)
+		}
+	}
 	if indexF != "" {
 		f, err := os.Open(indexF)
 		if err != nil {
@@ -147,8 +198,14 @@ func buildIndex(path string, header bool, rolesF, indexF string, shards, workers
 			return nil, fmt.Errorf("role %q: use a, r, or i", c)
 		}
 	}
-	return sdquery.NewShardedIndex(data, roles,
-		sdquery.WithShards(shards), sdquery.WithWorkers(workers))
+	sdOpts := []sdquery.SDOption{
+		sdquery.WithShards(shards), sdquery.WithWorkers(workers),
+	}
+	if walDir != "" {
+		sdOpts = append(sdOpts, sdquery.WithWAL(walDir),
+			sdquery.WithSyncPolicy(sync), sdquery.WithSyncInterval(syncInt))
+	}
+	return sdquery.NewShardedIndex(data, roles, sdOpts...)
 }
 
 func fatal(err error) {

@@ -66,6 +66,45 @@
 // cmd/sdquery exposes the same flow: -save persists an index built from
 // CSV, -index serves a persisted one without any rebuild.
 //
+// # Durability
+//
+// Save captures a moment; WithWAL makes every mutation crash-safe. An index
+// built with WithWAL(dir) appends each Insert/Remove as a checksummed,
+// LSN-sequenced record to a per-shard write-ahead log before publishing it,
+// and Open(dir) (or OpenSDIndex / OpenShardedIndex) reconstructs the index
+// after a crash — checkpoint first, then the live log tail:
+//
+//	idx, err := sdquery.NewShardedIndex(data, roles, sdquery.WithWAL("/var/lib/sd"))
+//	id, err := idx.Insert(row) // returns only after the record is committed
+//	...                        // power fails here
+//	idx2, err := sdquery.Open("/var/lib/sd") // every acknowledged write intact
+//
+// WithSyncPolicy picks the durability/throughput point. SyncAlways (the
+// default) acknowledges a mutation only after an fsync covers it; a
+// group-commit batcher shares each fsync across every mutation that arrived
+// in the commit window, so concurrent writers pay far less than one fsync
+// each. SyncInterval fsyncs on a timer (WithSyncInterval, bounding loss to
+// one interval), SyncNever only on rotation, checkpoint, and Close.
+//
+// Recovery is deliberately forgiving of the shapes crashes actually leave:
+// a torn tail (half-written final record) is truncated at the first bad
+// checksum, duplicated records replay idempotently by LSN, and a crash
+// mid-checkpoint or mid-rotation falls back to the previous consistent
+// state. It refuses to guess only when the directory itself is damaged
+// (missing MANIFEST, corrupt checkpoint). The internal/faultfs harness
+// proves the contract differentially: the crash suite kills a
+// fault-injecting filesystem at every operation boundary and byte watermark
+// and requires the reopened index to answer byte-identically to an oracle
+// holding exactly the acknowledged prefix; FuzzWALReplay feeds arbitrary
+// bytes as the log and requires recovery to never panic, never error, and
+// never replay past the first corruption.
+//
+// When a log write or fsync fails persistently, the index degrades rather
+// than lies: the failed mutation (and every later one) returns an error
+// wrapping ErrWAL, reads keep serving, and WALStats reports the sticky
+// error. The serving layer (below) maps this to read-only mode — writes
+// answer 503, /healthz and /metrics advertise the degraded state.
+//
 // # Serving
 //
 // Package repro/serve and cmd/sdserver put the engine behind an HTTP/JSON

@@ -1,0 +1,240 @@
+package sdquery
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/faultfs"
+)
+
+// Durable index directories. A WithWAL index lives in a directory of its
+// own:
+//
+//	dir/MANIFEST        JSON: format version, index kind, shard count
+//	dir/shard-000/      one WAL directory per engine (CHECKPOINT + *.wal)
+//	dir/shard-001/      ... (sharded indexes only)
+//
+// Each shard directory is a self-contained core WAL: a full-snapshot
+// checkpoint plus the log tail of mutations since. The Open functions
+// recover the whole index from the directory — checkpoints load, tails
+// replay idempotently, torn tails truncate — so a crashed process restarts
+// with exactly the acknowledged mutations (per the sync policy it ran
+// with) and nothing else. The MANIFEST is written once at creation and
+// never rewritten; it is the commit point of index creation, so Open on a
+// directory whose creation crashed before the manifest landed fails
+// cleanly instead of recovering half an index.
+
+const (
+	manifestName   = "MANIFEST"
+	manifestFormat = "sdquery-wal/v1"
+
+	manifestKindSDIndex = "sdindex"
+	manifestKindSharded = "sharded"
+)
+
+type manifest struct {
+	Format string `json:"format"`
+	Kind   string `json:"kind"`
+	Shards int    `json:"shards"`
+}
+
+// shardWALDir names shard si's WAL directory under the index root.
+func shardWALDir(root string, si int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%03d", si))
+}
+
+// writeManifest creates the index directory and atomically installs its
+// MANIFEST (tmp + fsync + rename + dir sync). It refuses a directory that
+// already holds one: durable indexes are recovered with Open, never
+// re-created over.
+func writeManifest(cfg *sdConfig, kind string, shards int) error {
+	ffs := cfg.walFS
+	if ffs == nil {
+		ffs = faultfs.OS{}
+	}
+	if err := ffs.MkdirAll(cfg.walDir); err != nil {
+		return fmt.Errorf("sdquery: wal dir: %w", err)
+	}
+	path := filepath.Join(cfg.walDir, manifestName)
+	if _, err := ffs.Stat(path); err == nil {
+		return fmt.Errorf("sdquery: %s already holds a durable index; recover it with Open instead of creating over it", cfg.walDir)
+	}
+	data, err := json.Marshal(manifest{Format: manifestFormat, Kind: kind, Shards: shards})
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := ffs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("sdquery: manifest: %w", err)
+	}
+	_, err = f.Write(append(data, '\n'))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		ffs.Remove(tmp)
+		return fmt.Errorf("sdquery: manifest: %w", err)
+	}
+	if err := ffs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("sdquery: manifest: %w", err)
+	}
+	if err := ffs.SyncDir(cfg.walDir); err != nil {
+		return fmt.Errorf("sdquery: manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads and validates dir's MANIFEST.
+func readManifest(ffs faultfs.FS, dir string) (manifest, error) {
+	f, err := ffs.OpenFile(filepath.Join(dir, manifestName), os.O_RDONLY, 0)
+	if err != nil {
+		return manifest{}, fmt.Errorf("sdquery: open %s: %w", dir, err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return manifest{}, fmt.Errorf("sdquery: open %s: manifest: %w", dir, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, fmt.Errorf("sdquery: open %s: manifest: %w", dir, err)
+	}
+	if m.Format != manifestFormat {
+		return manifest{}, fmt.Errorf("sdquery: open %s: unsupported manifest format %q (have %s)", dir, m.Format, manifestFormat)
+	}
+	if m.Shards < 1 || m.Shards > 1<<20 {
+		return manifest{}, fmt.Errorf("sdquery: open %s: implausible shard count %d", dir, m.Shards)
+	}
+	switch m.Kind {
+	case manifestKindSDIndex, manifestKindSharded:
+	default:
+		return manifest{}, fmt.Errorf("sdquery: open %s: unknown index kind %q", dir, m.Kind)
+	}
+	return m, nil
+}
+
+// openPrep resolves the option list for the Open functions and reads the
+// manifest. WithWAL on the option list is ignored — dir is authoritative.
+func openPrep(dir string, opts []SDOption) (manifest, core.RuntimeOptions, sdConfig, error) {
+	opt, cfg := runtimeOptions(opts)
+	cfg.walDir = dir
+	if cfg.walFS == nil {
+		cfg.walFS = faultfs.OS{}
+	}
+	m, err := readManifest(cfg.walFS, dir)
+	if err != nil {
+		return manifest{}, core.RuntimeOptions{}, sdConfig{}, err
+	}
+	return m, opt, cfg, nil
+}
+
+// OpenSDIndex recovers a durable SDIndex from its WithWAL directory:
+// checkpoint load, idempotent log replay, torn-tail truncation. Structural
+// options are in the checkpoint; the option list supplies runtime knobs
+// (scheduler, plan cache, memtable size, compaction) and the WAL knobs to
+// run with from here on (WithSyncPolicy, WithSyncInterval, WithWALFS).
+func OpenSDIndex(dir string, opts ...SDOption) (*SDIndex, error) {
+	m, opt, cfg, err := openPrep(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind != manifestKindSDIndex {
+		return nil, fmt.Errorf("sdquery: open %s: directory holds a sharded index; use OpenShardedIndex or Open", dir)
+	}
+	eng, err := core.Open(*cfg.walConfig(shardWALDir(dir, 0)), opt)
+	if err != nil {
+		return nil, err
+	}
+	return &SDIndex{eng: eng, roles: eng.Roles()}, nil
+}
+
+// OpenShardedIndex recovers a durable ShardedIndex from its WithWAL
+// directory. Every shard recovers independently (concurrently) from its
+// own log; the global-ID routing table is rebuilt from the shard engines'
+// recovered contents, so no separate routing persistence can disagree
+// with the data. WithShards is ignored — the partition is fixed at
+// creation; WithWorkers and the runtime knobs apply.
+func OpenShardedIndex(dir string, opts ...SDOption) (*ShardedIndex, error) {
+	m, opt, cfg, err := openPrep(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind != manifestKindSharded {
+		return nil, fmt.Errorf("sdquery: open %s: directory holds a single-engine index; use OpenSDIndex or Open", dir)
+	}
+	p := m.Shards
+	s := &ShardedIndex{shards: make([]*shard, p)}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for si := 0; si < p; si++ {
+		s.shards[si] = &shard{}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			eng, err := core.Open(*cfg.walConfig(shardWALDir(dir, si)), opt)
+			if err != nil {
+				errs[si] = fmt.Errorf("shard %d: %w", si, err)
+				return
+			}
+			s.shards[si].eng = eng
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Rebuild the routing table from the recovered shards. The global ID
+	// space spans [0, max Total()); IDs whose rows were removed and since
+	// physically reclaimed by compaction locate nowhere and route to -1
+	// (Remove reports them not-live without consulting any shard).
+	total := 0
+	for _, sh := range s.shards {
+		if t := sh.eng.Total(); t > total {
+			total = t
+		}
+	}
+	s.byGlobal = make([]int32, total)
+	for i := range s.byGlobal {
+		s.byGlobal[i] = -1
+	}
+	for si, sh := range s.shards {
+		sh.eng.RangeIDs(func(id int32) { s.byGlobal[id] = int32(si) })
+	}
+	s.next = total % p
+	s.roles = s.shards[0].eng.Roles()
+	s.pool = newWorkerPool(cfg.workers)
+	return s, nil
+}
+
+// Open recovers whichever durable index kind dir holds, dispatching on its
+// MANIFEST — the convenient form for tools that serve any durable index
+// (cmd/sdserver -wal-dir).
+func Open(dir string, opts ...SDOption) (Engine, error) {
+	var probe sdConfig
+	for _, o := range opts {
+		o(&probe)
+	}
+	ffs := probe.walFS
+	if ffs == nil {
+		ffs = faultfs.OS{}
+	}
+	m, err := readManifest(ffs, dir)
+	if err != nil {
+		return nil, err
+	}
+	if m.Kind == manifestKindSDIndex {
+		return OpenSDIndex(dir, opts...)
+	}
+	return OpenShardedIndex(dir, opts...)
+}

@@ -2,12 +2,14 @@ package sdquery
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/baseline/brs"
 	"repro/internal/baseline/pe"
 	"repro/internal/baseline/scan"
 	"repro/internal/baseline/ta"
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/geom"
 	"repro/internal/query"
 	"repro/internal/topk"
@@ -50,6 +52,31 @@ const (
 	SchedRoundRobin  = core.SchedRoundRobin
 )
 
+// SyncPolicy selects when write-ahead-log records are fsynced — the
+// durability/latency trade of WithWAL indexes. See the constants.
+type SyncPolicy = core.SyncPolicy
+
+// Sync policies. SyncAlways (the default) fsyncs before acknowledging a
+// mutation — one group commit covers every writer blocked in the same
+// window, so concurrent writers share the fsync. SyncInterval acknowledges
+// once the record reaches the OS and fsyncs on a timer (process crashes
+// lose nothing; power failures lose at most the last interval). SyncNever
+// leaves fsync to log rotation, checkpoints, Sync, and Close.
+const (
+	SyncAlways   = core.SyncAlways
+	SyncInterval = core.SyncInterval
+	SyncNever    = core.SyncNever
+)
+
+// ErrWAL marks mutations rejected because the index's write-ahead log
+// failed (disk full, I/O error). The failure is sticky: the index keeps
+// answering queries but refuses further writes until reopened.
+var ErrWAL = core.ErrWAL
+
+// WALStats is the observable state of an index's write-ahead log; see
+// SDIndex.WALStats and ShardedIndex.WALStats.
+type WALStats = core.WALStats
+
 // SDOption configures NewSDIndex.
 type SDOption func(*sdConfig)
 
@@ -64,6 +91,19 @@ type sdConfig struct {
 	noPlanCache  bool
 	memSize      int
 	noCompact    bool
+	walDir       string
+	walFS        faultfs.FS
+	syncPolicy   SyncPolicy
+	syncInterval time.Duration
+}
+
+// walConfig materializes the WAL option set for one engine logging under
+// dir; nil when WithWAL was not given.
+func (c *sdConfig) walConfig(dir string) *core.WALConfig {
+	if c.walDir == "" {
+		return nil
+	}
+	return &core.WALConfig{Dir: dir, FS: c.walFS, Policy: c.syncPolicy, Interval: c.syncInterval}
 }
 
 // coreConfig materializes the option set into the internal engine
@@ -163,6 +203,40 @@ func WithCompaction(enabled bool) SDOption {
 	return func(c *sdConfig) { c.noCompact = !enabled }
 }
 
+// WithWAL gives the index a crash-safe write-ahead log rooted at dir.
+// Every Insert and Remove is appended — checksummed and length-prefixed —
+// to a per-engine log before it is acknowledged, so a crash (process kill
+// or, under SyncAlways, power loss) never loses an acknowledged mutation:
+// Open/OpenSDIndex/OpenShardedIndex recover the directory by loading its
+// last checkpoint and replaying the log tail, truncating torn tails
+// instead of failing. dir must be empty or nonexistent at creation; an
+// existing durable index is recovered with the Open functions, never
+// overwritten. A ShardedIndex keeps one independently group-committed log
+// per shard under dir.
+func WithWAL(dir string) SDOption {
+	return func(c *sdConfig) { c.walDir = dir }
+}
+
+// WithSyncPolicy selects the WAL fsync policy (default SyncAlways). Only
+// meaningful together with WithWAL.
+func WithSyncPolicy(p SyncPolicy) SDOption {
+	return func(c *sdConfig) { c.syncPolicy = p }
+}
+
+// WithSyncInterval sets SyncInterval's fsync cadence (default 100ms). Only
+// meaningful together with WithWAL and WithSyncPolicy(SyncInterval).
+func WithSyncInterval(d time.Duration) SDOption {
+	return func(c *sdConfig) { c.syncInterval = d }
+}
+
+// WithWALFS replaces the filesystem the WAL talks to — the fault-injection
+// hook the crash-recovery suites use (internal/faultfs.Mem simulates torn
+// writes, fsync failures, and power loss deterministically). Production
+// indexes leave it unset and get the real filesystem.
+func WithWALFS(fs faultfs.FS) SDOption {
+	return func(c *sdConfig) { c.walFS = fs }
+}
+
 // WithShards sets the number of data shards NewShardedIndex partitions the
 // dataset into (≤ 0 selects GOMAXPROCS; the count is capped at the dataset
 // size). NewSDIndex ignores it.
@@ -199,6 +273,12 @@ func NewSDIndex(data [][]float64, roles []Role, opts ...SDOption) (*SDIndex, err
 	coreCfg, err := cfg.coreConfig(roles)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.walDir != "" {
+		if err := writeManifest(&cfg, manifestKindSDIndex, 1); err != nil {
+			return nil, err
+		}
+		coreCfg.WAL = cfg.walConfig(shardWALDir(cfg.walDir, 0))
 	}
 	eng, err := core.New(data, coreCfg)
 	if err != nil {
@@ -243,8 +323,39 @@ func (s *SDIndex) Insert(p []float64) (int, error) { return s.eng.Insert(p) }
 
 // Remove deletes a point by dataset ID, reporting whether it was live. The
 // row is tombstoned in the current snapshot (removed rows are masked at
-// query time) and physically reclaimed by a later compaction.
+// query time) and physically reclaimed by a later compaction. On a WAL
+// index Remove waits for durability like Insert but drops the error; use
+// RemoveDurable when the caller must distinguish "not live" from "log
+// failed".
 func (s *SDIndex) Remove(id int) bool { return s.eng.Remove(id) }
+
+// RemoveDurable is Remove with the WAL verdict: on a WithWAL index it
+// returns ErrWAL when the tombstone could not be made durable, and the
+// reported bool is authoritative only when err is nil. Without a WAL it is
+// exactly Remove.
+func (s *SDIndex) RemoveDurable(id int) (bool, error) { return s.eng.RemoveDurable(id) }
+
+// Sync force-fsyncs the index's write-ahead log regardless of sync policy —
+// the shutdown drain: a server running SyncInterval or SyncNever calls it
+// so every acknowledged mutation survives power loss too. No-op without a
+// WAL.
+func (s *SDIndex) Sync() error { return s.eng.Sync() }
+
+// Checkpoint writes the index's current snapshot into the WAL directory and
+// retires the log files it covers. The background compactor checkpoints
+// automatically as sealed log volume accumulates; an explicit call bounds
+// recovery time before a planned restart. No-op without a WAL.
+func (s *SDIndex) Checkpoint() error { return s.eng.Checkpoint() }
+
+// Close flushes and closes the index's write-ahead log. The index stays
+// queryable — reads never touch the log — but every later mutation fails
+// with ErrWAL. No-op without a WAL; idempotent.
+func (s *SDIndex) Close() { s.eng.Close() }
+
+// WALStats reports the write-ahead log's counters and health; Enabled is
+// false without WithWAL. A non-nil Err means the log failed and the index
+// is read-only (every mutation returns ErrWAL) until reopened.
+func (s *SDIndex) WALStats() WALStats { return s.eng.WALStats() }
 
 // Compact synchronously folds the index's segment stack and memtable into a
 // single sealed segment, dropping tombstoned rows. Queries keep flowing

@@ -38,6 +38,7 @@ func (e *Engine) kickCompactor() {
 		for {
 			e.compactMu.Lock()
 			e.compactSteps()
+			e.maybeCheckpoint()
 			e.compactMu.Unlock()
 			e.compacting.Store(false)
 			// Re-check after unpublishing: an Insert that crossed the
@@ -189,6 +190,7 @@ func (e *Engine) compactTail(nSegs, memUpto int) {
 		memDead: shiftBits(cur.memDead, memUpto, len(cur.memIDs)),
 		total:   cur.total,
 		live:    cur.live,
+		walLSN:  cur.walLSN,
 		minVal:  cur.minVal,
 		maxVal:  cur.maxVal,
 	}
@@ -199,6 +201,12 @@ func (e *Engine) compactTail(nSegs, memUpto int) {
 	e.snap.Store(ns)
 	e.wrMu.Unlock()
 	e.compactions.Add(1)
+	if memUpto > 0 && e.wal != nil {
+		// Sealing memtable rows seals their log records' era too: rotate so
+		// the next checkpoint (whose snapshot now carries those rows in a
+		// sealed segment) can retire the closed file whole.
+		e.wal.rotate()
+	}
 }
 
 // shiftBits re-bases a memtable tombstone bitset after the first `from` rows

@@ -136,6 +136,11 @@ type Config struct {
 	// memtable grows without bound (queries stay correct, scanning it
 	// exactly) and segments are only ever folded by an explicit Compact.
 	DisableCompaction bool
+	// WAL, when non-nil, makes every mutation durable: Insert and Remove
+	// append checksummed records to a per-engine log before publishing, and
+	// Open replays the tail over the last checkpoint after a crash. See
+	// wal.go.
+	WAL *WALConfig
 }
 
 // Engine is the SD-Index. All read paths (TopK and friends, Len, Bytes,
@@ -164,6 +169,11 @@ type Engine struct {
 	compactions atomic.Uint64 // completed seal/fold/reclaim steps, for ops telemetry
 	memSize     int
 	noCompact   bool
+
+	// wal is the engine's write-ahead log, nil when durability is off —
+	// see wal.go. Mutations append to it under wrMu and wait for the group
+	// commit outside it.
+	wal *walLog
 
 	ctxPool sync.Pool // *queryCtx — see hotpath.go
 
@@ -268,6 +278,13 @@ func NewWithIDs(data [][]float64, ids []int32, cfg Config) (*Engine, error) {
 	}
 	e.snap.Store(sn)
 	e.initCtxPool()
+	if cfg.WAL != nil {
+		// A fresh WAL directory gets its initial checkpoint before the first
+		// mutation is accepted, so the directory invariantly recovers.
+		if err := e.attachWAL(*cfg.WAL, 1); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
 

@@ -26,8 +26,9 @@ import (
 
 // persistVersion identifies the core engine's section of the file format.
 // Bump on any incompatible change; Load rejects unknown versions outright
-// rather than guessing.
-const persistVersion = 1
+// rather than guessing. Version 2 added the snapshot's WAL sequence number
+// (walLSN); version-1 files load with walLSN 0.
+const persistVersion = 2
 
 // maxPersistDims caps the dimensionality Load will accept — a sanity bound
 // that turns a corrupt header into an error instead of an absurd
@@ -84,7 +85,12 @@ func (cr *countingReader) u64() uint64 {
 // Inserts, Removes, and compactions continue unhindered (they land in later
 // snapshots and simply are not part of the file).
 func (e *Engine) Save(w io.Writer) error {
-	sn := e.snap.Load()
+	return e.saveSnapshot(w, e.snap.Load())
+}
+
+// saveSnapshot serializes one pinned snapshot — Save for the current one,
+// the WAL's checkpoint writer for whichever snapshot it pinned.
+func (e *Engine) saveSnapshot(w io.Writer, sn *snapshot) error {
 	bw := bufio.NewWriter(w)
 	cw := &countingWriter{w: bw}
 
@@ -139,6 +145,7 @@ func (e *Engine) Save(w io.Writer) error {
 	cw.write(sn.maxVal)
 	cw.write(uint64(sn.total))
 	cw.write(uint64(sn.live))
+	cw.write(sn.walLSN)
 
 	writeBitset := func(bits []uint64) {
 		cw.write(uint64(len(bits)))
@@ -180,8 +187,9 @@ func Load(r io.Reader, opt RuntimeOptions) (*Engine, error) {
 		return nil, fmt.Errorf("core: load: "+format, args...)
 	}
 
-	if v := cr.u32(); cr.err == nil && v != persistVersion {
-		return fail("unsupported format version %d (have %d)", v, persistVersion)
+	version := cr.u32()
+	if cr.err == nil && (version < 1 || version > persistVersion) {
+		return fail("unsupported format version %d (have %d)", version, persistVersion)
 	}
 	dims := int(cr.u32())
 	if cr.err == nil && dims > maxPersistDims {
@@ -293,6 +301,9 @@ func Load(r io.Reader, opt RuntimeOptions) (*Engine, error) {
 	cr.read(sn.maxVal)
 	sn.total = int(cr.u64())
 	sn.live = int(cr.u64())
+	if version >= 2 {
+		sn.walLSN = cr.u64()
+	}
 	if cr.err != nil || sn.total < 0 || int64(sn.total) > math.MaxInt32+1 || sn.live < 0 || sn.live > sn.total {
 		return fail("implausible row counts (total %d, live %d)", sn.total, sn.live)
 	}

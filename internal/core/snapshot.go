@@ -40,6 +40,11 @@ type snapshot struct {
 	total int // global ID space size: the next Insert's ID lower bound
 	live  int // live rows across segments and memtable
 
+	// walLSN is the log sequence number of the last mutation folded into
+	// this snapshot — 0 without a WAL. Checkpoints persist it so recovery
+	// knows where replay starts; replay skips records at or below it.
+	walLSN uint64
+
 	// Per-dimension coordinate extrema over every row ever indexed
 	// (removals keep them, which only loosens the bound). They size the
 	// float-error pad that keeps tie-breaking deterministic — see slack.
@@ -151,56 +156,113 @@ func (v View) TopKAppendCancel(dst []query.Result, spec query.Spec, done <-chan 
 // Insert appends a point to the memtable and returns its global dataset ID.
 // The write path never touches index structures: sealing and tree builds are
 // deferred to the background compactor, so an insert is O(dims) plus one
-// snapshot publish, and in-flight queries are never blocked or perturbed.
+// snapshot publish (plus, on a WAL-backed engine, one log append and a
+// shared group-commit fsync), and in-flight queries are never blocked or
+// perturbed. On a WAL-backed engine the call returns only once the record
+// is committed per the sync policy; a durability failure returns ErrWAL.
 func (e *Engine) Insert(p []float64) (int, error) {
-	if err := validRow(p, e.dims); err != nil {
+	id, wait, err := e.InsertAsync(p)
+	if err != nil {
 		return 0, err
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// InsertAsync is Insert split in two: the mutation is applied and logged
+// before return, but durability is awaited by calling the returned
+// CommitWait (nil when there is nothing to wait for). Batching callers —
+// the sharded layer — enqueue several inserts and then wait, so one group
+// commit covers them all.
+func (e *Engine) InsertAsync(p []float64) (int, CommitWait, error) {
+	if err := validRow(p, e.dims); err != nil {
+		return 0, nil, err
 	}
 	e.wrMu.Lock()
 	cur := e.snap.Load()
 	id := cur.total
 	if int64(id) > math.MaxInt32 {
 		e.wrMu.Unlock()
-		return 0, fmt.Errorf("core: dataset ID space exhausted (%d rows)", id)
+		return 0, nil, fmt.Errorf("core: dataset ID space exhausted (%d rows)", id)
 	}
-	e.publishInsert(cur, int32(id), p)
+	wait, err := e.logAndPublishInsert(cur, int32(id), p)
 	memRows := len(e.snap.Load().memIDs)
 	e.wrMu.Unlock()
+	if err != nil {
+		return 0, nil, err
+	}
 	if memRows >= e.memSize {
 		e.kickCompactor()
 	}
-	return id, nil
+	return id, wait, nil
 }
 
-// insertAt is Insert with a caller-assigned global ID, which must exceed
-// every ID already indexed — the sharded layer deals rows to shard engines
-// this way so results carry global IDs natively. Exported via NewWithIDs /
-// InsertWithID.
+// InsertWithID is Insert with a caller-assigned global ID, which must
+// exceed every ID already indexed — the sharded layer deals rows to shard
+// engines this way so results carry global IDs natively.
 func (e *Engine) InsertWithID(id int, p []float64) error {
-	if err := validRow(p, e.dims); err != nil {
+	wait, err := e.InsertWithIDAsync(id, p)
+	if err != nil {
 		return err
 	}
+	if wait != nil {
+		return wait()
+	}
+	return nil
+}
+
+// InsertWithIDAsync is InsertWithID with the durability wait split out —
+// see InsertAsync.
+func (e *Engine) InsertWithIDAsync(id int, p []float64) (CommitWait, error) {
+	if err := validRow(p, e.dims); err != nil {
+		return nil, err
+	}
 	if id < 0 || int64(id) > math.MaxInt32 {
-		return fmt.Errorf("core: ID %d outside int32 range", id)
+		return nil, fmt.Errorf("core: ID %d outside int32 range", id)
 	}
 	e.wrMu.Lock()
 	cur := e.snap.Load()
 	if id < cur.total {
 		e.wrMu.Unlock()
-		return fmt.Errorf("core: ID %d not above the indexed ID space (%d)", id, cur.total)
+		return nil, fmt.Errorf("core: ID %d not above the indexed ID space (%d)", id, cur.total)
 	}
-	e.publishInsert(cur, int32(id), p)
+	wait, err := e.logAndPublishInsert(cur, int32(id), p)
 	memRows := len(e.snap.Load().memIDs)
 	e.wrMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	if memRows >= e.memSize {
 		e.kickCompactor()
 	}
-	return nil
+	return wait, nil
+}
+
+// logAndPublishInsert appends the insert's WAL record (if logging) and
+// publishes the post-insert snapshot. On a WAL append failure nothing is
+// published: the failed mutation is invisible, exactly as if it never
+// happened. Caller holds wrMu and has validated the row.
+func (e *Engine) logAndPublishInsert(cur *snapshot, id int32, p []float64) (CommitWait, error) {
+	lsn := cur.walLSN
+	var wait CommitWait
+	if e.wal != nil {
+		lsn++
+		var err error
+		if wait, err = e.wal.appendInsert(lsn, int(id), p); err != nil {
+			return nil, err
+		}
+	}
+	e.publishInsert(cur, id, p, lsn)
+	return wait, nil
 }
 
 // publishInsert builds and publishes the post-insert snapshot. Caller holds
 // wrMu and has validated the row.
-func (e *Engine) publishInsert(cur *snapshot, id int32, p []float64) {
+func (e *Engine) publishInsert(cur *snapshot, id int32, p []float64, lsn uint64) {
 	ns := &snapshot{
 		epoch:   cur.epoch + 1,
 		segs:    cur.segs,
@@ -210,6 +272,7 @@ func (e *Engine) publishInsert(cur *snapshot, id int32, p []float64) {
 		memDead: cur.memDead,
 		total:   int(id) + 1,
 		live:    cur.live + 1,
+		walLSN:  lsn,
 		minVal:  cur.minVal,
 		maxVal:  cur.maxVal,
 	}
@@ -232,12 +295,64 @@ func (e *Engine) publishInsert(cur *snapshot, id int32, p []float64) {
 // whether it was live. Sealed segments are never rewritten here: the
 // tombstone masks the row at query time, and the compactor reclaims the
 // space when the segment's dead fraction crosses its rewrite threshold.
+// On a WAL-backed engine Remove waits for durability but drops the error;
+// callers that must surface it (the serving layer) use RemoveDurable.
 func (e *Engine) Remove(id int) bool {
+	ok, wait, _ := e.RemoveAsync(id)
+	if wait != nil {
+		wait()
+	}
+	return ok
+}
+
+// RemoveDurable is Remove with the durability outcome: ok reports whether
+// the row was live, err a WAL append or commit failure (ErrWAL). On an
+// append failure the tombstone is not applied.
+func (e *Engine) RemoveDurable(id int) (bool, error) {
+	ok, wait, err := e.RemoveAsync(id)
+	if err != nil {
+		return false, err
+	}
+	if wait != nil {
+		if err := wait(); err != nil {
+			return ok, err
+		}
+	}
+	return ok, nil
+}
+
+// RemoveAsync is Remove with the durability wait split out — see
+// InsertAsync. A remove that found no live row returns (false, nil, nil)
+// and logs nothing.
+func (e *Engine) RemoveAsync(id int) (bool, CommitWait, error) {
 	e.wrMu.Lock()
 	cur := e.snap.Load()
 	seg, local, ok := cur.locate(id)
 	if !ok || !cur.alive(seg, local) {
 		e.wrMu.Unlock()
+		return false, nil, nil
+	}
+	lsn := cur.walLSN
+	var wait CommitWait
+	if e.wal != nil {
+		lsn++
+		var err error
+		if wait, err = e.wal.appendRemove(lsn, id); err != nil {
+			e.wrMu.Unlock()
+			return false, nil, err
+		}
+	}
+	e.removeLocked(cur, id, lsn)
+	e.wrMu.Unlock()
+	return true, wait, nil
+}
+
+// removeLocked publishes the post-remove snapshot for a row known present,
+// reporting whether it was live (and therefore tombstoned). Caller holds
+// wrMu.
+func (e *Engine) removeLocked(cur *snapshot, id int, lsn uint64) bool {
+	seg, local, ok := cur.locate(id)
+	if !ok || !cur.alive(seg, local) {
 		return false
 	}
 	ns := &snapshot{
@@ -245,6 +360,7 @@ func (e *Engine) Remove(id int) bool {
 		segs:  cur.segs, tombs: cur.tombs,
 		memIDs: cur.memIDs, memFlat: cur.memFlat, memDead: cur.memDead,
 		total: cur.total, live: cur.live - 1,
+		walLSN: lsn,
 		minVal: cur.minVal, maxVal: cur.maxVal,
 	}
 	if seg < 0 {
@@ -254,7 +370,6 @@ func (e *Engine) Remove(id int) bool {
 		ns.tombs[seg] = bitSetCopy(cur.tombs[seg], local)
 	}
 	e.snap.Store(ns)
-	e.wrMu.Unlock()
 	return true
 }
 

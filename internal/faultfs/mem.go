@@ -1,0 +1,418 @@
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Mem is an in-memory FS that records every mutation in an ordered journal.
+// The journal is what makes crash testing exact: CrashClone(n) replays it
+// with an n-byte budget of written data — the write that crosses the budget
+// lands torn, everything after it never happened — reconstructing precisely
+// the state a process crash at that point leaves on a real disk (written
+// data survives a process crash whether fsynced or not). PowerFailClone
+// models the harsher failure: only fsynced bytes survive.
+//
+// Fault injection: SetWriteErr makes every subsequent write fail (the
+// persistent-media-error case that flips a server read-only), SetSyncErr
+// does the same for fsync, and ShortWriteOnce makes exactly the next write
+// land a prefix and return io.ErrShortWrite (the retry/duplicate-record
+// case).
+type Mem struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirs    map[string]bool
+	journal []memOp
+	written int64 // cumulative bytes of write-op data, the CrashClone budget axis
+	fsyncs  int64
+
+	writeErr   error
+	syncErr    error
+	shortWrite int // -1 = off; else the next write lands this many bytes
+	syncDelay  time.Duration
+}
+
+type memFile struct {
+	data   []byte
+	synced int // durable watermark: bytes that survive power failure
+}
+
+type opKind uint8
+
+const (
+	opMkdir opKind = iota
+	opCreate
+	opWrite
+	opRename
+	opRemove
+	opTruncate
+)
+
+type memOp struct {
+	kind  opKind
+	path  string
+	path2 string // rename target
+	size  int64  // truncate size
+	data  []byte // write payload (copied)
+}
+
+// NewMem returns an empty in-memory filesystem.
+func NewMem() *Mem {
+	return &Mem{files: map[string]*memFile{}, dirs: map[string]bool{}, shortWrite: -1}
+}
+
+// SetWriteErr injects a sticky write failure: every subsequent Write returns
+// err without writing. nil clears it.
+func (m *Mem) SetWriteErr(err error) {
+	m.mu.Lock()
+	m.writeErr = err
+	m.mu.Unlock()
+}
+
+// SetSyncErr injects a sticky fsync failure. nil clears it.
+func (m *Mem) SetSyncErr(err error) {
+	m.mu.Lock()
+	m.syncErr = err
+	m.mu.Unlock()
+}
+
+// ShortWriteOnce makes exactly the next Write land only n bytes and return
+// io.ErrShortWrite; later writes succeed.
+func (m *Mem) ShortWriteOnce(n int) {
+	m.mu.Lock()
+	m.shortWrite = n
+	m.mu.Unlock()
+}
+
+// SetSyncDelay makes every Sync take at least d — slow-disk modeling that
+// lets group-commit batching show up deterministically in tests.
+func (m *Mem) SetSyncDelay(d time.Duration) {
+	m.mu.Lock()
+	m.syncDelay = d
+	m.mu.Unlock()
+}
+
+// Written reports the cumulative bytes of file data written so far — the
+// axis CrashClone crash points are expressed on.
+func (m *Mem) Written() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.written
+}
+
+// Fsyncs reports the number of Sync calls that reached stable storage.
+func (m *Mem) Fsyncs() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fsyncs
+}
+
+// Ops reports the journal length — the axis CrashCloneOps crash points are
+// expressed on.
+func (m *Mem) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.journal)
+}
+
+// CrashClone reconstructs the filesystem a process crash after n bytes of
+// written data would leave: journal ops replay in order until the write op
+// that crosses the budget, which lands torn (its first n-cum bytes only);
+// every later op — writes, renames, creates, removes — never happened.
+// n ≥ Written() reproduces the current state.
+func (m *Mem) CrashClone(n int64) *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMem()
+	var cum int64
+	for _, op := range m.journal {
+		if op.kind == opWrite {
+			l := int64(len(op.data))
+			if cum+l > n {
+				torn := op
+				torn.data = op.data[:n-cum]
+				c.apply(torn)
+				return c
+			}
+			cum += l
+		}
+		c.apply(op)
+	}
+	return c
+}
+
+// CrashCloneOps reconstructs the filesystem after the first k journal ops —
+// the op-granularity axis that separates, e.g., "checkpoint tmp written" from
+// "checkpoint renamed into place" from "old log files retired".
+func (m *Mem) CrashCloneOps(k int) *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMem()
+	for i, op := range m.journal {
+		if i >= k {
+			break
+		}
+		c.apply(op)
+	}
+	return c
+}
+
+// PowerFailClone reconstructs the state after power loss right now: each
+// file keeps only its fsynced prefix, so acknowledged-but-unsynced data is
+// gone. Directory-entry operations are assumed durable (the WAL dir-syncs
+// after every rename).
+func (m *Mem) PowerFailClone() *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMem()
+	for d := range m.dirs {
+		c.dirs[d] = true
+	}
+	for p, f := range m.files {
+		c.files[p] = &memFile{data: append([]byte(nil), f.data[:f.synced]...), synced: f.synced}
+	}
+	return c
+}
+
+// apply replays one journal op onto m (no injection, journaled again so a
+// clone is itself fully usable — and crashable — as a live FS). Caller
+// holds c's zero-contention lock implicitly (clones are built single-
+// threaded).
+func (m *Mem) apply(op memOp) {
+	m.journal = append(m.journal, op)
+	switch op.kind {
+	case opMkdir:
+		m.dirs[op.path] = true
+	case opCreate:
+		m.files[op.path] = &memFile{}
+	case opWrite:
+		f := m.files[op.path]
+		if f == nil {
+			f = &memFile{}
+			m.files[op.path] = f
+		}
+		f.data = append(f.data, op.data...)
+		m.written += int64(len(op.data))
+	case opRename:
+		if f, ok := m.files[op.path]; ok {
+			delete(m.files, op.path)
+			m.files[op.path2] = f
+		}
+	case opRemove:
+		delete(m.files, op.path)
+	case opTruncate:
+		if f, ok := m.files[op.path]; ok && int64(len(f.data)) > op.size {
+			f.data = f.data[:op.size]
+			if int64(f.synced) > op.size {
+				f.synced = int(op.size)
+			}
+		}
+	}
+}
+
+func (m *Mem) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.apply(memOp{kind: opMkdir, path: filepath.Clean(dir)})
+	return nil
+}
+
+func (m *Mem) OpenFile(name string, flag int, _ fs.FileMode) (File, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	writable := flag&(os.O_WRONLY|os.O_RDWR) != 0
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		m.apply(memOp{kind: opCreate, path: name})
+		f = m.files[name]
+	} else if flag&os.O_TRUNC != 0 {
+		m.apply(memOp{kind: opCreate, path: name})
+		f = m.files[name]
+	}
+	return &memHandle{m: m, f: f, path: name, writable: writable}, nil
+}
+
+func (m *Mem) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[oldpath]; !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	m.apply(memOp{kind: opRename, path: oldpath, path2: newpath})
+	return nil
+}
+
+func (m *Mem) Remove(name string) error {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	m.apply(memOp{kind: opRemove, path: name})
+	return nil
+}
+
+func (m *Mem) ReadDir(dir string) ([]string, error) {
+	dir = filepath.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := map[string]bool{}
+	found := m.dirs[dir]
+	add := func(p string) {
+		if filepath.Dir(p) == dir {
+			seen[filepath.Base(p)] = true
+			found = true
+		} else if rel, err := filepath.Rel(dir, p); err == nil && rel != ".." && !filepath.IsAbs(rel) && rel != "." && !startsDotDot(rel) {
+			// A deeper descendant: surface its first path element as a child dir.
+			seen[firstElem(rel)] = true
+			found = true
+		}
+	}
+	for p := range m.files {
+		add(p)
+	}
+	for p := range m.dirs {
+		if p != dir {
+			add(p)
+		}
+	}
+	if !found {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func startsDotDot(rel string) bool {
+	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
+}
+
+func firstElem(rel string) string {
+	for i := 0; i < len(rel); i++ {
+		if rel[i] == filepath.Separator {
+			return rel[:i]
+		}
+	}
+	return rel
+}
+
+func (m *Mem) Truncate(name string, size int64) error {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "truncate", Path: name, Err: fs.ErrNotExist}
+	}
+	m.apply(memOp{kind: opTruncate, path: name, size: size})
+	return nil
+}
+
+func (m *Mem) SyncDir(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.syncErr != nil {
+		return m.syncErr
+	}
+	return nil
+}
+
+func (m *Mem) Stat(name string) (int64, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return 0, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+	}
+	return int64(len(f.data)), nil
+}
+
+type memHandle struct {
+	m        *Mem
+	f        *memFile
+	path     string
+	pos      int
+	writable bool
+	closed   bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.pos >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if !h.writable {
+		return 0, fmt.Errorf("faultfs: %s opened read-only", h.path)
+	}
+	if h.m.writeErr != nil {
+		return 0, h.m.writeErr
+	}
+	if k := h.m.shortWrite; k >= 0 {
+		h.m.shortWrite = -1
+		if k > len(p) {
+			k = len(p)
+		}
+		h.m.apply(memOp{kind: opWrite, path: h.path, data: append([]byte(nil), p[:k]...)})
+		return k, io.ErrShortWrite
+	}
+	h.m.apply(memOp{kind: opWrite, path: h.path, data: append([]byte(nil), p...)})
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.m.mu.Lock()
+	if h.closed {
+		h.m.mu.Unlock()
+		return fs.ErrClosed
+	}
+	if err := h.m.syncErr; err != nil {
+		h.m.mu.Unlock()
+		return err
+	}
+	h.f.synced = len(h.f.data)
+	h.m.fsyncs++
+	d := h.m.syncDelay
+	h.m.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	h.closed = true
+	return nil
+}

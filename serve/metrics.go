@@ -258,6 +258,28 @@ func (m *metrics) writeProm(w io.Writer, idx Index, cache *resultCache) {
 		fmt.Fprintf(w, "# HELP sdserver_index_compactions_total Compaction steps completed by the serving index.\n# TYPE sdserver_index_compactions_total counter\n")
 		fmt.Fprintf(w, "sdserver_index_compactions_total %d\n", cp.Compactions())
 	}
+
+	// Write-ahead-log telemetry, present when the serving index is durable.
+	if ws, ok := idx.(walStater); ok {
+		if st := ws.WALStats(); st.Enabled {
+			fmt.Fprintf(w, "# HELP sdserver_wal_appends_total Records appended to the write-ahead log.\n# TYPE sdserver_wal_appends_total counter\n")
+			fmt.Fprintf(w, "sdserver_wal_appends_total %d\n", st.Appends)
+			fmt.Fprintf(w, "# HELP sdserver_wal_fsyncs_total Fsyncs issued by the write-ahead log (group commit makes this <= appends).\n# TYPE sdserver_wal_fsyncs_total counter\n")
+			fmt.Fprintf(w, "sdserver_wal_fsyncs_total %d\n", st.Fsyncs)
+			fmt.Fprintf(w, "# HELP sdserver_wal_bytes_total Record bytes appended to the write-ahead log.\n# TYPE sdserver_wal_bytes_total counter\n")
+			fmt.Fprintf(w, "sdserver_wal_bytes_total %d\n", st.Bytes)
+			fmt.Fprintf(w, "# HELP sdserver_wal_replay_records Log records replayed by the last recovery.\n# TYPE sdserver_wal_replay_records gauge\n")
+			fmt.Fprintf(w, "sdserver_wal_replay_records %d\n", st.ReplayRecords)
+			fmt.Fprintf(w, "# HELP sdserver_wal_last_lsn Log sequence number of the last applied mutation.\n# TYPE sdserver_wal_last_lsn gauge\n")
+			fmt.Fprintf(w, "sdserver_wal_last_lsn %d\n", st.LSN)
+			degraded := 0
+			if st.Err != nil {
+				degraded = 1
+			}
+			fmt.Fprintf(w, "# HELP sdserver_wal_degraded Whether the write-ahead log failed and the server is read-only (1 = degraded).\n# TYPE sdserver_wal_degraded gauge\n")
+			fmt.Fprintf(w, "sdserver_wal_degraded %d\n", degraded)
+		}
+	}
 }
 
 // EndpointStatz is one endpoint's row in the Statz snapshot.
@@ -300,6 +322,18 @@ type Statz struct {
 	EngineScored   uint64 `json:"engine_scored"`
 	EnginePlanHits uint64 `json:"engine_plan_cache_hits"`
 	StatsQueries   uint64 `json:"stats_queries"`
+
+	// Write-ahead-log state, zero-valued when the serving index is not
+	// durable. WALDegraded true means the log failed stickily and the
+	// server refuses writes (503) until the index is reopened.
+	WALEnabled       bool   `json:"wal_enabled"`
+	WALAppends       uint64 `json:"wal_appends,omitempty"`
+	WALFsyncs        uint64 `json:"wal_fsyncs,omitempty"`
+	WALBytes         uint64 `json:"wal_bytes,omitempty"`
+	WALReplayRecords uint64 `json:"wal_replay_records,omitempty"`
+	WALLastLSN       uint64 `json:"wal_last_lsn,omitempty"`
+	WALDegraded      bool   `json:"wal_degraded"`
+	WALError         string `json:"wal_error,omitempty"`
 }
 
 func (m *metrics) statz(idx Index, cache *resultCache) Statz {
@@ -352,6 +386,20 @@ func (m *metrics) statz(idx Index, cache *resultCache) Statz {
 	}
 	if cache != nil {
 		st.CacheEntries = cache.len()
+	}
+	if ws, ok := idx.(walStater); ok {
+		if wst := ws.WALStats(); wst.Enabled {
+			st.WALEnabled = true
+			st.WALAppends = wst.Appends
+			st.WALFsyncs = wst.Fsyncs
+			st.WALBytes = wst.Bytes
+			st.WALReplayRecords = wst.ReplayRecords
+			st.WALLastLSN = wst.LSN
+			if wst.Err != nil {
+				st.WALDegraded = true
+				st.WALError = wst.Err.Error()
+			}
+		}
 	}
 	return st
 }

@@ -89,6 +89,25 @@ type sharder interface {
 	Shards() int
 }
 
+// walStater exposes write-ahead-log health — implemented by WithWAL indexes.
+// A sticky WALStats.Err flips the server into read-only degradation: writes
+// answer 503, /healthz and /metrics report the state, reads keep flowing.
+type walStater interface {
+	WALStats() sdquery.WALStats
+}
+
+// durableRemover distinguishes "not live" from "log failed" on removes —
+// without it DELETE falls back to the bool-only Remove.
+type durableRemover interface {
+	RemoveDurable(id int) (bool, error)
+}
+
+// syncer is the drain hook: Shutdown fsyncs the index's WAL through it so
+// an interval- or never-synced log survives power loss after a clean stop.
+type syncer interface {
+	Sync() error
+}
+
 var _ Index = (*sdquery.ShardedIndex)(nil)
 var _ segmenter = (*sdquery.ShardedIndex)(nil)
 var _ compactioner = (*sdquery.ShardedIndex)(nil)
@@ -299,22 +318,37 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 const statusClientClosedRequest = 499
 
 // statusFor maps handler errors to HTTP statuses: backpressure → 429;
-// server-side deadline and drain → 503; client cancellation → 499;
-// everything else (validation, role mismatches) → 400. DeadlineExceeded is
-// checked before Canceled: a request can carry both (client gone AND
-// deadline passed), and blaming the server's own timeout is the
-// conservative choice there.
+// server-side deadline, drain, and a failed write-ahead log → 503; client
+// cancellation → 499; everything else (validation, role mismatches) → 400.
+// DeadlineExceeded is checked before Canceled: a request can carry both
+// (client gone AND deadline passed), and blaming the server's own timeout
+// is the conservative choice there.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, errQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, errDraining):
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, errDraining),
+		errors.Is(err, sdquery.ErrWAL):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
 		return statusClientClosedRequest
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// walDegraded reports whether the serving index's write-ahead log has
+// failed stickily (and with what), which makes the server read-only:
+// mutations would either be lost on crash or are already rejected by the
+// engine, so the write handlers refuse them up front with 503 and Retry
+// semantics are left to the operator (the state does not clear without a
+// reopen).
+func (s *Server) walDegraded() (sdquery.WALStats, bool) {
+	if ws, ok := s.Index().(walStater); ok {
+		st := ws.WALStats()
+		return st, st.Err != nil
+	}
+	return sdquery.WALStats{}, false
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -498,6 +532,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleInsert answers 200 only once the insert is committed per the
+// index's durability contract: on a WithWAL index, Insert returns after the
+// mutation's log record is acknowledged under the configured sync policy
+// (fsynced under SyncAlways; OS-buffered under SyncInterval/SyncNever), so
+// a 200 means the point survives any crash the policy covers. A failed
+// write-ahead log answers 503 — immediately once the failure is sticky, or
+// on the triggering request itself (whose mutation was NOT acknowledged) —
+// and the server stays read-only until the index is reopened.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	status := http.StatusOK
@@ -509,6 +551,11 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	default:
 		status = http.StatusTooManyRequests
 		writeError(w, status, fmt.Errorf("serve: write concurrency limit reached"))
+		return
+	}
+	if st, bad := s.walDegraded(); bad {
+		status = http.StatusServiceUnavailable
+		writeError(w, status, fmt.Errorf("serve: index is read-only: %w", st.Err))
 		return
 	}
 	body, err := readBody(w, r)
@@ -525,7 +572,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.Index().Insert(wi.Point)
 	if err != nil {
-		status = http.StatusBadRequest
+		status = statusFor(err)
 		writeError(w, status, err)
 		return
 	}
@@ -551,7 +598,26 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, fmt.Errorf("point id %q: %w", r.PathValue("id"), err))
 		return
 	}
-	writeJSON(w, http.StatusOK, removeResponse{ID: id, Removed: s.Index().Remove(id)})
+	if st, bad := s.walDegraded(); bad {
+		status = http.StatusServiceUnavailable
+		writeError(w, status, fmt.Errorf("serve: index is read-only: %w", st.Err))
+		return
+	}
+	// Like inserts, removes answer 200 only after their tombstone commits
+	// per the sync policy; RemoveDurable surfaces the log verdict where the
+	// bool-only Remove would swallow it.
+	idx := s.Index()
+	if dr, ok := idx.(durableRemover); ok {
+		removed, err := dr.RemoveDurable(id)
+		if err != nil {
+			status = statusFor(err)
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, removeResponse{ID: id, Removed: removed})
+		return
+	}
+	writeJSON(w, http.StatusOK, removeResponse{ID: id, Removed: idx.Remove(id)})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -560,6 +626,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, bad := s.walDegraded(); bad {
+		// Still alive — reads answer fine — so the liveness probe stays 200;
+		// the body tells operators (and the readiness tier, if it reads it)
+		// that writes are being refused.
+		fmt.Fprintln(w, "degraded: write-ahead log failed; serving read-only")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -596,8 +669,11 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Shutdown drains gracefully: /healthz flips to 503 (so load balancers stop
 // routing), the HTTP server stops accepting and waits for in-flight
-// handlers up to ctx's deadline, then the coalescer stops. The serving
-// index is left untouched — it belongs to the caller.
+// handlers up to ctx's deadline, then the coalescer stops. Once the last
+// write handler has returned, the serving index's write-ahead log (if any)
+// is force-fsynced so acknowledged mutations survive power loss even under
+// SyncInterval/SyncNever. The index itself is left open — it belongs to
+// the caller.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	var err error
@@ -608,6 +684,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = hs.Shutdown(ctx)
 	}
 	s.Close()
+	if sy, ok := s.Index().(syncer); ok {
+		if serr := sy.Sync(); err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 

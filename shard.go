@@ -109,6 +109,11 @@ func NewShardedIndex(data [][]float64, roles []Role, opts ...SDOption) (*Sharded
 	if err != nil {
 		return nil, err
 	}
+	if cfg.walDir != "" {
+		if err := writeManifest(&cfg, manifestKindSharded, p); err != nil {
+			return nil, err
+		}
+	}
 	s := &ShardedIndex{
 		roles:    append([]Role(nil), roles...),
 		byGlobal: make([]int32, len(data)),
@@ -129,7 +134,11 @@ func NewShardedIndex(data [][]float64, roles []Role, opts ...SDOption) (*Sharded
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			eng, err := core.NewWithIDs(parts[si], ids[si], coreCfg)
+			cc := coreCfg
+			if cfg.walDir != "" {
+				cc.WAL = cfg.walConfig(shardWALDir(cfg.walDir, si))
+			}
+			eng, err := core.NewWithIDs(parts[si], ids[si], cc)
 			if err != nil {
 				errs[si] = fmt.Errorf("shard %d: %w", si, err)
 				return
@@ -326,31 +335,116 @@ func (s *ShardedIndex) batchTopK(queries []Query, done <-chan struct{}) ([][]Res
 // global dataset ID. The shard engine indexes the row under that global ID
 // directly; only the routing table is locked, so in-flight queries are
 // never blocked.
+//
+// On a WithWAL index the routing lock covers only the log append and
+// snapshot publish; the durability wait (the fsync, under SyncAlways)
+// happens after the lock is released, so concurrent inserts — even ones
+// routed to different shards — stack up in the same commit window and
+// share one fsync per shard (group commit). An ErrWAL return means the
+// mutation was not acknowledged; it may or may not survive a concurrent
+// crash, exactly like an unacknowledged network write.
 func (s *ShardedIndex) Insert(p []float64) (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	si := s.next
 	global := len(s.byGlobal)
-	if err := s.shards[si].eng.InsertWithID(global, p); err != nil {
+	wait, err := s.shards[si].eng.InsertWithIDAsync(global, p)
+	if err != nil {
+		s.mu.Unlock()
 		return 0, err
 	}
 	s.byGlobal = append(s.byGlobal, int32(si))
 	s.next = (si + 1) % len(s.shards)
+	s.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return 0, err
+		}
+	}
 	return global, nil
 }
 
 // Remove deletes a point by global dataset ID, reporting whether it was
 // live. The owning shard tombstones the row in its current snapshot;
-// background compaction reclaims the space later.
+// background compaction reclaims the space later. On a WAL index Remove
+// waits for durability like Insert but drops the error; use RemoveDurable
+// when the caller must distinguish "not live" from "log failed".
 func (s *ShardedIndex) Remove(id int) bool {
+	ok, _ := s.RemoveDurable(id)
+	return ok
+}
+
+// RemoveDurable is Remove with the WAL verdict: on a WithWAL index it
+// returns ErrWAL when the tombstone could not be made durable, and the
+// reported bool is authoritative only when err is nil. Without a WAL it is
+// exactly Remove.
+func (s *ShardedIndex) RemoveDurable(id int) (bool, error) {
 	s.mu.Lock()
-	if id < 0 || id >= len(s.byGlobal) {
+	if id < 0 || id >= len(s.byGlobal) || s.byGlobal[id] < 0 {
+		// Out of range, or (after recovery) an ID whose row was removed and
+		// physically reclaimed before the checkpoint — provably not live.
 		s.mu.Unlock()
-		return false
+		return false, nil
 	}
 	sh := s.shards[s.byGlobal[id]]
 	s.mu.Unlock()
-	return sh.eng.Remove(id)
+	return sh.eng.RemoveDurable(id)
+}
+
+// Sync force-fsyncs every shard's write-ahead log regardless of sync
+// policy — the shutdown drain: a server running SyncInterval or SyncNever
+// calls it so every acknowledged mutation survives power loss too. No-op
+// without a WAL; the first error is returned but every shard is synced.
+func (s *ShardedIndex) Sync() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.eng.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Checkpoint writes every shard's current snapshot into its WAL directory
+// and retires the log files covered. The background compactors checkpoint
+// automatically as sealed log volume accumulates; an explicit call bounds
+// recovery time before a planned restart. No-op without a WAL.
+func (s *ShardedIndex) Checkpoint() error {
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.eng.Checkpoint(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WALStats sums the write-ahead-log counters over every shard; Enabled is
+// false without WithWAL. LSN is the maximum shard LSN (shards log
+// independently); Err is the first shard's sticky failure, so a non-nil
+// Err means at least one shard refuses writes and the index should be
+// treated as read-only.
+func (s *ShardedIndex) WALStats() WALStats {
+	var total WALStats
+	for _, sh := range s.shards {
+		st := sh.eng.WALStats()
+		if !st.Enabled {
+			continue
+		}
+		total.Enabled = true
+		total.Appends += st.Appends
+		total.Fsyncs += st.Fsyncs
+		total.Bytes += st.Bytes
+		total.ReplayRecords += st.ReplayRecords
+		total.Rotations += st.Rotations
+		total.Checkpoints += st.Checkpoints
+		if st.LSN > total.LSN {
+			total.LSN = st.LSN
+		}
+		if total.Err == nil {
+			total.Err = st.Err
+		}
+	}
+	return total
 }
 
 // Compact synchronously folds every shard's segment stack and memtable into
@@ -406,9 +500,16 @@ func (s *ShardedIndex) Shards() int { return len(s.shards) }
 // Workers reports the size of the worker pool.
 func (s *ShardedIndex) Workers() int { return s.pool.workers }
 
-// Close releases the worker pool's goroutines. The index remains usable;
-// subsequent queries execute sequentially on the caller's goroutine. Close
-// is idempotent and safe to call concurrently with queries.
-func (s *ShardedIndex) Close() { s.pool.close() }
+// Close releases the worker pool's goroutines and flushes and closes every
+// shard's write-ahead log. The index remains queryable — subsequent queries
+// execute sequentially on the caller's goroutine and reads never touch the
+// log — but on a WithWAL index every later mutation fails with ErrWAL.
+// Close is idempotent and safe to call concurrently with queries.
+func (s *ShardedIndex) Close() {
+	s.pool.close()
+	for _, sh := range s.shards {
+		sh.eng.Close()
+	}
+}
 
 var _ Engine = (*ShardedIndex)(nil)
