@@ -75,6 +75,12 @@ type workloadJSON struct {
 	// request coalescing is actually batching concurrent traffic; the diff
 	// gate fails if it collapses back to 1.
 	CoalescedBatchMean float64 `json:"coalesced_batch_mean,omitempty"`
+	// Availability is the cluster failover workload's fraction of reads
+	// answered 200 across a measurement window that contains a hard leader
+	// kill. The router's retry/failover machinery is what holds it at ~1.0;
+	// the diff gate fails if it drops below 0.99 or collapses against the
+	// committed baseline.
+	Availability float64 `json:"availability,omitempty"`
 	// CacheHitRate is the serve/hot workload's achieved result-cache hit
 	// rate (hits / lookups) under Zipf traffic. The diff gate fails if it
 	// collapses to under half the baseline: the cache silently admitting
@@ -93,7 +99,7 @@ type workloadJSON struct {
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate,omitempty"`
 }
 
-const benchJSONSchema = "sdbench/v6"
+const benchJSONSchema = "sdbench/v7"
 
 // statsSource is the work-counter surface shared by SDIndex and
 // ShardedIndex.
@@ -548,6 +554,20 @@ func runBenchJSON(path, baselinePath string, scale float64, queryCount int, seed
 		hw.Queries = len(queries)
 		hw.GOMAXPROCS = procs
 		report.Workloads = append(report.Workloads, hw)
+
+		// Cluster failover: a two-partition replicated cluster behind the
+		// scatter-gather router, read under closed-loop load while one
+		// leader is hard-killed mid-window. Reports availability (reads
+		// answered across the kill) alongside qps and percentiles — the
+		// robustness figure the single-node workloads cannot express.
+		cw, err := runClusterFailover(scale, len(queries), seed)
+		if err != nil {
+			return err
+		}
+		cw.Name = "cluster/failover"
+		cw.Queries = len(queries)
+		cw.GOMAXPROCS = procs
+		report.Workloads = append(report.Workloads, cw)
 		return nil
 	}(); err != nil {
 		return err

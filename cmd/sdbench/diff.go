@@ -26,8 +26,19 @@ const mixedNsRegressionTolerance = 0.50
 
 // noisyWorkload reports whether a workload gets the looser latency gate.
 func noisyWorkload(name string) bool {
-	return strings.HasPrefix(name, "mixed") || strings.HasPrefix(name, "serve")
+	return strings.HasPrefix(name, "mixed") || strings.HasPrefix(name, "serve") ||
+		strings.HasPrefix(name, "cluster")
 }
+
+// availabilityFloor is the absolute availability the cluster failover
+// workload must clear regardless of the baseline: at least 99% of reads
+// answered across a window containing a hard leader kill. Failing it means
+// failover is broken in a way no latency tolerance expresses.
+const availabilityFloor = 0.99
+
+// availabilitySlack is the run-to-run noise allowance against the committed
+// baseline (half a percent of reads).
+const availabilitySlack = 0.005
 
 // fetchedRegressionTolerance gates the hardware-independent signal: on
 // single-engine workloads the sorted-access count is a deterministic
@@ -151,6 +162,22 @@ func diffAgainstBaseline(baselinePath string, fresh benchJSON) error {
 				violations = append(violations, fmt.Sprintf(
 					"workload %q: 0 fsyncs under SyncAlways, baseline %.3f — writes are no longer durable",
 					b.Name, b.FsyncsPerOp))
+			}
+		}
+		// Availability gate: the failover workload must keep ~every read
+		// answered across the leader kill — both absolutely (the 99% floor)
+		// and relative to the committed baseline (no silent erosion). A drop
+		// here means retries, ejection, or replica failover stopped masking
+		// the kill, whatever the latency numbers say.
+		if b.Availability > 0 {
+			if f.Availability < availabilityFloor {
+				violations = append(violations, fmt.Sprintf(
+					"workload %q: availability %.4f below the %.2f floor — failover is not masking node loss",
+					b.Name, f.Availability, availabilityFloor))
+			} else if f.Availability < b.Availability-availabilitySlack {
+				violations = append(violations, fmt.Sprintf(
+					"workload %q: availability %.4f collapsed from baseline %.4f",
+					b.Name, f.Availability, b.Availability))
 			}
 		}
 		if strings.HasPrefix(b.Name, "topk/") && b.FetchedMean > 0 {

@@ -28,6 +28,13 @@
 //	sdserver -addr :8080 -data points.csv -roles rrraaa -wal-dir /var/lib/sd
 //	sdserver -addr :8080 -wal-dir /var/lib/sd   # later: recover, no CSV
 //
+// Serve as a read replica of another sdserver — bootstrap from the leader's
+// snapshot, tail its WAL live, answer reads from the local copy, and refuse
+// writes with a leader hint (the leader needs -wal-dir; replication streams
+// ride the WAL):
+//
+//	sdserver -addr :8081 -follow http://leader:8080
+//
 // On SIGINT/SIGTERM the server drains gracefully: /healthz flips to 503 so
 // load balancers stop routing, in-flight requests finish (bounded by
 // -drain-timeout), then the WAL is synced and sealed and the process exits.
@@ -71,18 +78,12 @@ func main() {
 
 		cache    = flag.Bool("cache", true, "hot-query result cache with heavy-hitter admission")
 		cacheCap = flag.Int("cache-capacity", 1024, "maximum resident cached answers")
+
+		follow    = flag.String("follow", "", "run as a read replica of this leader URL (excludes -data/-index/-wal-dir)")
+		followInt = flag.Duration("follow-interval", 200*time.Millisecond, "replication pull cadence under -follow")
 	)
 	flag.Parse()
 
-	sync, err := parseSync(*syncF)
-	if err != nil {
-		fatal(err)
-	}
-	idx, err := buildIndex(*path, *header, *rolesF, *indexF, *shards, *workers,
-		*walDir, sync, *syncIntF)
-	if err != nil {
-		fatal(err)
-	}
 	opts := []serve.Option{
 		serve.WithCoalesceWindow(*window),
 		serve.WithMaxBatch(*maxBatch),
@@ -95,13 +96,39 @@ func main() {
 	if *execs > 0 {
 		opts = append(opts, serve.WithExecutors(*execs))
 	}
-	srv := serve.New(idx, opts...)
+	var srv *serve.Server
+	if *follow != "" {
+		if *path != "" || *indexF != "" || *walDir != "" {
+			fatal(fmt.Errorf("-follow excludes -data, -index, and -wal-dir: a replica's only data source is its leader"))
+		}
+		var err error
+		srv, err = serve.NewFollower(*follow, append(opts, serve.WithFollowInterval(*followInt))...)
+		if err != nil {
+			fatal(fmt.Errorf("follow %s: %w", *follow, err))
+		}
+	} else {
+		sync, err := parseSync(*syncF)
+		if err != nil {
+			fatal(err)
+		}
+		idx, err := buildIndex(*path, *header, *rolesF, *indexF, *shards, *workers,
+			*walDir, sync, *syncIntF)
+		if err != nil {
+			fatal(err)
+		}
+		srv = serve.New(idx, opts...)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	fmt.Fprintf(os.Stderr, "sdserver: serving %d points on %s\n", idx.Len(), *addr)
+	if *follow != "" {
+		fmt.Fprintf(os.Stderr, "sdserver: following %s, serving %d points on %s\n",
+			*follow, srv.Index().Len(), *addr)
+	} else {
+		fmt.Fprintf(os.Stderr, "sdserver: serving %d points on %s\n", srv.Index().Len(), *addr)
+	}
 
 	select {
 	case err := <-errc:

@@ -140,6 +140,38 @@
 // sequential scan, the adapted Threshold Algorithm (TA), branch-and-bound
 // ranked search over an R*-tree (BRS), and progressive exploration (PE).
 //
+// # Cluster
+//
+// Past one machine (or one failure domain), sdserver nodes form leader
+// groups: a WAL-backed leader streams its snapshot and live WAL tail over
+// /v1/repl/{manifest,segment,wal}, and followers (sdserver -follow, or
+// serve.NewFollower) bootstrap from the snapshot, apply WAL records
+// idempotently by LSN, serve reads from their own copy, and refuse writes
+// with a 503 + Retry-After + X-SD-Leader hint. A checkpoint that retires
+// log files a lagging follower still needs — or a leader restart into a
+// new history, detected by its source token — triggers a clean
+// re-bootstrap, never a silent fork.
+//
+// cmd/sdrouter (package serve/router) is the cluster front door: the ID
+// space folds onto partitions by rendezvous hashing over stable partition
+// names, reads scatter to every partition and merge exactly (the SD-score
+// of a point depends on no other point, so the router's answers are
+// byte-identical to a single node over all rows), and writes route to the
+// owning leader under router-assigned cluster-unique IDs, which make
+// ambiguous-write retries provably idempotent (duplicate 200 / conflict
+// 409). Failures are handled per try: capped jittered backoff, p99-
+// triggered hedged reads against replicas, consecutive-failure ejection
+// with half-open recovery, and failover from a dead leader to the
+// freshest replica — gated by per-shard LSN write watermarks, so a stale
+// follower never answers a read that misses an acknowledged write. When
+// a whole partition is unreachable reads fail fast with 503; the
+// ?allow_partial=1 flag opts into the survivors' merged answer, marked
+// "degraded":true — incomplete answers are opt-in and marked, never
+// silent. The internal/netfault chaos suite (asymmetric partitions,
+// mid-body TCP resets, throttling, hard kills) enforces all of this
+// differentially against a single-node oracle, under the race detector
+// in CI.
+//
 // # Performance
 //
 // A query is snapshotted, planned, scheduled, and batch-executed. The

@@ -172,11 +172,10 @@ func OpenShardedIndex(dir string, opts ...SDOption) (*ShardedIndex, error) {
 		return nil, fmt.Errorf("sdquery: open %s: directory holds a single-engine index; use OpenSDIndex or Open", dir)
 	}
 	p := m.Shards
-	s := &ShardedIndex{shards: make([]*shard, p)}
+	engines := make([]*core.Engine, p)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
 	for si := 0; si < p; si++ {
-		s.shards[si] = &shard{}
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
@@ -185,7 +184,7 @@ func OpenShardedIndex(dir string, opts ...SDOption) (*ShardedIndex, error) {
 				errs[si] = fmt.Errorf("shard %d: %w", si, err)
 				return
 			}
-			s.shards[si].eng = eng
+			engines[si] = eng
 		}(si)
 	}
 	wg.Wait()
@@ -194,27 +193,11 @@ func OpenShardedIndex(dir string, opts ...SDOption) (*ShardedIndex, error) {
 			return nil, err
 		}
 	}
-	// Rebuild the routing table from the recovered shards. The global ID
-	// space spans [0, max Total()); IDs whose rows were removed and since
-	// physically reclaimed by compaction locate nowhere and route to -1
+	// assembleSharded rebuilds the routing table from the recovered shards:
+	// the global ID space spans [0, max Total()); IDs whose rows were removed
+	// and physically reclaimed by compaction locate nowhere and route to -1
 	// (Remove reports them not-live without consulting any shard).
-	total := 0
-	for _, sh := range s.shards {
-		if t := sh.eng.Total(); t > total {
-			total = t
-		}
-	}
-	s.byGlobal = make([]int32, total)
-	for i := range s.byGlobal {
-		s.byGlobal[i] = -1
-	}
-	for si, sh := range s.shards {
-		sh.eng.RangeIDs(func(id int32) { s.byGlobal[id] = int32(si) })
-	}
-	s.next = total % p
-	s.roles = s.shards[0].eng.Roles()
-	s.pool = newWorkerPool(cfg.workers)
-	return s, nil
+	return assembleSharded(engines, cfg.workers), nil
 }
 
 // Open recovers whichever durable index kind dir holds, dispatching on its

@@ -1,0 +1,248 @@
+package core
+
+// Replication streaming: the engine-level primitives a leader uses to ship
+// its state to a follower and a follower uses to apply it. The wire reuses
+// the two formats the engine already trusts with durability — a snapshot
+// stream is exactly the checkpoint format (persist.go), and a WAL tail
+// stream is exactly the log-record framing (wal.go: magic header, then
+// crc | len | lsn | payload records) — so replication inherits their
+// validation for free and a follower is bootstrapped by the same Load and
+// advanced by the same idempotent-by-LSN apply that crash recovery uses.
+//
+// The contract is pull-based and stateless on the leader: a follower asks
+// for "records after LSN x" and the leader scans its log files. Checkpoints
+// retire covered log files, so a follower that lags past the oldest
+// retained record cannot be caught up incrementally — the tail reports a
+// gap and the follower re-bootstraps from a fresh snapshot (the same
+// recovery shape as Redis PSYNC falling back to full sync or Raft's
+// InstallSnapshot).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ErrReplGap reports that a WAL tail could not be served or applied
+// contiguously: the requested LSN range is no longer retained (checkpoint
+// retired it), the stream skipped sequence numbers, or the follower is
+// ahead of the leader (a leader restart that lost unacknowledged tail).
+// The only safe continuation is a full re-bootstrap from a snapshot.
+var ErrReplGap = errors.New("core: replication gap: WAL tail is not contiguous with the applied state")
+
+// LastLSN reports the log sequence number of the last mutation folded into
+// the engine's current snapshot — the follower's replication cursor and the
+// leader's lag reference. 0 on an engine with no logged mutations.
+func (e *Engine) LastLSN() uint64 { return e.snap.Load().walLSN }
+
+// SaveWithLSN streams the engine's current snapshot in the checkpoint/Save
+// format and reports the WAL LSN that snapshot covers, atomically with the
+// bytes: a follower that loads the stream and then tails the log from the
+// returned LSN observes every mutation exactly once.
+func (e *Engine) SaveWithLSN(w io.Writer) (uint64, error) {
+	sn := e.snap.Load()
+	if err := e.saveSnapshot(w, sn); err != nil {
+		return 0, err
+	}
+	return sn.walLSN, nil
+}
+
+// Row returns a copy of the coordinates indexed under a global ID, live or
+// tombstoned, with ok=false when the ID locates nowhere (never inserted, or
+// removed and physically reclaimed by compaction). The replication layer
+// uses it to prove idempotence: a retried caller-assigned insert is a
+// duplicate exactly when the occupying row's coordinates match.
+func (e *Engine) Row(id int) ([]float64, bool) {
+	sn := e.snap.Load()
+	seg, local, ok := sn.locate(id)
+	if !ok {
+		return nil, false
+	}
+	out := make([]float64, e.dims)
+	if seg < 0 {
+		copy(out, sn.memFlat[local*e.dims:(local+1)*e.dims])
+	} else {
+		copy(out, sn.segs[seg].row(local))
+	}
+	return out, true
+}
+
+// WALTailInfo describes one WALTail export.
+type WALTailInfo struct {
+	// From is the cursor the tail was requested after; Last is the highest
+	// LSN written to the stream (== From when nothing newer was retained).
+	From, Last uint64
+	// LeaderLSN is the engine's own last LSN at the time of the scan — the
+	// follower's lag is LeaderLSN − Last.
+	LeaderLSN uint64
+	// Records is the number of records written to the stream.
+	Records int
+	// Gap reports that the stream does NOT reach LeaderLSN contiguously:
+	// records after From were retired by a checkpoint, or From is ahead of
+	// the leader entirely. The caller must re-bootstrap from a snapshot; the
+	// records that were written (if any) must be discarded.
+	Gap bool
+}
+
+// WALTail streams every retained WAL record with LSN > from, in order, in
+// the log's own framing (file magic header, then crc|len|lsn|payload
+// records), and reports how far the stream reaches. It requires a WAL.
+//
+// The scan holds the checkpoint lock — checkpoints retire log files, and a
+// file must not disappear mid-scan — but not the append lock: records
+// published before the scan started are fully written (appends complete
+// before their snapshot publishes), and a torn in-flight append past
+// LeaderLSN merely ends the scan early without a gap.
+func (e *Engine) WALTail(w io.Writer, from uint64) (WALTailInfo, error) {
+	l := e.wal
+	if l == nil {
+		return WALTailInfo{}, fmt.Errorf("core: WALTail: engine has no write-ahead log")
+	}
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+
+	info := WALTailInfo{From: from, Last: from, LeaderLSN: e.snap.Load().walLSN}
+	if from > info.LeaderLSN {
+		info.Gap = true
+		return info, nil
+	}
+	if _, err := w.Write(walMagic[:]); err != nil {
+		return info, err
+	}
+	seqs, err := listWALFiles(l.fs, l.dir)
+	if err != nil {
+		return info, fmt.Errorf("core: WALTail: %w", err)
+	}
+	expect := from + 1
+	var werr error
+scan:
+	for _, seq := range seqs {
+		f, err := l.fs.OpenFile(l.pathFor(seq), os.O_RDONLY, 0)
+		if err != nil {
+			// Racing a concurrent retire is impossible (we hold ckptMu); an
+			// unopenable file is a hard error.
+			return info, fmt.Errorf("core: WALTail: open %s: %w", l.pathFor(seq), err)
+		}
+		br := bufio.NewReader(f)
+		var fhdr [walHeaderLen]byte
+		if _, err := io.ReadFull(br, fhdr[:]); err != nil || fhdr != walMagic {
+			f.Close()
+			break scan // torn file header: this file is all in-flight tail
+		}
+		clean := scanWALRecords(br, func(lsn uint64, rec, payload []byte) bool {
+			switch {
+			case lsn < expect:
+				return true // duplicate or already-applied record: skip
+			case lsn == expect:
+				if _, werr = w.Write(rec); werr != nil {
+					return false
+				}
+				if _, werr = w.Write(payload); werr != nil {
+					return false
+				}
+				expect++
+				info.Records++
+				return true
+			default:
+				info.Gap = true // LSNs jumped: the range in between was retired
+				return false
+			}
+		})
+		f.Close()
+		if werr != nil {
+			return info, werr
+		}
+		if info.Gap || !clean {
+			// A gap ends the export; a torn record is the current file's
+			// in-flight tail and also ends it (nothing valid follows).
+			break scan
+		}
+	}
+	info.Last = expect - 1
+	// The stream must reach the LSN the engine had already published when
+	// the scan began; stopping short means records the follower needs were
+	// retired (or lost), which only a re-bootstrap can repair.
+	if info.Last < info.LeaderLSN {
+		info.Gap = true
+	}
+	return info, nil
+}
+
+// ApplyWALStream reads a WALTail stream and applies it to the engine with
+// crash recovery's idempotent-by-LSN discipline: records at or below the
+// engine's LastLSN are skipped, the successor record applies, anything else
+// is a gap. Unlike recovery, a torn or corrupt record is an error — the
+// transport below the stream is reliable, so damage means protocol
+// violation, and the caller must re-bootstrap. Returns the number of
+// records applied (skips excluded) and the new LastLSN.
+func (e *Engine) ApplyWALStream(r io.Reader) (applied uint64, records int, err error) {
+	br := bufio.NewReader(r)
+	var hdr [walHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil || hdr != walMagic {
+		return e.LastLSN(), 0, fmt.Errorf("%w: bad stream header", ErrReplGap)
+	}
+	cursor := e.LastLSN()
+	var applyErr error
+	clean := scanWALRecords(br, func(lsn uint64, rec, payload []byte) bool {
+		switch {
+		case lsn <= cursor:
+			return true
+		case lsn == cursor+1:
+			if !e.applyRecord(payload, lsn) {
+				applyErr = fmt.Errorf("%w: record %d is semantically invalid", ErrReplGap, lsn)
+				return false
+			}
+			cursor = lsn
+			records++
+			return true
+		default:
+			applyErr = fmt.Errorf("%w: record %d follows %d", ErrReplGap, lsn, cursor)
+			return false
+		}
+	})
+	if applyErr != nil {
+		return cursor, records, applyErr
+	}
+	if !clean {
+		return cursor, records, fmt.Errorf("%w: truncated or corrupt record in stream", ErrReplGap)
+	}
+	return cursor, records, nil
+}
+
+// scanWALRecords reads length-prefixed, CRC-checked records from r, calling
+// emit with each valid record's LSN, its raw 16-byte framing header, and its
+// payload (both valid only during the call). It stops at the first invalid
+// record or when emit returns false; clean reports ending at EOF on a record
+// boundary with emit never having declined.
+func scanWALRecords(r *bufio.Reader, emit func(lsn uint64, rec, payload []byte) bool) (clean bool) {
+	var rec [recHeaderLen]byte
+	payload := make([]byte, 0, 256)
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return err == io.EOF
+		}
+		plen := binary.LittleEndian.Uint32(rec[4:8])
+		if plen > maxWALRecord {
+			return false
+		}
+		if cap(payload) < int(plen) {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return false
+		}
+		crc := crc32.Checksum(rec[4:], castagnoli)
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != binary.LittleEndian.Uint32(rec[0:4]) {
+			return false
+		}
+		if !emit(binary.LittleEndian.Uint64(rec[8:16]), rec[:], payload) {
+			return false
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/query"
+)
+
+func replTestEngine(t *testing.T, fs faultfs.FS, dir string) *Engine {
+	t.Helper()
+	data := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	cfg := Config{
+		Roles: []query.Role{query.Attractive, query.Repulsive},
+		WAL:   &WALConfig{Dir: dir, FS: fs, Policy: SyncNever},
+	}
+	e, err := New(data, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+// snapshotThenTail bootstraps a follower engine from SaveWithLSN and applies
+// the leader's WALTail from that LSN — the full replication round trip.
+func TestReplSnapshotPlusTailRoundTrip(t *testing.T) {
+	fs := faultfs.NewMem()
+	e := replTestEngine(t, fs, "wal")
+	defer e.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := e.Insert([]float64{float64(i), float64(-i)}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	e.Remove(5)
+
+	var snap bytes.Buffer
+	lsn, err := e.SaveWithLSN(&snap)
+	if err != nil {
+		t.Fatalf("SaveWithLSN: %v", err)
+	}
+	if lsn != e.LastLSN() {
+		t.Fatalf("snapshot LSN %d != LastLSN %d", lsn, e.LastLSN())
+	}
+
+	// More churn after the snapshot: the tail must carry it.
+	for i := 0; i < 7; i++ {
+		if _, err := e.Insert([]float64{100, float64(i)}); err != nil {
+			t.Fatalf("post-snapshot insert: %v", err)
+		}
+	}
+	e.Remove(1)
+
+	f, err := Load(bytes.NewReader(snap.Bytes()), RuntimeOptions{})
+	if err != nil {
+		t.Fatalf("Load snapshot: %v", err)
+	}
+	if f.LastLSN() != lsn {
+		t.Fatalf("follower bootstrap LSN %d, want %d", f.LastLSN(), lsn)
+	}
+
+	var tail bytes.Buffer
+	info, err := e.WALTail(&tail, f.LastLSN())
+	if err != nil {
+		t.Fatalf("WALTail: %v", err)
+	}
+	if info.Gap {
+		t.Fatalf("unexpected gap: %+v", info)
+	}
+	if info.Last != e.LastLSN() || info.LeaderLSN != e.LastLSN() {
+		t.Fatalf("tail reached %d (leader %d), want %d", info.Last, info.LeaderLSN, e.LastLSN())
+	}
+	applied, n, err := f.ApplyWALStream(bytes.NewReader(tail.Bytes()))
+	if err != nil {
+		t.Fatalf("ApplyWALStream: %v", err)
+	}
+	if applied != e.LastLSN() || n != info.Records {
+		t.Fatalf("applied to %d (%d records), want %d (%d)", applied, n, e.LastLSN(), info.Records)
+	}
+
+	// The follower must now answer exactly like the leader.
+	spec := query.Spec{Point: []float64{2, 2}, K: 10,
+		Roles:   []query.Role{query.Attractive, query.Repulsive},
+		Weights: []float64{1, 1}}
+	want, err := e.TopK(spec)
+	if err != nil {
+		t.Fatalf("leader TopK: %v", err)
+	}
+	got, err := f.TopK(spec)
+	if err != nil {
+		t.Fatalf("follower TopK: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("follower %d results, leader %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: follower %+v, leader %+v", i, got[i], want[i])
+		}
+	}
+	if f.Len() != e.Len() || f.Total() != e.Total() {
+		t.Fatalf("follower len/total %d/%d, leader %d/%d", f.Len(), f.Total(), e.Len(), e.Total())
+	}
+
+	// Re-applying the same tail is a no-op (idempotence by LSN).
+	applied2, n2, err := f.ApplyWALStream(bytes.NewReader(tail.Bytes()))
+	if err != nil || applied2 != applied || n2 != 0 {
+		t.Fatalf("re-apply: applied %d records %d err %v, want %d/0/nil", applied2, n2, err, applied)
+	}
+}
+
+// A follower ahead of the leader (leader restart lost its tail) must see a
+// gap, not an empty tail it could mistake for being caught up.
+func TestReplTailFollowerAheadIsGap(t *testing.T) {
+	fs := faultfs.NewMem()
+	e := replTestEngine(t, fs, "wal")
+	defer e.Close()
+	var buf bytes.Buffer
+	info, err := e.WALTail(&buf, e.LastLSN()+10)
+	if err != nil {
+		t.Fatalf("WALTail: %v", err)
+	}
+	if !info.Gap {
+		t.Fatalf("from > leader LSN must report a gap: %+v", info)
+	}
+}
+
+// Checkpointing retires covered log files; a tail request from before the
+// checkpoint must then report a gap (the follower re-bootstraps), never an
+// incomplete stream that looks complete.
+func TestReplTailAfterCheckpointRetireIsGap(t *testing.T) {
+	fs := faultfs.NewMem()
+	e := replTestEngine(t, fs, "wal")
+	defer e.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := e.Insert([]float64{float64(i), 0}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	// Seal the current log file so the checkpoint can retire it, then write
+	// more so the leader LSN moves past the retired range.
+	e.wal.rotate()
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Insert([]float64{0, float64(i)}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	info, err := e.WALTail(&buf, 0)
+	if err != nil {
+		t.Fatalf("WALTail: %v", err)
+	}
+	if !info.Gap {
+		t.Fatalf("tail across a retired range must report a gap: %+v", info)
+	}
+	// From the checkpoint's LSN the tail is contiguous again.
+	buf.Reset()
+	info, err = e.WALTail(&buf, 10)
+	if err != nil || info.Gap || info.Last != e.LastLSN() {
+		t.Fatalf("tail from checkpoint LSN: info %+v err %v", info, err)
+	}
+}
+
+// A truncated stream must fail to apply, and a stream with an LSN gap must
+// fail with ErrReplGap.
+func TestReplApplyRejectsDamage(t *testing.T) {
+	fs := faultfs.NewMem()
+	e := replTestEngine(t, fs, "wal")
+	defer e.Close()
+	var snap bytes.Buffer
+	if _, err := e.SaveWithLSN(&snap); err != nil {
+		t.Fatalf("SaveWithLSN: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.Insert([]float64{float64(i), 1}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	var tail bytes.Buffer
+	if info, err := e.WALTail(&tail, 0); err != nil || info.Gap {
+		t.Fatalf("WALTail: %+v %v", info, err)
+	}
+
+	// Truncated mid-record.
+	f, err := Load(bytes.NewReader(snap.Bytes()), RuntimeOptions{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	cut := tail.Len() - 5
+	if _, _, err := f.ApplyWALStream(bytes.NewReader(tail.Bytes()[:cut])); !errors.Is(err, ErrReplGap) {
+		t.Fatalf("truncated stream: err %v, want ErrReplGap", err)
+	}
+
+	// LSN gap: skip the first record after the header.
+	f2, err := Load(bytes.NewReader(snap.Bytes()), RuntimeOptions{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	raw := tail.Bytes()
+	// First record starts after the 8-byte magic; its length is at +4.
+	plen := int(uint32(raw[12]) | uint32(raw[13])<<8 | uint32(raw[14])<<16 | uint32(raw[15])<<24)
+	gapped := append(append([]byte(nil), raw[:8]...), raw[8+16+plen:]...)
+	if _, _, err := f2.ApplyWALStream(bytes.NewReader(gapped)); !errors.Is(err, ErrReplGap) {
+		t.Fatalf("gapped stream: err %v, want ErrReplGap", err)
+	}
+}

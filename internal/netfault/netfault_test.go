@@ -1,0 +1,213 @@
+package netfault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes everything back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPassthrough(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dial(t, p.Addr())
+	msg := []byte("hello through the proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dial(t, p.Addr())
+
+	// Warm the connection, then cut the response direction only: the write
+	// still lands (echoed into the void) and the read must time out without
+	// the socket dying — a half-open partition, not a close.
+	p.Partition(false, true)
+	if _, err := c.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err == nil {
+		t.Fatal("read succeeded across a server->client partition")
+	}
+
+	// Heal: the blackholed bytes were buffered at the gate, so they arrive.
+	p.Partition(false, false)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+	if string(buf) != "lost" {
+		t.Fatalf("got %q after heal", buf)
+	}
+}
+
+func TestResetMidResponse(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dial(t, p.Addr())
+
+	// Arm: connection dies after ~8 more response bytes. Send 64 bytes; the
+	// echo crosses the threshold and the read errors before completing.
+	p.ResetAfterResponseBytes(8)
+	payload := bytes.Repeat([]byte("x"), 64)
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, err = io.ReadFull(c, make([]byte, 64))
+	if err == nil {
+		t.Fatal("full response survived an armed mid-response reset")
+	}
+}
+
+func TestRefuseAndRecover(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	p.Refuse(true)
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err == nil {
+		// Accept+RST: the dial may succeed, but the first use fails fast.
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, rerr := c.Read(make([]byte, 1)); rerr == nil {
+			t.Fatal("refused connection served a read")
+		}
+		c.Close()
+	}
+
+	p.Refuse(false)
+	c2 := dial(t, p.Addr())
+	if _, err := c2.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c2, buf); err != nil {
+		t.Fatalf("recovered proxy does not forward: %v", err)
+	}
+}
+
+func TestKillActive(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dial(t, p.Addr())
+	if _, err := c.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	p.KillActive()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived KillActive")
+	}
+
+	// The listener is still up: new connections work.
+	c2 := dial(t, p.Addr())
+	if _, err := c2.Write([]byte("yo")); err != nil {
+		t.Fatal(err)
+	}
+	c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(c2, make([]byte, 2)); err != nil {
+		t.Fatalf("post-kill connection broken: %v", err)
+	}
+}
+
+func TestLatencyAndThrottle(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dial(t, p.Addr())
+
+	p.Latency(30 * time.Millisecond)
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Two gated chunks (c2s + s2c) → at least ~60ms.
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("latency fault not applied: round trip %v", d)
+	}
+	p.Latency(0)
+
+	p.Throttle(1024) // 1 KiB/s
+	start = time.Now()
+	if _, err := c.Write(bytes.Repeat([]byte("z"), 256)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	// 256 bytes each way at 1024 B/s ≥ ~0.5s total.
+	if d := time.Since(start); d < 300*time.Millisecond {
+		t.Fatalf("throttle not applied: 512 gated bytes in %v", d)
+	}
+}

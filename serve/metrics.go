@@ -282,6 +282,40 @@ func (m *metrics) writeProm(w io.Writer, idx Index, cache *resultCache) {
 	}
 }
 
+// writeReplProm appends the node-role and replication series to /metrics.
+// It is a Server method (not a metrics method) because the data lives on
+// the server: the follower state and the index's LSN vector.
+func (s *Server) writeReplProm(w io.Writer) {
+	role := "leader"
+	if s.repl != nil {
+		role = "follower"
+	}
+	fmt.Fprintf(w, "# HELP sdserver_role Node role (the labeled role has value 1).\n# TYPE sdserver_role gauge\n")
+	fmt.Fprintf(w, "sdserver_role{role=%q} 1\n", role)
+	if lv, ok := s.Index().(lsnVectorer); ok {
+		fmt.Fprintf(w, "# HELP sdserver_repl_lsn Last-applied WAL LSN per shard.\n# TYPE sdserver_repl_lsn gauge\n")
+		for si, lsn := range lv.ShardLSNs() {
+			fmt.Fprintf(w, "sdserver_repl_lsn{shard=\"%d\"} %d\n", si, lsn)
+		}
+	}
+	f := s.repl
+	if f == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP sdserver_repl_lag_records Leader records not yet applied locally (summed over shards).\n# TYPE sdserver_repl_lag_records gauge\n")
+	fmt.Fprintf(w, "sdserver_repl_lag_records %d\n", f.lag.Load())
+	fmt.Fprintf(w, "# HELP sdserver_repl_pulls_total Successful replication polls.\n# TYPE sdserver_repl_pulls_total counter\n")
+	fmt.Fprintf(w, "sdserver_repl_pulls_total %d\n", f.pulls.Load())
+	fmt.Fprintf(w, "# HELP sdserver_repl_pull_errors_total Failed replication polls.\n# TYPE sdserver_repl_pull_errors_total counter\n")
+	fmt.Fprintf(w, "sdserver_repl_pull_errors_total %d\n", f.pullErrs.Load())
+	fmt.Fprintf(w, "# HELP sdserver_repl_bootstraps_total Full re-bootstraps after the initial one.\n# TYPE sdserver_repl_bootstraps_total counter\n")
+	fmt.Fprintf(w, "sdserver_repl_bootstraps_total %d\n", f.bootstraps.Load())
+	if last := f.lastPull.Load(); last > 0 {
+		fmt.Fprintf(w, "# HELP sdserver_repl_last_pull_age_seconds Seconds since the last successful poll.\n# TYPE sdserver_repl_last_pull_age_seconds gauge\n")
+		fmt.Fprintf(w, "sdserver_repl_last_pull_age_seconds %g\n", time.Since(time.Unix(0, last)).Seconds())
+	}
+}
+
 // EndpointStatz is one endpoint's row in the Statz snapshot.
 type EndpointStatz struct {
 	Requests    uint64  `json:"requests"`
@@ -293,12 +327,31 @@ type EndpointStatz struct {
 	MeanMs      float64 `json:"mean_ms"`
 }
 
+// ReplStatz is the follower's replication block in Statz.
+type ReplStatz struct {
+	Leader           string `json:"leader"`
+	LagRecords       uint64 `json:"lag_records"`
+	LastPullUnixNano int64  `json:"last_pull_unix_nano"`
+	Pulls            uint64 `json:"pulls"`
+	PullErrors       uint64 `json:"pull_errors"`
+	Bootstraps       uint64 `json:"bootstraps"`
+}
+
 // Statz is the JSON diagnostic snapshot served on GET /statz (and returned
 // by Server.Statz for in-process consumers like the load harness).
 type Statz struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	QPS           float64                  `json:"qps"`
 	Endpoints     map[string]EndpointStatz `json:"endpoints"`
+
+	// Role is "leader" or "follower"; Repl is present only on followers.
+	// ReplLSNs is the per-shard last-applied LSN vector (empty without a
+	// WAL); IndexIDSpace is the size of the global ID space — every indexed
+	// ID is below it, which is how a router seeds cluster-unique IDs.
+	Role         string     `json:"role"`
+	Repl         *ReplStatz `json:"repl,omitempty"`
+	ReplLSNs     []uint64   `json:"repl_lsns,omitempty"`
+	IndexIDSpace int        `json:"index_id_space"`
 
 	CoalescedBatches   uint64  `json:"coalesced_batches"`
 	CoalescedQueries   uint64  `json:"coalesced_queries"`

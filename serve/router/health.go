@@ -1,0 +1,139 @@
+package router
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-node health: a consecutive-failure circuit breaker fed by both the
+// active health checker and passive request outcomes, plus a small latency
+// ring that feeds the adaptive hedge delay.
+//
+// Breaker states map onto two atomics. fails counts consecutive failures;
+// reaching FailAfter trips the breaker by stamping downSince. While tripped,
+// the node is skipped by candidate selection until ReopenAfter has elapsed —
+// then it is half-open: offered again, and the next outcome either resets it
+// (success) or re-stamps downSince for another full ReopenAfter (failure).
+// The health loop probes every node on a fixed cadence regardless of state,
+// so an ejected node recovers within ReopenAfter + one probe interval even
+// with zero client traffic.
+
+type node struct {
+	url       string
+	fails     atomic.Int32
+	downSince atomic.Int64 // unix nanos when tripped; 0 = closed (healthy)
+	lat       latRing
+}
+
+func (n *node) ok() {
+	n.fails.Store(0)
+	n.downSince.Store(0)
+}
+
+func (n *node) fail(failAfter int32) {
+	if n.fails.Add(1) >= failAfter {
+		// Always re-stamp: a half-open probe that fails buys another full
+		// ReopenAfter of ejection instead of letting traffic hammer a node
+		// that answered one probe poorly.
+		n.downSince.Store(time.Now().UnixNano())
+	}
+}
+
+// available reports whether the breaker admits traffic: closed, or tripped
+// long enough ago to be half-open.
+func (n *node) available(reopenAfter time.Duration) bool {
+	ds := n.downSince.Load()
+	return ds == 0 || time.Since(time.Unix(0, ds)) >= reopenAfter
+}
+
+func (n *node) healthy() bool { return n.downSince.Load() == 0 }
+
+// latRing is a small sliding window of observed request latencies. The
+// hedge trigger wants "this try is slower than this node usually is", which
+// a recent-window quantile answers without unbounded history.
+type latRing struct {
+	mu  sync.Mutex
+	buf [64]time.Duration
+	n   int // filled entries
+	i   int // next write
+}
+
+func (l *latRing) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.i] = d
+	l.i = (l.i + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the window (0 when empty).
+func (l *latRing) quantile(q float64) time.Duration {
+	l.mu.Lock()
+	n := l.n
+	tmp := make([]time.Duration, n)
+	copy(tmp, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := int(q * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return tmp[idx]
+}
+
+// healthLoop actively probes every node's /healthz until the router closes.
+func (rt *Router) healthLoop() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.quit:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, p := range rt.parts {
+		for _, n := range p.nodes() {
+			wg.Add(1)
+			go func(n *node) {
+				defer wg.Done()
+				rt.probe(n)
+			}(n)
+		}
+	}
+	wg.Wait()
+}
+
+// probe is one active health check. Draining (503) and dead nodes both
+// count as failures; any 200 closes the breaker.
+func (rt *Router) probe(n *node) {
+	req, err := http.NewRequest(http.MethodGet, n.url+"/healthz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := rt.probeClient.Do(req)
+	if err != nil {
+		n.fail(int32(rt.cfg.FailAfter))
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		n.fail(int32(rt.cfg.FailAfter))
+		return
+	}
+	n.ok()
+}

@@ -1,0 +1,75 @@
+// Package router is the cluster front door: it partitions the global ID
+// space across leader groups (a leader plus its followers), scatter-gathers
+// top-k reads over every partition and merges them exactly, routes writes to
+// the owning partition's leader under router-assigned globally-unique IDs,
+// and wraps it all in the fault-tolerance machinery a multi-node deployment
+// needs — per-try timeouts, capped exponential backoff with jitter, hedged
+// reads against replicas, active health checking with ejection and half-open
+// recovery, and failover to the freshest replica when a leader dies.
+//
+// Exactness survives distribution because the SD-score of a point depends
+// only on that point and the query (Ranu & Singh, VLDB 2011): each
+// partition's top-k is computed over a disjoint subset of the rows, so the
+// k best of their union is exactly the k-way merge of the per-partition
+// answers. A router response is byte-identical to a single node holding all
+// the rows — the property the chaos suite pins — unless a partition is
+// unreachable, in which case the router fails fast (503) or, under the
+// explicit allow_partial=1 query flag, answers with the surviving
+// partitions' merge plus a "degraded":true marker. Never a silently wrong
+// answer.
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Rendezvous (highest-random-weight) hashing maps ID slots to partitions.
+// The ID space is folded into a fixed number of slots (id % slots) and each
+// slot is owned by the partition with the highest hash of (partition name,
+// slot). Adding or removing a partition remaps only the slots it wins or
+// loses — every other (slot, partition) pair keeps its relative weight, so
+// no unrelated data moves. The slot table is built once at startup; lookups
+// are one modulo and one index.
+
+// rendezvousOwners assigns each of slots slots to one of the named
+// partitions, returning the slot→partition-index table.
+func rendezvousOwners(names []string, slots int) ([]int, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("router: no partitions")
+	}
+	if slots < 1 {
+		return nil, fmt.Errorf("router: slots must be ≥ 1, got %d", slots)
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("router: empty partition name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("router: duplicate partition name %q", n)
+		}
+		seen[n] = true
+	}
+	table := make([]int, slots)
+	for slot := range table {
+		best, bestW := -1, uint64(0)
+		for pi, name := range names {
+			if w := rendezvousWeight(name, slot); best < 0 || w > bestW {
+				best, bestW = pi, w
+			}
+		}
+		table[slot] = best
+	}
+	return table, nil
+}
+
+// rendezvousWeight hashes one (partition, slot) pair. FNV-1a over
+// "name:slot" — stable across processes and Go versions, which is what
+// makes the mapping a deployment-wide constant instead of per-router state.
+func rendezvousWeight(name string, slot int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{':', byte(slot), byte(slot >> 8), byte(slot >> 16), byte(slot >> 24)})
+	return h.Sum64()
+}

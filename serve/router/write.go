@@ -1,0 +1,250 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Distributed writes. The router owns ID assignment: every insert gets a
+// cluster-unique, globally ascending ID before it is forwarded, and the ID
+// picks the owning partition through the rendezvous table. That one
+// decision buys the two properties distributed writes need:
+//
+//   - Idempotent retries. A timeout leaves a write ambiguous — maybe the
+//     node committed it, maybe not. The router retries the identical
+//     {id, point} body; the node answers 200 for a proven duplicate (same
+//     ID, same coordinates) and 409 for a genuine collision, so a retry can
+//     never double-insert and can never silently clobber.
+//   - Exact reads. IDs are the global row identity, so a scatter-gathered
+//     top-k carries the same IDs a single node over all rows would.
+//
+// Writes go to the owning partition's leader only — followers refuse them —
+// and are never hedged: retrying under the same ID is the safe way to
+// resolve ambiguity, racing two copies is not (both could commit, which is
+// harmless here but wasteful, and remove has no such shield).
+//
+// The ID counter seeds lazily from the cluster itself (max index_id_space
+// over every partition's /statz) so a restarted router continues above
+// every ID any node has seen, then advances locally. One router owns writes
+// at a time — the standard single-writer deployment; running two writers
+// risks 409s, not corruption.
+
+// seedIDs initializes the global ID counter from the cluster (idempotent,
+// cheap after the first call).
+func (rt *Router) seedIDs(ctx context.Context) error {
+	if rt.nextID.Load() >= 0 {
+		return nil
+	}
+	rt.idMu.Lock()
+	defer rt.idMu.Unlock()
+	if rt.nextID.Load() >= 0 {
+		return nil
+	}
+	max := 0
+	for _, p := range rt.parts {
+		space, err := rt.idSpaceOf(ctx, p)
+		if err != nil {
+			rt.met.idAllocFails.Add(1)
+			return fmt.Errorf("router: cannot seed IDs: partition %s: %w", p.name, err)
+		}
+		if space > max {
+			max = space
+		}
+	}
+	rt.nextID.Store(int64(max))
+	return nil
+}
+
+// idSpaceOf asks one partition's leader how large its ID space is.
+func (rt *Router) idSpaceOf(ctx context.Context, p *partition) (int, error) {
+	data, err := rt.fetchOn(ctx, p, p.leader, http.MethodGet, "/statz", nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	var st struct {
+		IDSpace int `json:"index_id_space"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return 0, err
+	}
+	return st.IDSpace, nil
+}
+
+// allocID hands out the next cluster-unique ID.
+func (rt *Router) allocID(ctx context.Context) (int, error) {
+	if err := rt.seedIDs(ctx); err != nil {
+		return 0, err
+	}
+	return int(rt.nextID.Add(1) - 1), nil
+}
+
+// writeToLeader sends one mutation to the partition's leader with the
+// retry/backoff discipline (no hedging; see the package comment). Returns
+// the node's response body and headers on 200.
+func (rt *Router) writeToLeader(ctx context.Context, p *partition, method, path string, body []byte) ([]byte, http.Header, error) {
+	var lastErr error
+	backoff := rt.cfg.BackoffBase
+	for attempt := 0; attempt <= rt.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			rt.met.retries.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			case <-time.After(rt.jitter(backoff)):
+			}
+			if backoff *= 2; backoff > rt.cfg.BackoffCap {
+				backoff = rt.cfg.BackoffCap
+			}
+		}
+		if !p.leader.available(rt.cfg.ReopenAfter) {
+			lastErr = fmt.Errorf("router: partition %s leader is ejected", p.name)
+			continue
+		}
+		data, hdr, err := rt.writeOn(ctx, p, method, path, body)
+		if err == nil {
+			return data, hdr, nil
+		}
+		var te *terminalError
+		if errors.As(err, &te) {
+			return nil, nil, err
+		}
+		lastErr = err
+	}
+	return nil, nil, lastErr
+}
+
+// writeOn is one bounded write attempt against the leader, lifting the
+// partition's high-watermark from the ack's LSN vector on success.
+func (rt *Router) writeOn(ctx context.Context, p *partition, method, path string, body []byte) ([]byte, http.Header, error) {
+	tctx, cancel := context.WithTimeout(ctx, rt.cfg.TryTimeout)
+	defer cancel()
+	req, err := newBodyRequest(tctx, method, p.leader.url+path, body)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		p.leader.fail(int32(rt.cfg.FailAfter))
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := readAllBounded(resp.Body)
+	if err != nil {
+		p.leader.fail(int32(rt.cfg.FailAfter))
+		return nil, nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		p.leader.ok()
+		p.raiseHW(parseLSNs(resp.Header.Get("X-SD-Repl-Lsns")))
+		return data, resp.Header, nil
+	case resp.StatusCode >= http.StatusInternalServerError,
+		resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		p.leader.fail(int32(rt.cfg.FailAfter))
+		return nil, nil, fmt.Errorf("router: %s answered %d", p.leader.url, resp.StatusCode)
+	default:
+		// 409 included: a conflicting occupant is a real error the client
+		// must see, never something a retry may paper over.
+		return nil, nil, &terminalError{status: resp.StatusCode, body: data}
+	}
+}
+
+func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
+	rt.met.writes.Add(1)
+	body, err := readBody(w, r)
+	if err != nil {
+		rt.met.errors4xx.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var wi struct {
+		Point []float64 `json:"point"`
+		ID    *int      `json:"id"`
+	}
+	if err := json.Unmarshal(body, &wi); err != nil {
+		rt.met.errors4xx.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode insert: %w", err))
+		return
+	}
+	var id int
+	if wi.ID != nil {
+		// A client-supplied ID (a retry of its own, or an external ID
+		// authority) routes like any other; the node still proves
+		// idempotence or conflicts.
+		id = *wi.ID
+		if id < 0 {
+			rt.met.errors4xx.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Errorf("router: id must be non-negative"))
+			return
+		}
+	} else {
+		id, err = rt.allocID(r.Context())
+		if err != nil {
+			rt.met.unavailable.Add(1)
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+	}
+	fwd, err := json.Marshal(struct {
+		Point []float64 `json:"point"`
+		ID    int       `json:"id"`
+	}{Point: wi.Point, ID: id})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	data, _, err := rt.writeToLeader(r.Context(), rt.owner(id), http.MethodPost, "/v1/insert", fwd)
+	if err != nil {
+		rt.relayWriteErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (rt *Router) handleRemove(w http.ResponseWriter, r *http.Request) {
+	rt.met.writes.Add(1)
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		rt.met.errors4xx.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("point id %q: %w", r.PathValue("id"), err))
+		return
+	}
+	if id < 0 {
+		rt.met.errors4xx.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("router: id must be non-negative"))
+		return
+	}
+	data, _, err := rt.writeToLeader(r.Context(), rt.owner(id), http.MethodDelete, "/v1/points/"+strconv.Itoa(id), nil)
+	if err != nil {
+		rt.relayWriteErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// relayWriteErr maps a writeToLeader failure onto the client response:
+// terminal node verdicts pass through with their status, everything else is
+// 503 (the write may or may not have committed — the client retries, and
+// idempotent IDs make that safe).
+func (rt *Router) relayWriteErr(w http.ResponseWriter, err error) {
+	var te *terminalError
+	if errors.As(err, &te) {
+		rt.met.errors4xx.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(te.status)
+		w.Write(te.body)
+		return
+	}
+	rt.met.unavailable.Add(1)
+	writeError(w, http.StatusServiceUnavailable, err)
+}

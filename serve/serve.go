@@ -7,9 +7,10 @@
 //	POST   /v1/insert        add a point
 //	DELETE /v1/points/{id}   tombstone a point
 //	POST   /v1/admin/swap    zero-downtime swap to a persisted index
-//	GET    /healthz          liveness (503 while draining)
+//	GET    /healthz          liveness (503 while draining), node role, lag
 //	GET    /metrics          Prometheus text exposition
 //	GET    /statz            JSON diagnostic snapshot
+//	GET    /v1/repl/*        replication streams for followers (repl.go)
 //
 // Four serving mechanics distinguish it from a plain mux over the engine:
 //
@@ -127,6 +128,8 @@ type config struct {
 	cacheCap   int
 	loader     func(path string) (Index, error)
 	loadOpts   []sdquery.SDOption
+
+	followInterval time.Duration // follower poll cadence (follower.go)
 }
 
 // WithCoalesceWindow sets how long the admission layer holds the first
@@ -222,6 +225,12 @@ type Server struct {
 	met    *metrics
 	cache  *resultCache // nil unless WithResultCache(true)
 
+	// serverID is the random half of the replication source token (repl.go);
+	// repl is non-nil exactly on followers (follower.go) and makes the write
+	// endpoints answer 503 + leader hint.
+	serverID string
+	repl     *followerState
+
 	writeSem chan struct{}
 	batchSem chan struct{}
 
@@ -267,6 +276,7 @@ func New(idx Index, opts ...Option) *Server {
 	s := &Server{
 		cfg:      cfg,
 		met:      &metrics{start: time.Now()},
+		serverID: newServerID(),
 		writeSem: make(chan struct{}, cfg.writeLimit),
 		batchSem: make(chan struct{}, cfg.batchLimit),
 	}
@@ -286,6 +296,9 @@ func New(idx Index, opts ...Option) *Server {
 	mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	mux.HandleFunc("DELETE /v1/points/{id}", s.handleRemove)
 	mux.HandleFunc("POST /v1/admin/swap", s.handleSwap)
+	mux.HandleFunc("GET /v1/repl/manifest", s.handleReplManifest)
+	mux.HandleFunc("GET /v1/repl/segment", s.handleReplSegment)
+	mux.HandleFunc("GET /v1/repl/wal", s.handleReplWAL)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /statz", s.handleStatz)
@@ -300,7 +313,29 @@ func (s *Server) Index() Index { return s.box.Load().idx }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Statz returns the current diagnostic snapshot (what GET /statz serves).
-func (s *Server) Statz() Statz { return s.met.statz(s.Index(), s.cache) }
+func (s *Server) Statz() Statz {
+	idx := s.Index()
+	st := s.met.statz(idx, s.cache)
+	st.Role = "leader"
+	if lv, ok := idx.(lsnVectorer); ok {
+		st.ReplLSNs = lv.ShardLSNs()
+	}
+	if t, ok := idx.(totaler); ok {
+		st.IndexIDSpace = t.Total()
+	}
+	if f := s.repl; f != nil {
+		st.Role = "follower"
+		st.Repl = &ReplStatz{
+			Leader:           f.leaderURL,
+			LagRecords:       f.lag.Load(),
+			LastPullUnixNano: f.lastPull.Load(),
+			Pulls:            f.pulls.Load(),
+			PullErrors:       f.pullErrs.Load(),
+			Bootstraps:       f.bootstraps.Load(),
+		}
+	}
+	return st
+}
 
 // requestCtx applies the configured per-request deadline.
 func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
@@ -369,6 +404,16 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusBadRequest
 		writeError(w, status, err)
 		return
+	}
+	if s.repl != nil {
+		// A follower labels every answer with the LSN vector of the snapshot
+		// that produced it, read BEFORE the answer is computed (including the
+		// cache lookup) so concurrent replication can only make the label
+		// under-report freshness — a router comparing it against a write's
+		// ack vector then errs toward "too stale", never "fresh enough" when
+		// it isn't. Leaders skip the header on reads: they are definitionally
+		// fresh, and the read path stays allocation-clean.
+		setReplLSNs(w, idx)
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
@@ -553,6 +598,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, fmt.Errorf("serve: write concurrency limit reached"))
 		return
 	}
+	if status = s.refuseFollowerWrite(w); status != http.StatusOK {
+		return
+	}
 	if st, bad := s.walDegraded(); bad {
 		status = http.StatusServiceUnavailable
 		writeError(w, status, fmt.Errorf("serve: index is read-only: %w", st.Err))
@@ -570,13 +618,73 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	id, err := s.Index().Insert(wi.Point)
+	idx := s.Index()
+	if wi.ID != nil {
+		status = s.insertWithID(w, idx, *wi.ID, wi.Point)
+		return
+	}
+	id, err := idx.Insert(wi.Point)
 	if err != nil {
 		status = statusFor(err)
 		writeError(w, status, err)
 		return
 	}
+	// The ack's LSN vector is read AFTER the insert committed, so it is a
+	// position at which the write is certainly visible (over-reporting is
+	// safe on the write side: it only makes a router demand fresher
+	// replicas than strictly needed).
+	setReplLSNs(w, idx)
 	writeJSON(w, http.StatusOK, insertResponse{ID: id})
+}
+
+// insertWithID handles an insert carrying a caller-assigned global ID — the
+// distributed-writer path (cmd/sdrouter assigns cluster-unique ascending
+// IDs). The ID makes retries after ambiguous failures provably idempotent:
+// if the ID is already taken by the identical point, this very write already
+// committed and the duplicate acks 200 exactly like the original; if it is
+// taken by a different point, two writers collided and the 409 is a real
+// error, never silently absorbed. Returns the status for the metrics defer.
+func (s *Server) insertWithID(w http.ResponseWriter, idx Index, id int, point []float64) int {
+	ii, ok := idx.(idInserter)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: index does not accept caller-assigned ids"))
+		return http.StatusBadRequest
+	}
+	if id < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: id must be non-negative, got %d", id))
+		return http.StatusBadRequest
+	}
+	err := ii.InsertWithID(id, point)
+	if errors.Is(err, sdquery.ErrIDExists) {
+		if p, found := ii.PointByID(id); found && pointsEqual(p, point) {
+			setReplLSNs(w, idx)
+			writeJSON(w, http.StatusOK, insertResponse{ID: id})
+			return http.StatusOK
+		}
+		writeError(w, http.StatusConflict, fmt.Errorf("serve: id %d already holds a different point", id))
+		return http.StatusConflict
+	}
+	if err != nil {
+		status := statusFor(err)
+		writeError(w, status, err)
+		return status
+	}
+	setReplLSNs(w, idx)
+	writeJSON(w, http.StatusOK, insertResponse{ID: id})
+	return http.StatusOK
+}
+
+// refuseFollowerWrite answers a mutation on a follower with 503, Retry-After,
+// and the leader's address, returning the status to record (200 = proceed).
+func (s *Server) refuseFollowerWrite(w http.ResponseWriter) int {
+	f := s.repl
+	if f == nil {
+		return http.StatusOK
+	}
+	w.Header().Set(headerLeader, f.leaderURL)
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("serve: node is a read-only follower; write to the leader at %s", f.leaderURL))
+	return http.StatusServiceUnavailable
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -598,6 +706,9 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, fmt.Errorf("point id %q: %w", r.PathValue("id"), err))
 		return
 	}
+	if status = s.refuseFollowerWrite(w); status != http.StatusOK {
+		return
+	}
 	if st, bad := s.walDegraded(); bad {
 		status = http.StatusServiceUnavailable
 		writeError(w, status, fmt.Errorf("serve: index is read-only: %w", st.Err))
@@ -614,14 +725,20 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 			writeError(w, status, err)
 			return
 		}
+		setReplLSNs(w, idx)
 		writeJSON(w, http.StatusOK, removeResponse{ID: id, Removed: removed})
 		return
 	}
+	setReplLSNs(w, idx)
 	writeJSON(w, http.StatusOK, removeResponse{ID: id, Removed: idx.Remove(id)})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		// Draining is transient and bounded by the drain timeout, so unlike
+		// the sticky WAL degradation this 503 tells clients when to come back
+		// — same contract as the 429 and follower-write paths.
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -633,12 +750,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "degraded: write-ahead log failed; serving read-only")
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	if f := s.repl; f != nil {
+		fmt.Fprintf(w, "ok\nrole: follower\nleader: %s\nrepl_lag_records: %d\n", f.leaderURL, f.lag.Load())
+		return
+	}
+	fmt.Fprintln(w, "ok\nrole: leader")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.writeProm(w, s.Index(), s.cache)
+	s.writeReplProm(w)
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -692,10 +814,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// Close releases the server's goroutines (the coalescer) without waiting
-// for in-flight HTTP requests; use Shutdown for graceful drain. Safe after
-// Shutdown; idempotent.
+// Close releases the server's goroutines (the coalescer, and on a follower
+// the replication pull loop) without waiting for in-flight HTTP requests;
+// use Shutdown for graceful drain. Safe after Shutdown; idempotent. A
+// follower also closes its index — NewFollower built it, so nobody else
+// holds it.
 func (s *Server) Close() {
+	if s.repl != nil {
+		s.repl.stop()
+		if c, ok := s.Index().(closer); ok {
+			c.Close()
+		}
+	}
 	if s.co != nil {
 		s.co.close()
 	}

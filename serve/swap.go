@@ -107,6 +107,12 @@ func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 
+	// On a follower the replication loop owns the index; an admin swap would
+	// fork it from the leader.
+	if status = s.refuseFollowerWrite(w); status != http.StatusOK {
+		return
+	}
+
 	body, err := readBody(w, r)
 	if err != nil {
 		status = http.StatusBadRequest

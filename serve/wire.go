@@ -51,6 +51,10 @@ type wireBatch struct {
 
 type wireInsert struct {
 	Point []float64 `json:"point"`
+	// ID optionally assigns the point's global ID (must be above every ID the
+	// index has seen). Distributed writers use it to make insert retries
+	// idempotent — see Server.insertWithID. Absent, the index assigns.
+	ID *int `json:"id,omitempty"`
 }
 
 type wireSwap struct {
