@@ -69,7 +69,7 @@ func main() {
 		addr     = flag.String("addr", ":9000", "listen address")
 		slots    = flag.Int("slots", 64, "rendezvous slots the ID space folds into (all routers over one cluster must agree)")
 		tryTO    = flag.Duration("try-timeout", 2*time.Second, "per-attempt deadline")
-		retries  = flag.Int("retries", 2, "retries after a failed attempt")
+		retries  = flag.Int("retries", 2, "retries after a failed attempt (0 disables retries)")
 		backoff  = flag.Duration("backoff-base", 10*time.Millisecond, "first retry backoff (doubles per retry, jittered)")
 		backoffC = flag.Duration("backoff-cap", 500*time.Millisecond, "retry backoff ceiling")
 		hedge    = flag.Duration("hedge-delay", 0, "hedged-read trigger delay (0 adapts to each node's p99; negative disables hedging)")
@@ -86,11 +86,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// In Config the zero value means "default"; the CLI says what it means,
+	// so 0 maps to the explicit no-retries sentinel.
+	cfgRetries := *retries
+	if cfgRetries == 0 {
+		cfgRetries = -1
+	}
 	rt, err := router.New(router.Config{
 		Partitions:     partitions,
 		Slots:          *slots,
 		TryTimeout:     *tryTO,
-		Retries:        *retries,
+		Retries:        cfgRetries,
 		BackoffBase:    *backoff,
 		BackoffCap:     *backoffC,
 		HedgeDelay:     *hedge,

@@ -159,7 +159,9 @@
 // byte-identical to a single node over all rows), and writes route to the
 // owning leader under router-assigned cluster-unique IDs, which make
 // ambiguous-write retries provably idempotent (duplicate 200 / conflict
-// 409). Failures are handled per try: capped jittered backoff, p99-
+// 409); inserts bound for one partition are forwarded in ID-allocation
+// order, since a node admits a caller-assigned ID only above its current
+// ID space. Failures are handled per try: capped jittered backoff, p99-
 // triggered hedged reads against replicas, consecutive-failure ejection
 // with half-open recovery, and failover from a dead leader to the
 // freshest replica — gated by per-shard LSN write watermarks, so a stale

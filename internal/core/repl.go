@@ -86,18 +86,29 @@ type WALTailInfo struct {
 	// the leader entirely. The caller must re-bootstrap from a snapshot; the
 	// records that were written (if any) must be discarded.
 	Gap bool
+	// Capped reports that the export stopped at the caller's size limit
+	// rather than at LeaderLSN. The stream is a clean contiguous prefix —
+	// apply it and ask again from Last; Capped and Gap are mutually
+	// exclusive.
+	Capped bool
 }
 
-// WALTail streams every retained WAL record with LSN > from, in order, in
-// the log's own framing (file magic header, then crc|len|lsn|payload
-// records), and reports how far the stream reaches. It requires a WAL.
+// WALTail streams retained WAL records with LSN > from, in order, in the
+// log's own framing (file magic header, then crc|len|lsn|payload records),
+// and reports how far the stream reaches. It requires a WAL.
+//
+// maxBytes bounds the export: once at least that many record bytes are
+// written the scan stops cleanly at a record boundary and reports Capped —
+// a far-behind follower is caught up over several bounded responses instead
+// of one response materializing the whole retained log. 0 (or negative)
+// streams everything.
 //
 // The scan holds the checkpoint lock — checkpoints retire log files, and a
 // file must not disappear mid-scan — but not the append lock: records
 // published before the scan started are fully written (appends complete
 // before their snapshot publishes), and a torn in-flight append past
 // LeaderLSN merely ends the scan early without a gap.
-func (e *Engine) WALTail(w io.Writer, from uint64) (WALTailInfo, error) {
+func (e *Engine) WALTail(w io.Writer, from uint64, maxBytes int) (WALTailInfo, error) {
 	l := e.wal
 	if l == nil {
 		return WALTailInfo{}, fmt.Errorf("core: WALTail: engine has no write-ahead log")
@@ -118,6 +129,7 @@ func (e *Engine) WALTail(w io.Writer, from uint64) (WALTailInfo, error) {
 		return info, fmt.Errorf("core: WALTail: %w", err)
 	}
 	expect := from + 1
+	written := 0
 	var werr error
 scan:
 	for _, seq := range seqs {
@@ -146,6 +158,11 @@ scan:
 				}
 				expect++
 				info.Records++
+				written += len(rec) + len(payload)
+				if maxBytes > 0 && written >= maxBytes {
+					info.Capped = true
+					return false
+				}
 				return true
 			default:
 				info.Gap = true // LSNs jumped: the range in between was retired
@@ -156,18 +173,25 @@ scan:
 		if werr != nil {
 			return info, werr
 		}
-		if info.Gap || !clean {
-			// A gap ends the export; a torn record is the current file's
-			// in-flight tail and also ends it (nothing valid follows).
+		if info.Gap || info.Capped || !clean {
+			// A gap ends the export; so does hitting the size cap; a torn
+			// record is the current file's in-flight tail and also ends it
+			// (nothing valid follows).
 			break scan
 		}
 	}
 	info.Last = expect - 1
 	// The stream must reach the LSN the engine had already published when
 	// the scan began; stopping short means records the follower needs were
-	// retired (or lost), which only a re-bootstrap can repair.
-	if info.Last < info.LeaderLSN {
+	// retired (or lost), which only a re-bootstrap can repair — unless the
+	// stop was the caller's own size cap, which the caller resumes past.
+	if info.Last < info.LeaderLSN && !info.Capped {
 		info.Gap = true
+	}
+	if info.Capped && info.Last >= info.LeaderLSN {
+		// The cap landed exactly on the leader's position: nothing is
+		// actually missing.
+		info.Capped = false
 	}
 	return info, nil
 }

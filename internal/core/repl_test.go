@@ -62,7 +62,7 @@ func TestReplSnapshotPlusTailRoundTrip(t *testing.T) {
 	}
 
 	var tail bytes.Buffer
-	info, err := e.WALTail(&tail, f.LastLSN())
+	info, err := e.WALTail(&tail, f.LastLSN(), 0)
 	if err != nil {
 		t.Fatalf("WALTail: %v", err)
 	}
@@ -118,7 +118,7 @@ func TestReplTailFollowerAheadIsGap(t *testing.T) {
 	e := replTestEngine(t, fs, "wal")
 	defer e.Close()
 	var buf bytes.Buffer
-	info, err := e.WALTail(&buf, e.LastLSN()+10)
+	info, err := e.WALTail(&buf, e.LastLSN()+10, 0)
 	if err != nil {
 		t.Fatalf("WALTail: %v", err)
 	}
@@ -151,7 +151,7 @@ func TestReplTailAfterCheckpointRetireIsGap(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	info, err := e.WALTail(&buf, 0)
+	info, err := e.WALTail(&buf, 0, 0)
 	if err != nil {
 		t.Fatalf("WALTail: %v", err)
 	}
@@ -160,9 +160,74 @@ func TestReplTailAfterCheckpointRetireIsGap(t *testing.T) {
 	}
 	// From the checkpoint's LSN the tail is contiguous again.
 	buf.Reset()
-	info, err = e.WALTail(&buf, 10)
+	info, err = e.WALTail(&buf, 10, 0)
 	if err != nil || info.Gap || info.Last != e.LastLSN() {
 		t.Fatalf("tail from checkpoint LSN: info %+v err %v", info, err)
+	}
+}
+
+// A capped tail must stop cleanly at a record boundary without reporting a
+// gap, and resuming from Last chunk by chunk must reconstruct exactly the
+// state one unbounded tail would have — the discipline that keeps the
+// leader's per-request buffer bounded for a far-behind follower.
+func TestReplTailCappedResumes(t *testing.T) {
+	fs := faultfs.NewMem()
+	e := replTestEngine(t, fs, "wal")
+	defer e.Close()
+
+	var snap bytes.Buffer
+	lsn, err := e.SaveWithLSN(&snap)
+	if err != nil {
+		t.Fatalf("SaveWithLSN: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := e.Insert([]float64{float64(i), float64(-i)}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+
+	f, err := Load(bytes.NewReader(snap.Bytes()), RuntimeOptions{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	cursor := lsn
+	chunks := 0
+	for {
+		var chunk bytes.Buffer
+		// Small enough that one chunk holds only a few of the 50 records.
+		info, err := e.WALTail(&chunk, cursor, 64)
+		if err != nil {
+			t.Fatalf("WALTail chunk %d: %v", chunks, err)
+		}
+		if info.Gap {
+			t.Fatalf("capped tail reported a gap: %+v", info)
+		}
+		if info.Capped && info.Last >= info.LeaderLSN {
+			t.Fatalf("Capped with nothing missing: %+v", info)
+		}
+		if _, _, err := f.ApplyWALStream(bytes.NewReader(chunk.Bytes())); err != nil {
+			t.Fatalf("apply chunk %d: %v", chunks, err)
+		}
+		if f.LastLSN() != info.Last {
+			t.Fatalf("chunk %d applied to %d, tail said %d", chunks, f.LastLSN(), info.Last)
+		}
+		cursor = info.Last
+		chunks++
+		if !info.Capped {
+			if info.Last != e.LastLSN() {
+				t.Fatalf("uncapped final chunk reached %d, leader at %d", info.Last, e.LastLSN())
+			}
+			break
+		}
+		if chunks > 200 {
+			t.Fatal("capped tail never completed")
+		}
+	}
+	if chunks < 2 {
+		t.Fatalf("cap of 64 bytes produced only %d chunk(s); the cap did nothing", chunks)
+	}
+	if f.Len() != e.Len() || f.LastLSN() != e.LastLSN() {
+		t.Fatalf("follower len/lsn %d/%d, leader %d/%d", f.Len(), f.LastLSN(), e.Len(), e.LastLSN())
 	}
 }
 
@@ -182,7 +247,7 @@ func TestReplApplyRejectsDamage(t *testing.T) {
 		}
 	}
 	var tail bytes.Buffer
-	if info, err := e.WALTail(&tail, 0); err != nil || info.Gap {
+	if info, err := e.WALTail(&tail, 0, 0); err != nil || info.Gap {
 		t.Fatalf("WALTail: %+v %v", info, err)
 	}
 

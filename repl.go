@@ -39,6 +39,7 @@ type ReplTail struct {
 	LeaderLSN  uint64
 	Records    int
 	Gap        bool
+	Capped     bool
 }
 
 // ReplShards reports how many independently-replicated shard streams the
@@ -66,13 +67,15 @@ func (s *ShardedIndex) ReplSnapshot(si int, w io.Writer) (uint64, error) {
 	return s.shards[si].eng.SaveWithLSN(w)
 }
 
-// ReplWALTail streams shard si's WAL records after LSN from; see
-// core.Engine.WALTail for the gap contract.
-func (s *ShardedIndex) ReplWALTail(si int, from uint64, w io.Writer) (ReplTail, error) {
+// ReplWALTail streams shard si's WAL records after LSN from, writing at
+// most maxBytes of records per call (0 = unbounded; a capped export sets
+// Capped and the caller resumes from Last); see core.Engine.WALTail for the
+// gap contract.
+func (s *ShardedIndex) ReplWALTail(si int, from uint64, w io.Writer, maxBytes int) (ReplTail, error) {
 	if si < 0 || si >= len(s.shards) {
 		return ReplTail{}, fmt.Errorf("sdquery: shard %d of %d", si, len(s.shards))
 	}
-	info, err := s.shards[si].eng.WALTail(w, from)
+	info, err := s.shards[si].eng.WALTail(w, from, maxBytes)
 	return ReplTail(info), err
 }
 
@@ -301,12 +304,13 @@ func (s *SDIndex) ReplSnapshot(si int, w io.Writer) (uint64, error) {
 	return s.eng.SaveWithLSN(w)
 }
 
-// ReplWALTail streams WAL records after LSN from (shard must be 0).
-func (s *SDIndex) ReplWALTail(si int, from uint64, w io.Writer) (ReplTail, error) {
+// ReplWALTail streams WAL records after LSN from (shard must be 0), writing
+// at most maxBytes of records per call (0 = unbounded).
+func (s *SDIndex) ReplWALTail(si int, from uint64, w io.Writer, maxBytes int) (ReplTail, error) {
 	if si != 0 {
 		return ReplTail{}, fmt.Errorf("sdquery: shard %d of 1", si)
 	}
-	info, err := s.eng.WALTail(w, from)
+	info, err := s.eng.WALTail(w, from, maxBytes)
 	return ReplTail(info), err
 }
 

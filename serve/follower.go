@@ -241,32 +241,41 @@ func (s *Server) pullOnce() error {
 		return s.rebootstrap()
 	}
 	for si := range applied {
-		if m.LSNs[si] <= applied[si] {
-			continue
-		}
-		resp, err := f.client.Get(fmt.Sprintf("%s/v1/repl/wal?shard=%d&from=%d", f.leaderURL, si, applied[si]))
-		if err != nil {
-			return err
-		}
-		if resp.StatusCode == http.StatusGone {
+		// The leader caps each /wal response, so one poll may take several
+		// pulls to reach the manifest position; loop until caught up to the
+		// position this poll observed (the leader moving further meanwhile
+		// is the next tick's work).
+		for applied[si] < m.LSNs[si] {
+			resp, err := f.client.Get(fmt.Sprintf("%s/v1/repl/wal?shard=%d&from=%d", f.leaderURL, si, applied[si]))
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode == http.StatusGone {
+				resp.Body.Close()
+				return s.rebootstrap()
+			}
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				return fmt.Errorf("wal shard %d: leader answered %d", si, resp.StatusCode)
+			}
+			if src := resp.Header.Get(headerReplSource); src != m.Source {
+				resp.Body.Close()
+				return s.rebootstrap()
+			}
+			n, err := ra.ApplyReplWAL(si, resp.Body)
 			resp.Body.Close()
-			return s.rebootstrap()
-		}
-		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
-			return fmt.Errorf("wal shard %d: leader answered %d", si, resp.StatusCode)
-		}
-		if src := resp.Header.Get(headerReplSource); src != m.Source {
-			resp.Body.Close()
-			return s.rebootstrap()
-		}
-		_, err = ra.ApplyReplWAL(si, resp.Body)
-		resp.Body.Close()
-		if errors.Is(err, sdquery.ErrReplGap) {
-			return s.rebootstrap()
-		}
-		if err != nil {
-			return err
+			if errors.Is(err, sdquery.ErrReplGap) {
+				return s.rebootstrap()
+			}
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				// No forward progress; leave the rest for the next tick
+				// rather than spin.
+				break
+			}
+			applied[si] = ra.ShardLSNs()[si]
 		}
 	}
 	var lag uint64

@@ -40,6 +40,13 @@ import (
 
 const replFormat = "sd-repl/v1"
 
+// replWALChunkBytes caps the record bytes one /v1/repl/wal response carries.
+// It bounds the leader's per-request buffer (built under the engine's
+// checkpoint lock); a follower further behind than one chunk catches up
+// over successive pulls (follower.go tails until it reaches the manifest
+// position).
+const replWALChunkBytes = 4 << 20
+
 // Replication headers. X-SD-Repl-Lsns carries a comma-separated per-shard
 // LSN vector: on follower /v1/topk responses it states the freshness of the
 // snapshot that answered (computed before the answer, so it never
@@ -62,7 +69,7 @@ type replSource interface {
 	ReplShards() int
 	ShardLSNs() []uint64
 	ReplSnapshot(si int, w io.Writer) (uint64, error)
-	ReplWALTail(si int, from uint64, w io.Writer) (sdquery.ReplTail, error)
+	ReplWALTail(si int, from uint64, w io.Writer, maxBytes int) (sdquery.ReplTail, error)
 }
 
 // replApplier is the follower side: apply a leader's WAL stream to a shard.
@@ -187,10 +194,12 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 	}
 	// Buffer the tail before writing headers: the gap verdict and the reach
 	// of the stream are only known after the scan, and both belong in the
-	// response head. Tails are bounded by the churn between two polls (or
-	// they gap), so the buffer stays small in steady state.
+	// response head. The export is capped per response (a far-behind cursor
+	// is caught up over several polls), so the buffer — which is built while
+	// the engine holds its checkpoint lock — stays bounded no matter how
+	// much log is retained.
 	var buf bytes.Buffer
-	tail, err := rs.ReplWALTail(si, from, &buf)
+	tail, err := rs.ReplWALTail(si, from, &buf, replWALChunkBytes)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

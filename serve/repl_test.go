@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -162,7 +163,13 @@ func TestFollowerE2E(t *testing.T) {
 func TestFollowerRebootstrapOnSourceChange(t *testing.T) {
 	idx := walTestIndex(t, 1_000, 21)
 	leader := New(idx)
-	lts := httptest.NewServer(leader.Handler())
+	// The handler is swapped mid-test while the follower's pull loop keeps
+	// requests in flight, so the indirection must be atomic.
+	var handler atomic.Value
+	handler.Store(leader.Handler())
+	lts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
 
 	follower, err := NewFollower(lts.URL, WithFollowInterval(10*time.Millisecond))
 	if err != nil {
@@ -178,7 +185,7 @@ func TestFollowerRebootstrapOnSourceChange(t *testing.T) {
 	idx2 := walTestIndex(t, 1_500, 22)
 	leader2 := New(idx2)
 	defer leader2.Close()
-	lts.Config.Handler = leader2.Handler()
+	handler.Store(leader2.Handler())
 	leader.Close()
 
 	deadline := time.Now().Add(10 * time.Second)

@@ -39,9 +39,9 @@ func (h mergeHeap) Len() int { return len(h) }
 func (h mergeHeap) Less(i, j int) bool {
 	return resultLess(h[i].list[h[i].pos], h[j].list[h[j].pos])
 }
-func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeHead)) }
-func (h *mergeHeap) Pop() (out any)    { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+func (h mergeHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)     { *h = append(*h, x.(mergeHead)) }
+func (h *mergeHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
 
 // mergeTopK merges per-partition top-k lists into the global top-k. Lists
 // must each be sorted by resultLess (they are — nodes emit that order); the

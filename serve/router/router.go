@@ -34,9 +34,12 @@ type Config struct {
 	Slots int
 	// TryTimeout bounds each individual attempt (default 2s).
 	TryTimeout time.Duration
-	// Retries is how many times a failed attempt is retried (default 2, so
-	// 3 attempts total), with exponential backoff from BackoffBase (default
-	// 10ms) capped at BackoffCap (default 500ms), jittered ±50%.
+	// Retries is how many times a failed attempt is retried, with
+	// exponential backoff from BackoffBase (default 10ms) capped at
+	// BackoffCap (default 500ms), jittered ±50%. The zero value takes the
+	// default of 2 (3 attempts total); any negative value disables retries
+	// entirely (1 attempt). The sdrouter -retries flag translates 0 to the
+	// negative sentinel, so "-retries 0" means what it says.
 	Retries     int
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
@@ -94,6 +97,10 @@ type partition struct {
 	name     string
 	leader   *node
 	replicas []*node
+
+	// wq orders in-flight inserts so they reach the leader in ID-allocation
+	// order — the node's ID-space contract requires it (write.go).
+	wq *writeQueue
 
 	// hw is the write high-watermark: the componentwise max of the
 	// X-SD-Repl-Lsns vectors on this partition's write acks through this
@@ -175,7 +182,7 @@ func New(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("router: partition %q has no leader", pc.Name)
 		}
 		names[i] = pc.Name
-		p := &partition{name: pc.Name, leader: &node{url: strings.TrimRight(pc.Leader, "/")}}
+		p := &partition{name: pc.Name, leader: &node{url: strings.TrimRight(pc.Leader, "/")}, wq: newWriteQueue()}
 		for _, ru := range pc.Replicas {
 			p.replicas = append(p.replicas, &node{url: strings.TrimRight(ru, "/")})
 		}
@@ -255,6 +262,16 @@ type terminalError struct {
 
 func (e *terminalError) Error() string {
 	return fmt.Sprintf("node answered %d: %s", e.status, bytes.TrimSpace(e.body))
+}
+
+// relayTerminal passes a node's terminal verdict through verbatim — its
+// status code and its error body — so the client sees exactly what a single
+// node would have answered (a 404 stays 404, a 413 stays 413).
+func (rt *Router) relayTerminal(w http.ResponseWriter, te *terminalError) {
+	rt.met.errors4xx.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(te.status)
+	w.Write(te.body)
 }
 
 var (
@@ -612,8 +629,9 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 		var te *terminalError
 		if errors.As(errs[i], &te) {
 			// The request itself is invalid — every partition would agree.
-			rt.met.errors4xx.Add(1)
-			writeError(w, http.StatusBadRequest, errs[i])
+			// Relay the node's own verdict (status and body), exactly as a
+			// single node would have answered.
+			rt.relayTerminal(w, te)
 			return
 		}
 	}
@@ -643,13 +661,23 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var peek struct {
 		Queries []struct {
-			K int `json:"k"`
+			K     int  `json:"k"`
+			Stats bool `json:"stats"`
 		} `json:"queries"`
 	}
 	if err := json.Unmarshal(body, &peek); err != nil || len(peek.Queries) == 0 {
 		rt.met.errors4xx.Add(1)
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode batch: %v", err))
 		return
+	}
+	for qi := range peek.Queries {
+		// Same contract as handleTopK: per-node counters do not merge, so a
+		// stats request must fail loudly rather than silently drop them.
+		if peek.Queries[qi].Stats {
+			rt.met.errors4xx.Add(1)
+			writeError(w, http.StatusBadRequest, fmt.Errorf("router: stats=true is not supported through the router (per-node counters do not merge); query %d sets it", qi))
+			return
+		}
 	}
 
 	// The whole batch is forwarded to every partition (each holds a row
@@ -681,8 +709,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			var te *terminalError
 			if errors.As(err, &te) {
-				rt.met.errors4xx.Add(1)
-				writeError(w, http.StatusBadRequest, err)
+				rt.relayTerminal(w, te)
 				return
 			}
 			// Batches have no partial mode: a batch is usually a programmatic

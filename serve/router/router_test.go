@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -245,6 +246,158 @@ func TestRouterWriteAndRead(t *testing.T) {
 	rresp.Body.Close()
 	if !bytes.Equal(ob, rb) {
 		t.Fatal("post-remove answers diverged")
+	}
+}
+
+// TestConcurrentInsertsNeverSpuriously409 pins the write-ordering fix:
+// concurrent router inserts get ascending IDs, and without per-partition
+// ordering a higher ID could commit before a lower one reached the same
+// leader, making the lower insert die with a spurious 409 against an empty
+// gap slot. Every concurrent insert must succeed, and every one must be
+// verifiably committed under its assigned ID.
+func TestConcurrentInsertsNeverSpuriously409(t *testing.T) {
+	data := dataset.Generate(dataset.Uniform, 200, len(testRoles()), 91)
+	rt, _ := clusterFromRows(t, data, []string{"a", "b"}, 32)
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+	client := &http.Client{}
+
+	extra := dataset.Generate(dataset.Uniform, 64, len(testRoles()), 92)
+	ids := make([]int, len(extra))
+	statuses := make([]int, len(extra))
+	bodies := make([]string, len(extra))
+	var wg sync.WaitGroup
+	for i := range extra {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, _ := json.Marshal(map[string]any{"point": extra[i]})
+			resp, err := client.Post(rts.URL+"/v1/insert", "application/json", bytes.NewReader(b))
+			if err != nil {
+				statuses[i] = -1
+				bodies[i] = err.Error()
+				return
+			}
+			rb, _ := readAllBounded(resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			bodies[i] = string(rb)
+			var ir struct {
+				ID int `json:"id"`
+			}
+			if json.Unmarshal(rb, &ir) == nil {
+				ids[i] = ir.ID
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	seen := make(map[int]bool, len(ids))
+	for i, st := range statuses {
+		if st != http.StatusOK {
+			t.Fatalf("concurrent insert %d: status %d body %s", i, st, bodies[i])
+		}
+		if seen[ids[i]] {
+			t.Fatalf("id %d assigned twice", ids[i])
+		}
+		seen[ids[i]] = true
+	}
+
+	// Each insert truly committed under its ID: retrying the identical
+	// {id, point} must be a duplicate 200. A lost write would answer 409
+	// (the ID space grew past it, but the slot holds nothing).
+	for i := range extra {
+		rb, _ := json.Marshal(map[string]any{"point": extra[i], "id": ids[i]})
+		resp, err := client.Post(rts.URL+"/v1/insert", "application/json", bytes.NewReader(rb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := readAllBounded(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("retry of committed id %d: status %d body %s", ids[i], resp.StatusCode, body)
+		}
+	}
+}
+
+// TestBatchRejectsStats pins that /v1/batch refuses stats=true loudly, like
+// /v1/topk does: per-node counters do not merge, and silently dropping the
+// stats would break the byte-identity contract.
+func TestBatchRejectsStats(t *testing.T) {
+	data := dataset.Generate(dataset.Uniform, 500, len(testRoles()), 95)
+	rt, _ := clusterFromRows(t, data, []string{"a", "b"}, 32)
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	qs := testQueries(2, 96)
+	wq := make([]json.RawMessage, len(qs))
+	for i, q := range qs {
+		wq[i] = queryBody(t, q)
+	}
+	// Flip stats on the second query only.
+	var m map[string]any
+	if err := json.Unmarshal(wq[1], &m); err != nil {
+		t.Fatal(err)
+	}
+	m["stats"] = true
+	wq[1], _ = json.Marshal(m)
+	bb, _ := json.Marshal(map[string]any{"queries": wq})
+
+	resp, err := http.Post(rts.URL+"/v1/batch", "application/json", bytes.NewReader(bb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAllBounded(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("batch with stats=true: status %d body %s, want 400", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("stats")) {
+		t.Fatalf("400 body does not name stats: %s", body)
+	}
+}
+
+// TestTerminalReadStatusRelayed pins that a node's terminal verdict on the
+// read path keeps its status code and body through the router instead of
+// collapsing to a generic 400.
+func TestTerminalReadStatusRelayed(t *testing.T) {
+	const nodeBody = `{"error":"payload too large"}` + "\n"
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/topk", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusRequestEntityTooLarge)
+		w.Write([]byte(nodeBody))
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	node := httptest.NewServer(mux)
+	defer node.Close()
+
+	rt, err := New(Config{
+		Partitions: []Partition{{Name: "solo", Leader: node.URL}},
+		Slots:      8, Seed: 1, Retries: 1,
+		BackoffBase: time.Millisecond, TryTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	body := queryBody(t, testQueries(1, 97)[0])
+	resp, err := http.Post(rts.URL+"/v1/topk", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readAllBounded(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("relayed status %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+	if string(got) != nodeBody {
+		t.Fatalf("relayed body %q, want %q", got, nodeBody)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -33,6 +34,83 @@ import (
 // every ID any node has seen, then advances locally. One router owns writes
 // at a time — the standard single-writer deployment; running two writers
 // risks 409s, not corruption.
+//
+// Inserts bound for one partition are forwarded in ID-allocation order
+// (writeQueue): a node admits a caller-assigned ID only above its current
+// ID space, so if id N+1 committed before id N arrived, N would be
+// rejected as ErrIDExists against an empty gap slot and a legitimate
+// single-writer insert would die with a spurious 409. Each insert claims
+// its partition's next queue ticket in the same critical section that
+// assigns its ID, then waits for every earlier ticket to finish (forward,
+// retries and all) before its own forward starts. Cross-partition writes
+// stay concurrent; within a partition, ordering is the price of the strict
+// ascending-ID contract that makes retries provably idempotent.
+
+// writeQueue is a FIFO ticket lock: tickets are handed out in order, and a
+// ticket's holder may proceed only once every earlier ticket was released.
+// Abandoned tickets (holder's context ended while waiting) release through
+// the same path, so one canceled insert never wedges the partition.
+type writeQueue struct {
+	mu       sync.Mutex
+	next     uint64 // next ticket to hand out
+	serving  uint64 // lowest ticket not yet released
+	released map[uint64]bool
+	waiters  map[uint64]chan struct{}
+}
+
+func newWriteQueue() *writeQueue {
+	return &writeQueue{
+		released: make(map[uint64]bool),
+		waiters:  make(map[uint64]chan struct{}),
+	}
+}
+
+// enqueue hands out the next ticket. Every ticket must eventually be
+// released, whether or not its turn was awaited.
+func (q *writeQueue) enqueue() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.next
+	q.next++
+	return t
+}
+
+// await blocks until every ticket before t is released, or ctx ends.
+func (q *writeQueue) await(ctx context.Context, t uint64) error {
+	q.mu.Lock()
+	if q.serving == t {
+		q.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	q.waiters[t] = ch
+	q.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		delete(q.waiters, t)
+		q.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release retires ticket t and wakes the next in-order waiter once every
+// ticket below it is retired.
+func (q *writeQueue) release(t uint64) {
+	q.mu.Lock()
+	q.released[t] = true
+	for q.released[q.serving] {
+		delete(q.released, q.serving)
+		q.serving++
+		if ch, ok := q.waiters[q.serving]; ok {
+			close(ch)
+			delete(q.waiters, q.serving)
+		}
+	}
+	q.mu.Unlock()
+}
 
 // seedIDs initializes the global ID counter from the cluster (idempotent,
 // cheap after the first call).
@@ -75,12 +153,20 @@ func (rt *Router) idSpaceOf(ctx context.Context, p *partition) (int, error) {
 	return st.IDSpace, nil
 }
 
-// allocID hands out the next cluster-unique ID.
-func (rt *Router) allocID(ctx context.Context) (int, error) {
+// allocWrite hands out the next cluster-unique ID and claims the owner
+// partition's write ticket in the same critical section: allocation order
+// and per-partition forwarding order can therefore never disagree, which is
+// what keeps concurrent inserts from reaching a leader with reordered IDs.
+func (rt *Router) allocWrite(ctx context.Context) (int, *partition, uint64, error) {
 	if err := rt.seedIDs(ctx); err != nil {
-		return 0, err
+		return 0, nil, 0, err
 	}
-	return int(rt.nextID.Add(1) - 1), nil
+	rt.idMu.Lock()
+	id := int(rt.nextID.Add(1) - 1)
+	p := rt.owner(id)
+	ticket := p.wq.enqueue()
+	rt.idMu.Unlock()
+	return id, p, ticket, nil
 }
 
 // writeToLeader sends one mutation to the partition's leader with the
@@ -173,24 +259,30 @@ func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var id int
+	var p *partition
+	var ticket uint64
 	if wi.ID != nil {
 		// A client-supplied ID (a retry of its own, or an external ID
 		// authority) routes like any other; the node still proves
-		// idempotence or conflicts.
+		// idempotence or conflicts. It joins the owner's write queue at the
+		// point it arrives.
 		id = *wi.ID
 		if id < 0 {
 			rt.met.errors4xx.Add(1)
 			writeError(w, http.StatusBadRequest, fmt.Errorf("router: id must be non-negative"))
 			return
 		}
+		p = rt.owner(id)
+		ticket = p.wq.enqueue()
 	} else {
-		id, err = rt.allocID(r.Context())
+		id, p, ticket, err = rt.allocWrite(r.Context())
 		if err != nil {
 			rt.met.unavailable.Add(1)
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
 	}
+	defer p.wq.release(ticket)
 	fwd, err := json.Marshal(struct {
 		Point []float64 `json:"point"`
 		ID    int       `json:"id"`
@@ -199,7 +291,14 @@ func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	data, _, err := rt.writeToLeader(r.Context(), rt.owner(id), http.MethodPost, "/v1/insert", fwd)
+	// Wait for every earlier insert bound for this partition to finish, so
+	// the leader sees IDs in allocation order (see the package comment).
+	if err := p.wq.await(r.Context(), ticket); err != nil {
+		rt.met.unavailable.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	data, _, err := rt.writeToLeader(r.Context(), p, http.MethodPost, "/v1/insert", fwd)
 	if err != nil {
 		rt.relayWriteErr(w, err)
 		return
@@ -239,10 +338,7 @@ func (rt *Router) handleRemove(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) relayWriteErr(w http.ResponseWriter, err error) {
 	var te *terminalError
 	if errors.As(err, &te) {
-		rt.met.errors4xx.Add(1)
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(te.status)
-		w.Write(te.body)
+		rt.relayTerminal(w, te)
 		return
 	}
 	rt.met.unavailable.Add(1)
