@@ -98,6 +98,42 @@ func TestShardQueryPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestTopKAppendZeroAllocsParallel pins the intra-query fan-out: with
+// WithWorkers and a segment cap forcing a multi-segment stack, a warm query
+// still allocates nothing — the per-segment task contexts come from the
+// engine's context pool, the dispatch state (claim counter, barrier, claim
+// closure) is pooled inside the worker pool, and the parent's merge drains
+// through pooled buffers.
+func TestTopKAppendZeroAllocsParallel(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on otherwise alloc-free paths")
+	}
+	data := dataset.Generate(dataset.Uniform, 10_000, 4, 1)
+	idx, err := NewSDIndex(data, allocRoles(), WithWorkers(2), WithMaxSegmentRows(2_500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	if segs, _ := idx.Segments(); segs != 4 {
+		t.Fatalf("expected 4 sealed segments under the row cap, have %d", segs)
+	}
+	q := allocQuery()
+	var buf []Result
+	avg := measureAllocs(func() {
+		var err error
+		buf, err = idx.TopKAppend(buf[:0], q)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("parallel TopKAppend allocates %.2f objects per query in steady state, want 0", avg)
+	}
+	if len(buf) != q.K {
+		t.Fatalf("got %d results, want %d", len(buf), q.K)
+	}
+}
+
 // TestTopKAppendZeroAllocsAfterInsert pins the memtable query path: rows
 // appended by Insert are covered by regrown pooled bitsets and scored by
 // the exact memtable scan, neither of which may allocate in steady state.

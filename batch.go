@@ -17,14 +17,70 @@ import (
 // caller works through its own task list too (see do), so one call runs on
 // up to workers+1 goroutines and concurrent calls add their callers on top.
 type workerPool struct {
-	tasks   chan func()
-	quit    chan struct{}
-	workers int
-	once    sync.Once
+	tasks      chan func()
+	quit       chan struct{}
+	workers    int
+	once       sync.Once
+	dispatches sync.Pool // *dispatch — per-do state, pooled so do allocates nothing
+}
+
+// dispatch is the pooled per-call state of do: the claim counter, the batch
+// barrier, and a permanent claim-loop closure bound to this struct, so a
+// steady-state do call allocates nothing (the closure, counter, and wait
+// group it used to heap-allocate per call were a measurable share of the
+// intra-query fan-out).
+//
+// Reuse is made safe by parking the counter: between calls it holds
+// dispatchParked, so a worker goroutine still inside run from a previous
+// call — it has incremented past the end but not yet returned — reads an
+// index far above any real n and leaves without touching f or the wait
+// group. do reopens the window with an atomic Store(0) only after f, n, and
+// the wait-group add are in place; a claimer can only obtain i < n by
+// incrementing the reopened counter, which orders those writes before its
+// reads, so a late straggler that wanders into the next call behaves
+// exactly like a freshly recruited worker. n is atomic because parked
+// stragglers legitimately read it concurrently with the next call's store.
+type dispatch struct {
+	next atomic.Int64
+	n    atomic.Int64
+	f    func(i int)
+	wg   sync.WaitGroup
+	run  func()
+}
+
+// dispatchParked closes a dispatch's claim window between do calls: large
+// enough that no real batch size reaches it, small enough that straggler
+// increments cannot overflow int64.
+const dispatchParked = int64(1) << 62
+
+func newDispatch() *dispatch {
+	d := &dispatch{}
+	d.next.Store(dispatchParked)
+	d.run = func() {
+		for {
+			i := d.next.Add(1) - 1
+			if i >= d.n.Load() {
+				return
+			}
+			d.f(int(i))
+			d.wg.Done()
+		}
+	}
+	return d
 }
 
 // defaultParallelism is the pool and shard-count default.
 func defaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// poolRunner adapts a workerPool to the engine's core.Runner interface, the
+// hook intra-query segment parallelism fans out through. Each SDIndex built
+// WithWorkers owns its pool outright, so the engine's per-segment tasks are
+// the only do callers on it and the no-nested-do rule below holds by
+// construction (a ShardedIndex's shard engines deliberately get no Runner —
+// their queries already run inside the shard fan-out's do).
+type poolRunner struct{ p *workerPool }
+
+func (r poolRunner) Do(n int, f func(i int)) { r.p.do(n, f) }
 
 func newWorkerPool(workers int) *workerPool {
 	if workers <= 0 {
@@ -63,19 +119,14 @@ func (p *workerPool) do(n int, f func(i int)) {
 	if n == 0 {
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(n)
-	var next atomic.Int64
-	task := func() {
-		for {
-			i := int(next.Add(1)) - 1
-			if i >= n {
-				return
-			}
-			f(i)
-			wg.Done()
-		}
+	d, _ := p.dispatches.Get().(*dispatch)
+	if d == nil {
+		d = newDispatch()
 	}
+	d.f = f
+	d.n.Store(int64(n))
+	d.wg.Add(n)
+	d.next.Store(0) // open the claim window; everything above is now visible
 	// Recruitment: burst-dispatch the claim loop to every idle worker up
 	// front (an idle pool reaches full parallelism immediately), then keep
 	// retrying one non-blocking send per caller-claimed index (workers
@@ -93,7 +144,7 @@ func (p *workerPool) do(n int, f func(i int)) {
 burst:
 	for ; recruited < limit; recruited++ {
 		select {
-		case p.tasks <- task:
+		case p.tasks <- d.run:
 		default:
 			break burst
 		}
@@ -104,36 +155,44 @@ burst:
 	// contexts in defers that would run while workers keep writing into
 	// them. Poison the counter, settle the wait group's accounting (the
 	// panicked index plus every never-claimed one), wait for in-flight
-	// workers to drain, then re-panic. (A panic inside a pool worker is
-	// unrecovered and crashes the process, as before.)
+	// workers to drain, then re-panic; the dispatch is parked again but
+	// not repooled. (A panic inside a pool worker is unrecovered and
+	// crashes the process, as before.)
 	defer func() {
 		if r := recover(); r != nil {
-			claimed := next.Swap(int64(n))
+			claimed := d.next.Swap(int64(n))
 			if claimed > int64(n) {
 				claimed = int64(n)
 			}
-			wg.Add(-(n - int(claimed))) // indices no one will ever claim
-			wg.Done()                   // the index whose f panicked
-			wg.Wait()
+			d.wg.Add(-(n - int(claimed))) // indices no one will ever claim
+			d.wg.Done()                   // the index whose f panicked
+			d.wg.Wait()
+			d.next.Store(dispatchParked)
 			panic(r)
 		}
 	}()
 	for {
-		i := int(next.Add(1)) - 1
+		i := int(d.next.Add(1)) - 1
 		if i >= n {
 			break
 		}
 		if recruited < limit {
 			select {
-			case p.tasks <- task:
+			case p.tasks <- d.run:
 				recruited++
 			default:
 			}
 		}
 		f(i)
-		wg.Done()
+		d.wg.Done()
 	}
-	wg.Wait()
+	d.wg.Wait()
+	// All n indices are done and every straggler's next claim reads the
+	// parked counter, so f can no longer be called; drop it so a pooled
+	// dispatch never pins a finished batch's captures.
+	d.next.Store(dispatchParked)
+	d.f = nil
+	p.dispatches.Put(d)
 }
 
 // close releases the worker goroutines. Idempotent.

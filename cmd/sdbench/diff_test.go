@@ -75,3 +75,38 @@ func TestDiffAgainstBaseline(t *testing.T) {
 		}
 	}
 }
+
+// TestDiffScalingCollapseGate pins the self-referential gate on the
+// intra-query parallelism curve: a flat scaling-4 on a multi-core machine
+// fails even when the baseline (committed from a small machine) is flat
+// too, and a flat curve below the CPU floor passes — one core cannot scale.
+func TestDiffScalingCollapseGate(t *testing.T) {
+	// Baseline as committed from a 1-CPU container: a physically flat curve.
+	base := benchJSON{Schema: benchJSONSchema, Scale: 1, NumCPU: 1, Workloads: []workloadJSON{
+		{Name: "topk/scaling-1", NsPerOp: 4_000_000},
+		{Name: "topk/scaling-4", NsPerOp: 4_000_000},
+	}}
+	path := writeBaseline(t, base)
+	fresh := func(cpu int, s1, s4 int64) benchJSON {
+		return benchJSON{Schema: benchJSONSchema, Scale: 1, NumCPU: cpu, Workloads: []workloadJSON{
+			{Name: "topk/scaling-1", NsPerOp: s1},
+			{Name: "topk/scaling-4", NsPerOp: s4},
+		}}
+	}
+	if err := diffAgainstBaseline(path, fresh(1, 4_000_000, 4_000_000)); err != nil {
+		t.Fatalf("flat curve on a 1-CPU machine rejected: %v", err)
+	}
+	if err := diffAgainstBaseline(path, fresh(8, 4_000_000, 1_900_000)); err != nil {
+		t.Fatalf("2.1x speedup on an 8-CPU machine rejected: %v", err)
+	}
+	err := diffAgainstBaseline(path, fresh(8, 4_000_000, 4_000_000))
+	if err == nil {
+		t.Fatal("flat curve on an 8-CPU machine accepted")
+	}
+	if !strings.Contains(err.Error(), "not scaling") {
+		t.Fatalf("flat-curve error %q does not mention the scaling gate", err)
+	}
+	if err := diffAgainstBaseline(path, fresh(4, 4_000_000, 2_100_000)); err == nil {
+		t.Fatal("1.9x speedup on a 4-CPU machine accepted")
+	}
+}

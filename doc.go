@@ -211,6 +211,30 @@
 // testing.AllocsPerRun. The TopK convenience forms allocate only the
 // returned slice.
 //
+// Below the scheduler, sealed segments store their coordinates in
+// dimension-major columns and every bulk scoring site — packed leaf
+// scans, random-access rescores, the memtable sweep — runs through
+// 8-wide unrolled kernels over those columns (internal/simd; the sdsimd
+// build tag swaps in AVX assembly on amd64, bit-identical to the pure-Go
+// kernels and gated so in CI). WithColumnWidth(32) stores scoring
+// columns as float32 — half the memory traffic — while keeping answers
+// exact: candidates within the narrow columns' error bound of the
+// pruning threshold are rescored against the float64 originals.
+//
+// WithWorkers additionally parallelizes a single query across its sealed
+// segments: each segment's subproblems run as an independent task on the
+// index's worker pool, cooperating through a shared prune floor (the
+// best k-th score any task has proven), and the per-segment top-k sets
+// merge deterministically — answers stay byte-identical to the
+// sequential schedule, enforced by the differential suites and a
+// scheduler-equivalence property test. The fan-out only helps when there
+// are multiple sealed segments (sustained insert traffic, a segment row
+// cap via WithMaxSegmentRows, or a freshly loaded multi-segment file)
+// and spare cores; on one core, or on the compacted single-segment
+// steady state, the sequential path is already optimal. QueryStats
+// remains accurate in total but its per-counter split becomes
+// timing-dependent under the fan-out.
+//
 // Reproduce the numbers with `go test -bench 'BenchmarkTopK$' -benchmem .`
 // or regenerate the machine-readable trajectory with
 // `go run ./cmd/sdbench -json BENCH_sdbench.json`; the committed

@@ -150,11 +150,19 @@ func OpenSDIndex(dir string, opts ...SDOption) (*SDIndex, error) {
 	if m.Kind != manifestKindSDIndex {
 		return nil, fmt.Errorf("sdquery: open %s: directory holds a sharded index; use OpenShardedIndex or Open", dir)
 	}
+	var pool *workerPool
+	if cfg.workersSet {
+		pool = newWorkerPool(cfg.workers)
+		opt.Pool = poolRunner{pool}
+	}
 	eng, err := core.Open(*cfg.walConfig(shardWALDir(dir, 0)), opt)
 	if err != nil {
+		if pool != nil {
+			pool.close()
+		}
 		return nil, err
 	}
-	return &SDIndex{eng: eng, roles: eng.Roles()}, nil
+	return &SDIndex{eng: eng, roles: eng.Roles(), pool: pool}, nil
 }
 
 // OpenShardedIndex recovers a durable ShardedIndex from its WithWAL

@@ -87,6 +87,9 @@ type sdConfig struct {
 	useAngles    bool
 	shards       int
 	workers      int
+	workersSet   bool
+	columnWidth  int
+	maxSegRows   int
 	sched        SchedulerMode
 	noPlanCache  bool
 	memSize      int
@@ -111,7 +114,8 @@ func (c *sdConfig) walConfig(dir string) *core.WALConfig {
 func (c *sdConfig) coreConfig(roles []Role) (core.Config, error) {
 	cfg := core.Config{Roles: roles, Pairing: c.pairing, Tree: c.tree,
 		Scheduler: c.sched, DisablePlanCache: c.noPlanCache,
-		MemtableSize: c.memSize, DisableCompaction: c.noCompact}
+		MemtableSize: c.memSize, DisableCompaction: c.noCompact,
+		ColumnWidth: c.columnWidth, MaxSegmentRows: c.maxSegRows}
 	if c.useAngles {
 		cfg.Tree.Angles = nil
 		for _, d := range c.angleDegrees {
@@ -244,14 +248,47 @@ func WithShards(n int) SDOption {
 	return func(c *sdConfig) { c.shards = n }
 }
 
-// WithWorkers sets the size of the worker pool a ShardedIndex fans queries
-// out on (≤ 0 selects GOMAXPROCS). The calling goroutine always
-// participates in its own query's fan-out, so the effective parallelism of
-// one call is up to workers+1, and concurrent calls each add their calling
-// goroutine on top of the shared pool — the pool bounds the extra
-// goroutines, not total CPU use. NewSDIndex ignores it.
+// WithWorkers sets the size of the worker pool queries fan out on (≤ 0
+// selects GOMAXPROCS). The calling goroutine always participates in its own
+// query's fan-out, so the effective parallelism of one call is up to
+// workers+1, and concurrent calls each add their calling goroutine on top
+// of the shared pool — the pool bounds the extra goroutines, not total CPU
+// use.
+//
+// On a ShardedIndex the pool carries the per-shard fan-out, as before. On
+// NewSDIndex (and LoadSDIndex/OpenSDIndex) the option now enables
+// intra-query segment parallelism: one query's sealed segments are
+// aggregated concurrently, cooperating through a shared termination
+// threshold, and the per-segment candidate sets merge into answers
+// byte-identical to the sequential schedule. Omitting the option keeps
+// the sequential path with its fully deterministic Stats trace; an index
+// with a single sealed segment (the compacted steady state) runs
+// sequentially either way. Shard engines inside a ShardedIndex always
+// aggregate sequentially — the shard fan-out already occupies the pool,
+// and nesting batches on one pool could starve it.
 func WithWorkers(n int) SDOption {
-	return func(c *sdConfig) { c.workers = n }
+	return func(c *sdConfig) { c.workers = n; c.workersSet = true }
+}
+
+// WithColumnWidth selects the precision of the sealed segments' scoring
+// columns: 64 (the default) stores the sweep columns as float64; 32 adds a
+// float32 copy the batch kernels sweep at half the memory bandwidth,
+// rescoring survivors against the exact rows so answers remain byte-identical
+// to the float64 path. The narrow copy costs ~50% extra column memory and is
+// structural: persisted indexes record it, and Load restores it from the
+// file.
+func WithColumnWidth(bits int) SDOption {
+	return func(c *sdConfig) { c.columnWidth = bits }
+}
+
+// WithMaxSegmentRows caps the rows of any sealed segment: the initial bulk
+// build and every compaction split their output into ⌈rows/cap⌉ segments
+// instead of one. A cap turns the single-segment steady state into a stack
+// of bounded segments — the unit WithWorkers' intra-query parallelism fans
+// out over. 0 (the default) leaves segments unbounded; answers are
+// unaffected either way.
+func WithMaxSegmentRows(rows int) SDOption {
+	return func(c *sdConfig) { c.maxSegRows = rows }
 }
 
 // SDIndex is the paper's SD-Index: the general top-k engine with k and
@@ -259,7 +296,8 @@ func WithWorkers(n int) SDOption {
 type SDIndex struct {
 	eng   *core.Engine
 	roles []Role
-	buf   sync.Pool // *[]query.Result scratch for the Append paths
+	pool  *workerPool // owned intra-query fan-out pool; nil without WithWorkers
+	buf   sync.Pool   // *[]query.Result scratch for the Append paths
 }
 
 // NewSDIndex builds the SD-Index over data (row-major, n × d) with the
@@ -280,11 +318,19 @@ func NewSDIndex(data [][]float64, roles []Role, opts ...SDOption) (*SDIndex, err
 		}
 		coreCfg.WAL = cfg.walConfig(shardWALDir(cfg.walDir, 0))
 	}
+	var pool *workerPool
+	if cfg.workersSet {
+		pool = newWorkerPool(cfg.workers)
+		coreCfg.Pool = poolRunner{pool}
+	}
 	eng, err := core.New(data, coreCfg)
 	if err != nil {
+		if pool != nil {
+			pool.close()
+		}
 		return nil, err
 	}
-	return &SDIndex{eng: eng, roles: append([]Role(nil), roles...)}, nil
+	return &SDIndex{eng: eng, roles: append([]Role(nil), roles...), pool: pool}, nil
 }
 
 // TopK answers the query. See Engine.
@@ -347,10 +393,17 @@ func (s *SDIndex) Sync() error { return s.eng.Sync() }
 // recovery time before a planned restart. No-op without a WAL.
 func (s *SDIndex) Checkpoint() error { return s.eng.Checkpoint() }
 
-// Close flushes and closes the index's write-ahead log. The index stays
-// queryable — reads never touch the log — but every later mutation fails
-// with ErrWAL. No-op without a WAL; idempotent.
-func (s *SDIndex) Close() { s.eng.Close() }
+// Close flushes and closes the index's write-ahead log and releases the
+// WithWorkers pool's goroutines. The index stays queryable — reads never
+// touch the log, and a closed pool degrades queries to the sequential
+// schedule (same answers) rather than failing — but every later mutation
+// fails with ErrWAL on a WAL index. Idempotent.
+func (s *SDIndex) Close() {
+	if s.pool != nil {
+		s.pool.close()
+	}
+	s.eng.Close()
+}
 
 // WALStats reports the write-ahead log's counters and health; Enabled is
 // false without WithWAL. A non-nil Err means the log failed and the index

@@ -111,6 +111,62 @@ func TestDifferentialSDIndexStorage(t *testing.T) {
 	})
 }
 
+// TestDifferentialSDIndexColumns runs the oracle workloads over the narrow
+// float32 scoring columns: the approximate sweep plus exact rescore must
+// answer byte-identically to the float64 default, including across the
+// update phase's seals and folds.
+func TestDifferentialSDIndexColumns(t *testing.T) {
+	t.Run("float32", func(t *testing.T) {
+		enginetest.Run(t, enginetest.Factory{
+			Name:          "sdindex-float32",
+			Deterministic: true,
+			New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+				return sdquery.NewSDIndex(data, roles, sdquery.WithColumnWidth(32))
+			},
+		})
+	})
+	t.Run("float32-tiny-memtable", func(t *testing.T) {
+		enginetest.Run(t, enginetest.Factory{
+			Name:          "sdindex-float32-tiny-memtable",
+			Deterministic: true,
+			New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+				return sdquery.NewSDIndex(data, roles,
+					sdquery.WithColumnWidth(32), sdquery.WithMemtableSize(4))
+			},
+		})
+	})
+}
+
+// TestDifferentialSDIndexParallel runs the oracle workloads with intra-query
+// segment parallelism on: a segment row cap forces multi-segment stacks and
+// WithWorkers fans each query's segments out to the pool. Answers must stay
+// byte-identical to the oracle under both schedulers however the segment
+// tasks interleave.
+func TestDifferentialSDIndexParallel(t *testing.T) {
+	t.Run("bound-driven", func(t *testing.T) {
+		enginetest.Run(t, enginetest.Factory{
+			Name:          "sdindex-parallel",
+			Deterministic: true,
+			New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+				return sdquery.NewSDIndex(data, roles,
+					sdquery.WithWorkers(3), sdquery.WithMaxSegmentRows(24))
+			},
+		})
+	})
+	t.Run("round-robin-float32", func(t *testing.T) {
+		enginetest.Run(t, enginetest.Factory{
+			Name:          "sdindex-parallel-roundrobin-float32",
+			Deterministic: true,
+			New: func(data [][]float64, roles []sdquery.Role) (sdquery.Engine, error) {
+				return sdquery.NewSDIndex(data, roles,
+					sdquery.WithWorkers(2), sdquery.WithMaxSegmentRows(24),
+					sdquery.WithScheduler(sdquery.SchedRoundRobin),
+					sdquery.WithColumnWidth(32))
+			},
+		})
+	})
+}
+
 func TestDifferentialTA(t *testing.T) {
 	enginetest.Run(t, enginetest.Factory{
 		Name:          "ta",

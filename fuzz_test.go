@@ -56,6 +56,13 @@ func FuzzTopKChurn(f *testing.F) {
 		if err != nil {
 			t.Fatalf("build: %v", err)
 		}
+		// A float32-column twin churns through the same seals and folds: its
+		// narrow sealed segments must answer identically throughout.
+		idx32, err := sdquery.NewSDIndex(data, roles,
+			sdquery.WithMemtableSize(4), sdquery.WithColumnWidth(32))
+		if err != nil {
+			t.Fatalf("build float32: %v", err)
+		}
 		mirror := append([][]float64(nil), data...)
 		dead := make([]bool, len(mirror))
 
@@ -126,12 +133,18 @@ func FuzzTopKChurn(f *testing.F) {
 				if id != len(mirror) {
 					t.Fatalf("op %d: insert returned %d, want %d", op, id, len(mirror))
 				}
+				if id32, err := idx32.Insert(p); err != nil || id32 != id {
+					t.Fatalf("op %d: float32 insert returned %d, %v; want %d", op, id32, err, id)
+				}
 				mirror = append(mirror, p)
 				dead = append(dead, false)
 			case 1:
 				id := rng.Intn(len(mirror))
 				if idx.Remove(id) != !dead[id] {
 					t.Fatalf("op %d: Remove(%d) disagrees with mirror", op, id)
+				}
+				if idx32.Remove(id) != !dead[id] {
+					t.Fatalf("op %d: float32 Remove(%d) disagrees with mirror", op, id)
 				}
 				dead[id] = true
 			case 2:
@@ -140,7 +153,13 @@ func FuzzTopKChurn(f *testing.F) {
 				if err != nil {
 					t.Fatalf("op %d: query: %v", op, err)
 				}
-				checkOne("live", got, oracleTopK(mirror, dead, q))
+				want := oracleTopK(mirror, dead, q)
+				checkOne("live", got, want)
+				got32, err := idx32.TopK(q)
+				if err != nil {
+					t.Fatalf("op %d: float32 query: %v", op, err)
+				}
+				checkOne("live-float32", got32, want)
 			default:
 				q := newQuery()
 				got, err := snap.TopK(q)
@@ -166,6 +185,12 @@ func FuzzTopK(f *testing.F) {
 		idx, err := sdquery.NewSDIndex(data, roles)
 		if err != nil {
 			t.Fatalf("build: %v", err)
+		}
+		// Same dataset through the narrow float32 scoring columns: the
+		// approximate sweep plus exact rescore must match the oracle too.
+		idx32, err := sdquery.NewSDIndex(data, roles, sdquery.WithColumnWidth(32))
+		if err != nil {
+			t.Fatalf("build float32: %v", err)
 		}
 		oracle, err := sdquery.NewScan(data)
 		if err != nil {
@@ -204,21 +229,26 @@ func FuzzTopK(f *testing.F) {
 			}
 		}
 
-		got, err := idx.TopK(q)
-		if err != nil {
-			t.Fatalf("sdindex: %v", err)
-		}
 		want, err := oracle.TopK(q)
 		if err != nil {
 			t.Fatalf("oracle: %v", err)
 		}
-		if len(got) != len(want) {
-			t.Fatalf("sdindex returned %d results, scan %d\nq=%+v\ngot  %v\nwant %v",
-				len(got), len(want), q, got, want)
-		}
-		for i := range want {
-			if got[i] != want[i] {
-				t.Fatalf("rank %d differs\nq=%+v\ngot  %v\nwant %v", i, q, got, want)
+		for _, eng := range []struct {
+			name string
+			idx  *sdquery.SDIndex
+		}{{"sdindex", idx}, {"sdindex-float32", idx32}} {
+			got, err := eng.idx.TopK(q)
+			if err != nil {
+				t.Fatalf("%s: %v", eng.name, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s returned %d results, scan %d\nq=%+v\ngot  %v\nwant %v",
+					eng.name, len(got), len(want), q, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: rank %d differs\nq=%+v\ngot  %v\nwant %v", eng.name, i, q, got, want)
+				}
 			}
 		}
 	})

@@ -73,8 +73,13 @@ func (e *Engine) foldableTail(sn *snapshot) int {
 			return n - i
 		}
 	}
-	// Fold: restore the 2× size-ratio invariant.
-	if n >= 2 && sn.segs[n-2].rows < 2*sn.segs[n-1].rows {
+	// Fold: restore the 2× size-ratio invariant — unless the merged segment
+	// would break the configured row cap, which deliberately keeps the stack
+	// wide (one segment is the unit of intra-query fan-out). A capped merge
+	// would be re-split by compactTail anyway, so skipping it here avoids a
+	// fold/re-split livelock.
+	if n >= 2 && sn.segs[n-2].rows < 2*sn.segs[n-1].rows &&
+		(e.maxSegRows == 0 || sn.segs[n-2].rows+sn.segs[n-1].rows <= e.maxSegRows) {
 		return 2
 	}
 	return 0
@@ -129,11 +134,13 @@ func (e *Engine) compactTail(nSegs, memUpto int) {
 
 	// Phase 1 (no locks): gather the live rows — in ascending global-ID
 	// order, which the stack invariant reduces to simple concatenation —
-	// and build the replacement segment's trees and lists.
+	// and build the replacement segments' trees and lists. The output is
+	// one segment, or ⌈kept/max⌉ equal chunks under a configured row cap;
+	// columns are gathered dimension-major (source segments are already
+	// columnar, memtable rows are transposed on the way through).
 	type src struct{ seg, local int32 }
 	var kept []src
 	var ids []int32
-	var flat []float64
 	for si := first; si < n; si++ {
 		s, tomb := sn.segs[si], sn.tombs[si]
 		for l := 0; l < s.rows; l++ {
@@ -142,7 +149,6 @@ func (e *Engine) compactTail(nSegs, memUpto int) {
 			}
 			kept = append(kept, src{int32(si), int32(l)})
 			ids = append(ids, s.ids[l])
-			flat = append(flat, s.row(l)...)
 		}
 	}
 	d := e.dims
@@ -152,33 +158,65 @@ func (e *Engine) compactTail(nSegs, memUpto int) {
 		}
 		kept = append(kept, src{memSrc, int32(l)})
 		ids = append(ids, sn.memIDs[l])
-		flat = append(flat, sn.memFlat[l*d:(l+1)*d]...)
 	}
-	built, err := buildSegment(flat, ids, d, &e.layout, e.treeCfg)
-	if err != nil {
-		// Every row was validated at insert time; a build failure here is a
-		// bug, but the safe reaction is to leave the current (correct, just
-		// uncompacted) snapshot in place.
-		return
+	nk := len(kept)
+	nchunks := 1
+	if e.maxSegRows > 0 && nk > e.maxSegRows {
+		nchunks = (nk + e.maxSegRows - 1) / e.maxSegRows
+	}
+	var builts []*segment
+	for ci := 0; ci < nchunks; ci++ {
+		clo, chi := ci*nk/nchunks, (ci+1)*nk/nchunks
+		rows := chi - clo
+		if rows == 0 {
+			continue // nothing survived at all
+		}
+		cols := make([]float64, rows*d)
+		for dd := 0; dd < d; dd++ {
+			c := cols[dd*rows : (dd+1)*rows]
+			for j := range c {
+				if k := kept[clo+j]; k.seg == memSrc {
+					c[j] = sn.memFlat[int(k.local)*d+dd]
+				} else {
+					s := sn.segs[k.seg]
+					c[j] = s.cols[dd*s.rows+int(k.local)]
+				}
+			}
+		}
+		built, err := buildSegment(cols, ids[clo:chi:chi], d, &e.layout, e.treeCfg, e.colWidth)
+		if err != nil {
+			// Every row was validated at insert time; a build failure here is
+			// a bug, but the safe reaction is to leave the current (correct,
+			// just uncompacted) snapshot in place.
+			return
+		}
+		builts = append(builts, built)
 	}
 
 	// Phase 2: swap. Re-apply tombstones that landed while we were
-	// building, then publish the new stack.
+	// building, then publish the new stack. Chunk boundaries recompute with
+	// the same arithmetic as the build above, so a kept row's tombstone
+	// lands in the chunk that holds the row.
 	e.wrMu.Lock()
 	cur := e.snap.Load()
-	var tomb []uint64
-	for newLocal, k := range kept {
-		nowDead := false
-		if k.seg == memSrc {
-			nowDead = bitGet(cur.memDead, int(k.local))
-		} else {
-			nowDead = bitGet(cur.tombs[k.seg], int(k.local))
-		}
-		if nowDead {
-			if tomb == nil {
-				tomb = make([]uint64, (len(kept)+63)/64)
+	tombs := make([][]uint64, len(builts))
+	if nk > 0 {
+		for ci := 0; ci < nchunks; ci++ {
+			clo, chi := ci*nk/nchunks, (ci+1)*nk/nchunks
+			for j := clo; j < chi; j++ {
+				nowDead := false
+				if k := kept[j]; k.seg == memSrc {
+					nowDead = bitGet(cur.memDead, int(k.local))
+				} else {
+					nowDead = bitGet(cur.tombs[k.seg], int(k.local))
+				}
+				if nowDead {
+					if tombs[ci] == nil {
+						tombs[ci] = make([]uint64, (chi-clo+63)/64)
+					}
+					tombs[ci][(j-clo)>>6] |= 1 << (uint(j-clo) & 63)
+				}
 			}
-			tomb[newLocal>>6] |= 1 << (uint(newLocal) & 63)
 		}
 	}
 	ns := &snapshot{
@@ -194,9 +232,9 @@ func (e *Engine) compactTail(nSegs, memUpto int) {
 		minVal:  cur.minVal,
 		maxVal:  cur.maxVal,
 	}
-	if built != nil {
+	for ci, built := range builts {
 		ns.segs = append(ns.segs, built)
-		ns.tombs = append(ns.tombs, tomb)
+		ns.tombs = append(ns.tombs, tombs[ci])
 	}
 	e.snap.Store(ns)
 	e.wrMu.Unlock()

@@ -136,6 +136,30 @@ type Config struct {
 	// memtable grows without bound (queries stay correct, scanning it
 	// exactly) and segments are only ever folded by an explicit Compact.
 	DisableCompaction bool
+	// ColumnWidth selects the sealed segments' sweep-column precision: 0 or
+	// 64 stores float64 columns only (the default); 32 additionally stores a
+	// float32 copy the batch score kernel sweeps at half the memory
+	// bandwidth, with per-dimension quantization pads guaranteeing that
+	// candidates are skipped only when even the padded approximate score
+	// cannot reach the k-th best — survivors are rescored from the float64
+	// columns, so answers are byte-identical at either width.
+	ColumnWidth int
+	// MaxSegmentRows caps the rows of any sealed segment: the initial build
+	// splits the dataset into ⌈n/max⌉ equal segments and compaction never
+	// folds segments into an output larger than the cap. 0 (the default)
+	// leaves segment sizing to the compactor's 2× stack invariant. The cap
+	// exists for intra-query parallelism (see Config.Pool): one segment is
+	// the unit of fan-out, so a capped stack gives one query enough segments
+	// to spread across cores.
+	MaxSegmentRows int
+	// Pool, when non-nil, fans the sealed segments of a single query out to
+	// the supplied runner (one task per segment, each running the full
+	// scheduler loop over that segment's subproblems with a shared
+	// termination-threshold floor), merging the per-segment candidates
+	// deterministically. Answers are byte-identical to sequential execution;
+	// only the Stats trace varies with timing. Nil (the default) keeps the
+	// fully sequential, deterministic-stats path.
+	Pool Runner
 	// WAL, when non-nil, makes every mutation durable: Insert and Remove
 	// append checksummed records to a per-engine log before publishing, and
 	// Open replays the tail over the last checkpoint after a crash. See
@@ -169,6 +193,10 @@ type Engine struct {
 	compactions atomic.Uint64 // completed seal/fold/reclaim steps, for ops telemetry
 	memSize     int
 	noCompact   bool
+
+	colWidth   int    // sealed-segment sweep precision: 64, or 32 for the narrow copy
+	maxSegRows int    // sealed-segment row cap, 0 = unbounded
+	pool       Runner // intra-query segment fan-out, nil = sequential
 
 	// wal is the engine's write-ahead log, nil when durability is off —
 	// see wal.go. Mutations append to it under wrMu and wait for the group
@@ -228,6 +256,15 @@ func NewWithIDs(data [][]float64, ids []int32, cfg Config) (*Engine, error) {
 	if cfg.MemtableSize <= 0 {
 		cfg.MemtableSize = defaultMemtableSize
 	}
+	if cfg.ColumnWidth == 0 {
+		cfg.ColumnWidth = 64
+	}
+	if cfg.ColumnWidth != 32 && cfg.ColumnWidth != 64 {
+		return nil, fmt.Errorf("core: unsupported column width %d (want 32 or 64)", cfg.ColumnWidth)
+	}
+	if cfg.MaxSegmentRows < 0 {
+		return nil, fmt.Errorf("core: negative segment row cap %d", cfg.MaxSegmentRows)
+	}
 	// The engine defaults its per-pair trees to packed leaves: the tree
 	// semantics are identical (the paper's §4 disk-style layout), and the
 	// 64-point leaves — the widest the leaf-cursor bitmask supports — cut
@@ -246,6 +283,9 @@ func NewWithIDs(data [][]float64, ids []int32, cfg Config) (*Engine, error) {
 		sched:       cfg.Scheduler,
 		memSize:     cfg.MemtableSize,
 		noCompact:   cfg.DisableCompaction,
+		colWidth:    cfg.ColumnWidth,
+		maxSegRows:  cfg.MaxSegmentRows,
+		pool:        cfg.Pool,
 		noPlanCache: cfg.DisablePlanCache,
 	}
 	sn := &snapshot{
@@ -265,16 +305,31 @@ func NewWithIDs(data [][]float64, ids []int32, cfg Config) (*Engine, error) {
 	}
 	if n := len(ids); n > 0 {
 		sn.total = int(ids[n-1]) + 1
-		flat := make([]float64, 0, n*dims)
-		for _, p := range data {
-			flat = append(flat, p...)
+		// One sealed segment unless a row cap splits the initial build into
+		// ⌈n/max⌉ equal chunks (ascending-ID order, so the stack invariant
+		// holds by construction). Columns are gathered dimension-major
+		// straight from the caller's rows — the segment's primary layout.
+		nchunks := 1
+		if e.maxSegRows > 0 && n > e.maxSegRows {
+			nchunks = (n + e.maxSegRows - 1) / e.maxSegRows
 		}
-		seg, err := buildSegment(flat, ids, dims, &e.layout, e.treeCfg)
-		if err != nil {
-			return nil, err
+		for ci := 0; ci < nchunks; ci++ {
+			lo, hi := ci*n/nchunks, (ci+1)*n/nchunks
+			rows := hi - lo
+			cols := make([]float64, rows*dims)
+			for d := 0; d < dims; d++ {
+				c := cols[d*rows : (d+1)*rows]
+				for i := range c {
+					c[i] = data[lo+i][d]
+				}
+			}
+			seg, err := buildSegment(cols, ids[lo:hi:hi], dims, &e.layout, e.treeCfg, e.colWidth)
+			if err != nil {
+				return nil, err
+			}
+			sn.segs = append(sn.segs, seg)
+			sn.tombs = append(sn.tombs, nil)
 		}
-		sn.segs = []*segment{seg}
-		sn.tombs = [][]uint64{nil}
 	}
 	e.snap.Store(sn)
 	e.initCtxPool()

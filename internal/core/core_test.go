@@ -406,7 +406,9 @@ func TestBytesEstimate(t *testing.T) {
 			}
 			structures += segStruct
 			want += segStruct
-			want += 8 * len(seg.flat)    // flat row-major block
+			want += 8 * len(seg.cols)    // dimension-major column block
+			want += 4 * len(seg.cols32)  // narrow sweep copy (float32 engines)
+			want += 8 * len(seg.qerr)    // per-dimension quantization pads
 			want += 4 * len(seg.ids)     // global-ID map
 			want += 8 * len(sn.tombs[i]) // tombstone bitset words
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/pq"
 	"repro/internal/query"
+	"repro/internal/simd"
 	"repro/internal/topk"
 )
 
@@ -98,9 +99,15 @@ type queryCtx struct {
 	segPad  []float64 // per-segment float-error pad
 	segDone []bool    // segment fully enumerated (one sub exhausted)
 
-	emit    [maxBatch]query.Emission
-	seen    []uint64 // bitset over global dataset IDs
-	coll    *pq.TopK[int]
+	emit [maxBatch]query.Emission
+	// Candidate batch scratch: runBatch defers the emissions that survive its
+	// masks and prune to these arrays and scores the whole batch with one
+	// column-sweep kernel call instead of a strided per-row loop.
+	candRow   [maxBatch]int32
+	candGID   [maxBatch]int32
+	candScore [maxBatch]float64
+	seen      []uint64 // bitset over global dataset IDs
+	coll      *pq.TopK[int]
 	drain   []pq.Scored[int]
 	scratch queryPlan // plan storage for uncached shapes
 	sortRep []int32   // adaptive planner scratch: active dims by weight
@@ -114,13 +121,30 @@ type queryCtx struct {
 	// query leaks no pooled buffers.
 	done     <-chan struct{}
 	canceled bool
+
+	// Intra-query parallel state (parallel.go). floor is set only while the
+	// context runs as one segment's task of a parallel query: both scheduler
+	// loops then prune and terminate against max(local k-th best, floor).
+	// The remaining fields belong to the parent: floorStore is the query's
+	// shared floor, parPl/parSpec stage the plan for the segment tasks, the
+	// kid* arrays collect per-task contexts, stats, and errors, and parFn is
+	// the method value handed to the Runner — bound once at pool-construction
+	// time so dispatching a parallel query allocates nothing.
+	floor      *qfloor
+	floorStore qfloor
+	parPl      *queryPlan
+	parSpec    query.Spec
+	kidCtx     []*queryCtx
+	kidStats   []Stats
+	kidErr     []error
+	parFn      func(i int)
 }
 
 // initCtxPool wires the engine's context pool; called once at build time,
 // after the layout is fixed.
 func (e *Engine) initCtxPool() {
 	e.ctxPool.New = func() any {
-		return &queryCtx{
+		c := &queryCtx{
 			e:       e,
 			w:       make([]float64, e.dims),
 			signed:  make([]float64, e.dims),
@@ -128,6 +152,8 @@ func (e *Engine) initCtxPool() {
 			sortRep: make([]int32, 0, len(e.layout.gridRep)),
 			sortAtt: make([]int32, 0, len(e.layout.gridAtt)),
 		}
+		c.parFn = c.runKid
+		return c
 	}
 }
 
@@ -193,6 +219,7 @@ func (e *Engine) putCtx(c *queryCtx) {
 	c.refs = c.refs[:0]
 	c.sn = nil
 	c.done, c.canceled = nil, false // never pin a request's Done channel
+	c.floor = nil
 	clear(c.seen)
 	e.ctxPool.Put(c)
 }
@@ -207,20 +234,6 @@ func (c *queryCtx) markSeen(id int32) bool {
 	}
 	c.seen[w] |= b
 	return true
-}
-
-// scoreRow is the devirtualized random-access score kernel: one tight pass
-// over a segment's flat row with the signed weights folding the role branch
-// into the arithmetic. math.Abs compiles to a bit mask, so the loop is
-// branch-free; the re-slicing below lets the compiler drop bounds checks.
-func (c *queryCtx) scoreRow(qpt, row []float64) float64 {
-	sg := c.signed[:len(row)]
-	qp := qpt[:len(row)]
-	var s float64
-	for k := 0; k < len(row); k++ {
-		s += sg[k] * math.Abs(row[k]-qp[k])
-	}
-	return s
 }
 
 // TopKAppend is TopKWithStats appending into dst: with a caller-reused dst
@@ -319,30 +332,15 @@ func (e *Engine) topKAppendAt(sn *snapshot, dst []query.Result, spec query.Spec,
 	// summed weighted reach budgets the whole summation chain with orders
 	// of magnitude to spare. Pads are tracked per segment: a point's
 	// unknown contributions come only from its own segment's subproblems.
-	for s := 0; s < len(sn.segs); s++ {
-		c.segPad[s] = 0
-	}
-	if e.layout.adaptive {
-		if err := c.buildAdaptiveSubs(pl, spec); err != nil {
-			return dst, stats, err
+	par := e.pool != nil && len(sn.segs) > 1
+	if !par {
+		for s := 0; s < len(sn.segs); s++ {
+			c.segPad[s] = 0
 		}
-	} else {
-		for si, seg := range sn.segs {
-			ref := subRef{seg: seg, tomb: sn.tombs[si], ord: int32(si)}
-			for _, pi := range pl.pairs {
-				pr := e.layout.pairs[pi]
-				if err := c.addPairSub(seg.trees[pi], ref, pr.Rep, pr.Attr, c.w[pr.Rep], c.w[pr.Attr], spec.Point); err != nil {
-					return dst, stats, err
-				}
-			}
-			for _, li := range pl.lone {
-				d := e.layout.lone[li]
-				ds := &c.dimSubs[c.nDim]
-				c.nDim++
-				seg.lists[li].InitIter(&ds.it, spec.Point[d], c.w[d], e.roles[d] == query.Attractive)
-				c.segPad[ref.ord] += floatSlack * c.w[d] * sn.reach(d, spec.Point[d])
-				c.subs = append(c.subs, ds)
-				c.refs = append(c.refs, ref)
+		c.prepSubs(pl)
+		for si := range sn.segs {
+			if err := c.buildSegSubs(pl, spec, si); err != nil {
+				return dst, stats, err
 			}
 		}
 	}
@@ -350,22 +348,40 @@ func (e *Engine) topKAppendAt(sn *snapshot, dst []query.Result, spec query.Spec,
 	// The memtable is scored exactly, up front: its rows are few (bounded by
 	// the compaction threshold), they live in no index structure, and
 	// seeding the collector with their exact scores only tightens the
-	// threshold the segment aggregation prunes against.
+	// threshold the segment aggregation prunes against. Scoring runs through
+	// the same unrolled batch kernel as the sealed segments (in row-major
+	// form — the memtable is append-oriented), a block at a time through the
+	// pooled candidate scratch; dead rows are skipped at collection, so
+	// scoring them costs arithmetic but never correctness.
 	d := e.dims
-	for i, id := range sn.memIDs {
-		if bitGet(sn.memDead, i) {
-			continue
+	for base := 0; base < len(sn.memIDs); base += maxBatch {
+		nb := len(sn.memIDs) - base
+		if nb > maxBatch {
+			nb = maxBatch
 		}
-		stats.Scored++
-		coll.Add(int(id), c.scoreRow(spec.Point, sn.memFlat[i*d:i*d+d:i*d+d]))
+		scores := c.candScore[:nb]
+		simd.ScoreRows(scores, sn.memFlat[base*d:(base+nb)*d], d, spec.Point, c.signed)
+		for i := 0; i < nb; i++ {
+			if bitGet(sn.memDead, base+i) {
+				continue
+			}
+			stats.Scored++
+			coll.Add(int(sn.memIDs[base+i]), scores[i])
+		}
 	}
 
-	stats.Subproblems = len(c.subs)
-	if len(c.subs) > 0 {
-		if e.sched == SchedRoundRobin {
-			c.runRoundRobin(spec.Point, &stats)
-		} else {
-			c.runBoundDriven(spec.Point, &stats)
+	if par {
+		if err := c.runParallel(pl, spec, &stats); err != nil {
+			return dst, stats, err
+		}
+	} else {
+		stats.Subproblems = len(c.subs)
+		if len(c.subs) > 0 {
+			if e.sched == SchedRoundRobin {
+				c.runRoundRobin(spec.Point, &stats)
+			} else {
+				c.runBoundDriven(spec.Point, &stats)
+			}
 		}
 	}
 	if c.canceled {
@@ -395,51 +411,83 @@ func (c *queryCtx) addPairSub(tree *topk.Index, ref subRef, rep, attr int, wr, w
 	return nil
 }
 
-// buildAdaptiveSubs realizes the plan-time bijection: the active dimensions
-// of each role are sorted by descending weight (ties to the lower dimension,
-// so the schedule is deterministic) and zipped strongest-with-strongest;
-// leftover dimensions of the longer side run as degenerate pairs with a
-// zero weight on the missing role, reusing the first grid dimension of that
-// role purely as tree storage. The bijection is computed once per query and
-// bound to every sealed segment's grid. Matching strong with strong makes
+// prepSubs computes the per-query, segment-independent part of subproblem
+// binding. On adaptive layouts that is the plan-time bijection: the active
+// dimensions of each role are sorted by descending weight (ties to the lower
+// dimension, so the schedule is deterministic), to be zipped
+// strongest-with-strongest by buildSegSubs. Matching strong with strong makes
 // each matched pair's frontier fall steeply — measured on the evaluation
 // workload, the access floor of this zip is within ~1.5% of the per-query
-// optimal bijection.
-func (c *queryCtx) buildAdaptiveSubs(pl *queryPlan, spec query.Spec) error {
-	e := c.e
-	lo := &e.layout
+// optimal bijection. Fixed layouts need no preparation.
+func (c *queryCtx) prepSubs(pl *queryPlan) {
+	if !c.e.layout.adaptive {
+		return
+	}
 	rep := append(c.sortRep[:0], pl.activeRep...)
 	att := append(c.sortAtt[:0], pl.activeAtt...)
 	c.sortRep, c.sortAtt = rep, att // keep grown capacity pooled
 	sortByWeightDesc(rep, c.w)
 	sortByWeightDesc(att, c.w)
+}
+
+// buildSegSubs binds the plan's subproblems to one sealed segment,
+// accumulating that segment's float-error pad. Callers run prepSubs first.
+// The split into prepare-once and bind-per-segment is what lets a parallel
+// query's segment tasks each bind exactly their own segment (parallel.go)
+// while the sequential path loops over the stack.
+//
+// Adaptive layouts zip the sorted role lists strongest-with-strongest;
+// leftover dimensions of the longer side run as degenerate pairs with a zero
+// weight on the missing role, reusing the first grid dimension of that role
+// purely as tree storage.
+func (c *queryCtx) buildSegSubs(pl *queryPlan, spec query.Spec, si int) error {
+	e := c.e
+	seg := c.sn.segs[si]
+	ref := subRef{seg: seg, tomb: c.sn.tombs[si], ord: int32(si)}
+	if !e.layout.adaptive {
+		for _, pi := range pl.pairs {
+			pr := e.layout.pairs[pi]
+			if err := c.addPairSub(seg.trees[pi], ref, pr.Rep, pr.Attr, c.w[pr.Rep], c.w[pr.Attr], spec.Point); err != nil {
+				return err
+			}
+		}
+		for _, li := range pl.lone {
+			d := e.layout.lone[li]
+			ds := &c.dimSubs[c.nDim]
+			c.nDim++
+			seg.lists[li].InitIter(&ds.it, spec.Point[d], c.w[d], e.roles[d] == query.Attractive)
+			c.segPad[ref.ord] += floatSlack * c.w[d] * c.sn.reach(d, spec.Point[d])
+			c.subs = append(c.subs, ds)
+			c.refs = append(c.refs, ref)
+		}
+		return nil
+	}
+	lo := &e.layout
+	rep, att := c.sortRep, c.sortAtt
 	m := len(rep)
 	if len(att) < m {
 		m = len(att)
 	}
 	na := len(lo.gridAtt)
-	for si, seg := range c.sn.segs {
-		ref := subRef{seg: seg, tomb: c.sn.tombs[si], ord: int32(si)}
-		for i := 0; i < m; i++ {
-			r, a := int(rep[i]), int(att[i])
-			tree := seg.grid[int(lo.gridPos[r])*na+int(lo.gridPos[a])]
-			if err := c.addPairSub(tree, ref, r, a, c.w[r], c.w[a], spec.Point); err != nil {
-				return err
-			}
+	for i := 0; i < m; i++ {
+		r, a := int(rep[i]), int(att[i])
+		tree := seg.grid[int(lo.gridPos[r])*na+int(lo.gridPos[a])]
+		if err := c.addPairSub(tree, ref, r, a, c.w[r], c.w[a], spec.Point); err != nil {
+			return err
 		}
-		for _, ri := range rep[m:] {
-			r, a := int(ri), lo.gridAtt[0]
-			tree := seg.grid[int(lo.gridPos[r])*na+0]
-			if err := c.addPairSub(tree, ref, r, a, c.w[r], 0, spec.Point); err != nil {
-				return err
-			}
+	}
+	for _, ri := range rep[m:] {
+		r, a := int(ri), lo.gridAtt[0]
+		tree := seg.grid[int(lo.gridPos[r])*na+0]
+		if err := c.addPairSub(tree, ref, r, a, c.w[r], 0, spec.Point); err != nil {
+			return err
 		}
-		for _, ai := range att[m:] {
-			r, a := lo.gridRep[0], int(ai)
-			tree := seg.grid[0*na+int(lo.gridPos[a])]
-			if err := c.addPairSub(tree, ref, r, a, 0, c.w[a], spec.Point); err != nil {
-				return err
-			}
+	}
+	for _, ai := range att[m:] {
+		r, a := lo.gridRep[0], int(ai)
+		tree := seg.grid[0*na+int(lo.gridPos[a])]
+		if err := c.addPairSub(tree, ref, r, a, 0, c.w[a], spec.Point); err != nil {
+			return err
 		}
 	}
 	return nil

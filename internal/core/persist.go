@@ -27,8 +27,12 @@ import (
 // persistVersion identifies the core engine's section of the file format.
 // Bump on any incompatible change; Load rejects unknown versions outright
 // rather than guessing. Version 2 added the snapshot's WAL sequence number
-// (walLSN); version-1 files load with walLSN 0.
-const persistVersion = 2
+// (walLSN); version-1 files load with walLSN 0. Version 3 switched segment
+// coordinate blocks from row-major to the segments' native dimension-major
+// column layout and added the engine's column width; v1/v2 files still load
+// (their row-major blocks are transposed once at read) and come up as
+// 64-bit-column engines.
+const persistVersion = 3
 
 // maxPersistDims caps the dimensionality Load will accept — a sanity bound
 // that turns a corrupt header into an error instead of an absurd
@@ -44,6 +48,14 @@ type RuntimeOptions struct {
 	DisablePlanCache  bool
 	MemtableSize      int
 	DisableCompaction bool
+	// MaxSegmentRows and Pool mirror the Config fields of the same names:
+	// the sealed-segment row cap and the intra-query fan-out runner. Both
+	// are runtime concerns (neither changes answers), so Load takes them
+	// fresh like the scheduler. Note the column width is NOT here — it is
+	// structural (it decides what segment storage is materialized) and comes
+	// from the file.
+	MaxSegmentRows int
+	Pool           Runner
 }
 
 type countingWriter struct {
@@ -100,6 +112,7 @@ func (e *Engine) saveSnapshot(w io.Writer, sn *snapshot) error {
 		cw.write(uint8(r))
 	}
 	cw.write(uint8(e.pairing))
+	cw.write(uint8(e.colWidth))
 
 	// Fixed layout.
 	lo := &e.layout
@@ -157,7 +170,7 @@ func (e *Engine) saveSnapshot(w io.Writer, sn *snapshot) error {
 	for i, seg := range sn.segs {
 		cw.write(uint64(seg.rows))
 		cw.write(seg.ids)
-		cw.write(seg.flat)
+		cw.write(seg.cols) // dimension-major since format v3
 		writeBitset(sn.tombs[i])
 	}
 	cw.write(uint64(len(sn.memIDs)))
@@ -211,6 +224,15 @@ func Load(r io.Reader, opt RuntimeOptions) (*Engine, error) {
 	}
 	var pairing uint8
 	cr.read(&pairing)
+	colWidth := 64
+	if version >= 3 {
+		var wb uint8
+		cr.read(&wb)
+		if cr.err == nil && wb != 32 && wb != 64 {
+			return fail("unsupported column width %d", wb)
+		}
+		colWidth = int(wb)
+	}
 
 	dim := func(v uint32) (int, error) {
 		if int(v) >= dims {
@@ -314,6 +336,9 @@ func Load(r io.Reader, opt RuntimeOptions) (*Engine, error) {
 	if !opt.Scheduler.valid() {
 		return fail("unknown scheduler %v", opt.Scheduler)
 	}
+	if opt.MaxSegmentRows < 0 {
+		return fail("negative segment row cap %d", opt.MaxSegmentRows)
+	}
 	e := &Engine{
 		dims:        dims,
 		roles:       roles,
@@ -323,6 +348,9 @@ func Load(r io.Reader, opt RuntimeOptions) (*Engine, error) {
 		sched:       opt.Scheduler,
 		memSize:     opt.MemtableSize,
 		noCompact:   opt.DisableCompaction,
+		colWidth:    colWidth,
+		maxSegRows:  opt.MaxSegmentRows,
+		pool:        opt.Pool,
 		noPlanCache: opt.DisablePlanCache,
 	}
 
@@ -374,7 +402,7 @@ func Load(r io.Reader, opt RuntimeOptions) (*Engine, error) {
 		return fail("bad segment count")
 	}
 	for si := 0; si < nSegs; si++ {
-		ids, flat, err := readRows()
+		ids, block, err := readRows()
 		if err != nil {
 			return nil, err
 		}
@@ -387,7 +415,13 @@ func Load(r io.Reader, opt RuntimeOptions) (*Engine, error) {
 				return fail("segment %d breaks the ascending-ID stack invariant", si)
 			}
 		}
-		seg, err := buildSegment(flat, ids, dims, &e.layout, e.treeCfg)
+		// v3 blocks are the segments' native dimension-major columns; older
+		// files carry row-major blocks and transpose once here.
+		cols := block
+		if version < 3 {
+			cols = transposeToCols(block, len(ids), dims)
+		}
+		seg, err := buildSegment(cols, ids, dims, &e.layout, e.treeCfg, e.colWidth)
 		if err != nil {
 			return nil, err
 		}

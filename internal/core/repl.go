@@ -66,7 +66,7 @@ func (e *Engine) Row(id int) ([]float64, bool) {
 	if seg < 0 {
 		copy(out, sn.memFlat[local*e.dims:(local+1)*e.dims])
 	} else {
-		copy(out, sn.segs[seg].row(local))
+		sn.segs[seg].copyRow(local, out)
 	}
 	return out, true
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/simd"
 )
 
 // Scheduler selects the order in which the §5 Threshold-Algorithm
@@ -122,17 +124,21 @@ func (c *queryCtx) runBoundDriven(qpt []float64, stats *Stats) {
 	segSum := c.segSum[:nseg]
 	segDone := c.segDone[:nseg]
 	segPad := c.segPad[:nseg]
+	// Segments owning no subproblem are born retired: on the sequential path
+	// every segment owns the plan's full subproblem set, so this is the old
+	// all-false init, while a parallel segment task binds exactly one
+	// segment and must never consult the others' (unbound) sums.
+	for s := range segDone {
+		segDone[s] = true
+	}
 	for i, s := range subs {
 		bounds[i] = s.bound() // peek, no fetch: live prune line from step one
 		bsize[i] = 1
 		rate[i] = math.Inf(1) // unknown until a full probe window is measured
 		anchorB[i] = bounds[i]
 		sinceN[i] = 0
+		segDone[refs[i].ord] = false
 	}
-	for s := range segDone {
-		segDone[s] = false
-	}
-	coll := c.coll
 	for {
 		if c.pollCancel() {
 			return
@@ -162,10 +168,12 @@ func (c *queryCtx) runBoundDriven(qpt []float64, stats *Stats) {
 		// fetching from it would be pure waste. This is the per-segment
 		// form of the old single-stack termination test — when the last
 		// segment retires, the query is done. Strict inequality, for the
-		// same tie-at-the-k-th-rank reason as the prune.
-		if coll.Full() {
+		// same tie-at-the-k-th-rank reason as the prune. The line is
+		// pruneLine, not the raw local threshold: a parallel segment task
+		// also retires against the shared floor its siblings have raised.
+		if line, ok := c.pruneLine(); ok {
 			for s := range segSum {
-				if !segDone[s] && coll.Threshold() > segSum[s]+segPad[s] {
+				if !segDone[s] && line > segSum[s]+segPad[s] {
 					segDone[s] = true
 				}
 			}
@@ -216,9 +224,11 @@ func (c *queryCtx) runBoundDriven(qpt []float64, stats *Stats) {
 			if rem := rateWindow - sinceN[best]; size > rem {
 				size = rem
 			}
-		} else if r := rate[best]; coll.Full() && r > 0 {
-			if gap := segSum[bs] + segPad[bs] - coll.Threshold(); gap/r < float64(size-1) {
-				size = int(gap/r) + 1
+		} else if r := rate[best]; r > 0 {
+			if line, ok := c.pruneLine(); ok {
+				if gap := segSum[bs] + segPad[bs] - line; gap/r < float64(size-1) {
+					size = int(gap/r) + 1
+				}
 			}
 		}
 		if n := c.runBatch(best, size, qpt, segPad[bs], other, stats); n > 0 {
@@ -257,11 +267,18 @@ func (c *queryCtx) runRoundRobin(qpt []float64, stats *Stats) {
 	nseg := len(c.sn.segs)
 	segSum := c.segSum[:nseg]
 	segPad := c.segPad[:nseg]
+	segDone := c.segDone[:nseg]
+	// As in runBoundDriven, segments owning no subproblem are born retired
+	// and excluded from the termination sum — on the sequential path that
+	// excludes nothing; a parallel segment task binds only its own segment.
+	for s := range segDone {
+		segDone[s] = true
+	}
 	for i := range bounds {
 		bounds[i] = math.Inf(1)
 		bsize[i] = 1
+		segDone[refs[i].ord] = false
 	}
-	coll := c.coll
 	for {
 		if c.pollCancel() {
 			return
@@ -293,14 +310,17 @@ func (c *queryCtx) runRoundRobin(qpt []float64, stats *Stats) {
 		for i, b := range bounds {
 			segSum[refs[i].ord] += b
 		}
-		if coll.Full() {
+		if line, ok := c.pruneLine(); ok {
 			worst := math.Inf(-1)
 			for s, sum := range segSum {
+				if segDone[s] {
+					continue
+				}
 				if t := sum + segPad[s]; t > worst {
 					worst = t
 				}
 			}
-			if math.IsInf(worst, -1) || coll.Threshold() > worst {
+			if math.IsInf(worst, -1) || line > worst {
 				break
 			}
 		}
@@ -315,6 +335,18 @@ func (c *queryCtx) runRoundRobin(qpt []float64, stats *Stats) {
 // the same segment — constant across the batch, since sibling frontiers do
 // not move while this one drains. It returns the number of emissions
 // fetched.
+//
+// Scoring is batch-deferred: survivors of the masks and the prune are
+// collected first and then scored with one column-sweep kernel call over the
+// segment's dimension-major columns, instead of a strided row gather per
+// point. Deferral means every survivor is pruned against the threshold as of
+// its collection, not after its predecessors' Adds — a point the strictly
+// sequential loop would have pruned can therefore still be scored and Added
+// here. That Add is always a no-op: the prune inequality proves the point's
+// exact score sits strictly below the then-current k-th best, which only
+// rises, and the collector ignores entries strictly below its k-th best.
+// The answer is byte-identical either way (the ordered collector's content
+// is insertion-order-independent); only Scored can read marginally higher.
 func (c *queryCtx) runBatch(i, size int, qpt []float64, pad, otherBounds float64, stats *Stats) int {
 	n, nb := c.subs[i].nextBatch(c.emit[:size])
 	c.bounds[i] = nb
@@ -326,6 +358,12 @@ func (c *queryCtx) runBatch(i, size int, qpt []float64, pad, otherBounds float64
 	ref := &c.refs[i]
 	seg := ref.seg
 	coll := c.coll
+	// The prune line is hoisted out of the loop: Adds are deferred past it,
+	// so the local threshold cannot move mid-batch — behaviour is identical
+	// to the per-emission consult — and on the parallel path the hoist also
+	// caps the shared-floor atomics at one load per batch.
+	line, lineOK := c.pruneLine()
+	nc := 0
 	for _, em := range c.emit[:n] {
 		gid := seg.ids[em.ID]
 		if !c.markSeen(gid) {
@@ -334,11 +372,40 @@ func (c *queryCtx) runBatch(i, size int, qpt []float64, pad, otherBounds float64
 		if bitGet(ref.tomb, int(em.ID)) {
 			continue // tombstoned: removed after this segment sealed
 		}
-		if coll.Full() && em.Contrib+otherBounds+pad < coll.Threshold() {
+		if lineOK && em.Contrib+otherBounds+pad < line {
 			continue // cannot enter the top k, now or later
 		}
-		stats.Scored++
-		coll.Add(int(gid), c.scoreRow(qpt, seg.row(int(em.ID))))
+		c.candRow[nc] = em.ID
+		c.candGID[nc] = gid
+		nc++
+	}
+	if nc > 0 {
+		stats.Scored += nc
+		scores := c.candScore[:nc]
+		if seg.cols32 != nil {
+			// Narrow sweep: approximate scores from the float32 columns at
+			// half the bandwidth, then skip candidates whose padded
+			// approximate score cannot reach the k-th best even on an exact
+			// tie (strict <, like every prune) and rescore the rest exactly.
+			// qpad covers quantization per active dimension; the segment pad
+			// covers the two summation chains' rounding difference.
+			simd.GatherScore32(scores, seg.cols32, seg.rows, c.candRow[:nc], qpt, c.signed)
+			qpad := pad
+			for d, w := range c.w {
+				qpad += w * seg.qerr[d]
+			}
+			for j := 0; j < nc; j++ {
+				if coll.Full() && scores[j]+qpad < coll.Threshold() {
+					continue
+				}
+				coll.Add(int(c.candGID[j]), seg.scoreLocal(int(c.candRow[j]), qpt, c.signed))
+			}
+		} else {
+			simd.GatherScore(scores, seg.cols, seg.rows, c.candRow[:nc], qpt, c.signed)
+			for j := 0; j < nc; j++ {
+				coll.Add(int(c.candGID[j]), scores[j])
+			}
+		}
 	}
 	// The batch size adapts: it doubles toward the leaf cap while the
 	// subproblem's frontier stays above the prune line (a subproblem that
@@ -354,6 +421,13 @@ func (c *queryCtx) runBatch(i, size int, qpt []float64, pad, otherBounds float64
 		}
 	} else {
 		c.bsize[i] = 1
+	}
+	// Publish this task's k-th best to the parallel query's shared floor so
+	// sibling segment tasks can prune against it. raise is an atomic load
+	// plus an early return unless the floor actually rises, so the cost in
+	// steady state is one uncontended load per batch.
+	if c.floor != nil && coll.Full() {
+		c.floor.raise(coll.Threshold())
 	}
 	return n
 }

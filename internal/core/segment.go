@@ -27,17 +27,33 @@ type layout struct {
 	gridPos  []int32 // dim → its row/column index (shared: roles disjoint)
 }
 
-// segment is one sealed, immutable layer of the engine: a flat row-major
-// coordinate block, the global dataset IDs of its rows (ascending), and the
+// segment is one sealed, immutable layer of the engine: a dimension-major
+// column block, the global dataset IDs of its rows (ascending), and the
 // per-layout index structures built once over the segment's local row space.
-// Sealed segments are never mutated — removals tombstone rows in the owning
-// snapshot, and compaction replaces whole segments — so queries walk them
-// without any synchronization.
+// Columns — not rows — are the primary layout: the batch score kernels
+// (internal/simd) sweep one dimension's contiguous values for a whole
+// candidate batch, so the hot loop streams cache lines instead of striding
+// through row-major padding, and tree/list builds slice their input columns
+// straight out of the block with no per-dimension copy. Sealed segments are
+// never mutated — removals tombstone rows in the owning snapshot, and
+// compaction replaces whole segments — so queries walk them without any
+// synchronization.
 type segment struct {
 	ids  []int32   // local row → global dataset ID, strictly ascending
-	flat []float64 // rows × dims, row-major
+	cols []float64 // dims × rows, dimension-major: column d = cols[d*rows:(d+1)*rows]
 	rows int
 	dims int
+
+	// cols32 is the optional narrow sweep copy (Config.ColumnWidth 32): the
+	// same dimension-major block quantized to float32. The batch kernel
+	// sweeps it at half the memory bandwidth, and qerr[d] — the largest
+	// |column value − widened float32| per dimension — pads the approximate
+	// scores so candidates are only skipped when even the padded approximate
+	// score cannot reach the k-th best; survivors are rescored exactly from
+	// cols, so answers are byte-identical to a float64 engine. Both are nil
+	// on (default) 64-bit engines.
+	cols32 []float32
+	qerr   []float64
 
 	trees []*topk.Index   // fixed-pairing: parallel to layout.pairs
 	grid  []*topk.Index   // adaptive: gridRep × gridAtt trees
@@ -49,32 +65,73 @@ type segment struct {
 	structBytes int
 }
 
-// buildSegment seals rows (flat, row-major, with their global IDs) into an
-// immutable segment under the engine's layout and tree configuration. IDs
-// must be strictly ascending. An empty row set returns nil.
-func buildSegment(flat []float64, ids []int32, dims int, lo *layout, treeCfg topk.Config) (*segment, error) {
+// col returns dimension d's contiguous column.
+func (s *segment) col(d int) []float64 { return s.cols[d*s.rows : (d+1)*s.rows] }
+
+// copyRow gathers one local row's coordinates into dst (len ≥ dims) — the
+// random-access path for callers that need a whole row (replication reads,
+// compaction gathers); the query path never materializes rows.
+func (s *segment) copyRow(local int, dst []float64) {
+	for d := 0; d < s.dims; d++ {
+		dst[d] = s.cols[d*s.rows+local]
+	}
+}
+
+// scoreLocal computes one row's exact score from the float64 columns, in the
+// same ascending-dimension order as the batch kernels and the old row-major
+// kernel — bit-identical to both. It is the rescore path for candidates that
+// survive the float32 pre-filter.
+func (s *segment) scoreLocal(local int, qpt, signed []float64) float64 {
+	var sc float64
+	for d := 0; d < s.dims; d++ {
+		sc += signed[d] * math.Abs(s.cols[d*s.rows+local]-qpt[d])
+	}
+	return sc
+}
+
+// transposeToCols converts a row-major block to the segment's dimension-major
+// layout — the build-time bridge for data that arrives as rows (initial
+// datasets, memtable seals, persisted v1/v2 files).
+func transposeToCols(flat []float64, rows, dims int) []float64 {
+	cols := make([]float64, rows*dims)
+	for d := 0; d < dims; d++ {
+		c := cols[d*rows : (d+1)*rows]
+		for i := range c {
+			c[i] = flat[i*dims+d]
+		}
+	}
+	return cols
+}
+
+// buildSegment seals rows (cols, dimension-major, with their global IDs) into
+// an immutable segment under the engine's layout and tree configuration. IDs
+// must be strictly ascending; width is the engine's column width (64, or 32
+// for the narrow-sweep layout). An empty row set returns nil.
+func buildSegment(cols []float64, ids []int32, dims int, lo *layout, treeCfg topk.Config, width int) (*segment, error) {
 	rows := len(ids)
 	if rows == 0 {
 		return nil, nil
 	}
-	s := &segment{ids: ids, flat: flat, rows: rows, dims: dims}
-	// Column extraction is shared by every tree and list over a dimension.
-	col := func(d int) []float64 {
-		out := make([]float64, rows)
-		for i := range out {
-			out[i] = flat[i*dims+d]
+	s := &segment{ids: ids, cols: cols, rows: rows, dims: dims}
+	if width == 32 {
+		s.cols32 = make([]float32, len(cols))
+		s.qerr = make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			var worst float64
+			for i, v := range cols[d*rows : (d+1)*rows] {
+				n := float32(v)
+				s.cols32[d*rows+i] = n
+				if e := math.Abs(v - float64(n)); e > worst {
+					worst = e
+				}
+			}
+			s.qerr[d] = worst
 		}
-		return out
 	}
-	cols := make(map[int][]float64)
-	colOf := func(d int) []float64 {
-		if c, ok := cols[d]; ok {
-			return c
-		}
-		c := col(d)
-		cols[d] = c
-		return c
-	}
+	// Trees and lists copy their input columns, so they can slice the block
+	// directly — the throwaway per-dimension copies the row-major layout
+	// forced are gone.
+	colOf := s.col
 	if lo.adaptive {
 		s.grid = make([]*topk.Index, len(lo.gridRep)*len(lo.gridAtt))
 		for ri, r := range lo.gridRep {
@@ -112,10 +169,12 @@ func buildSegment(flat []float64, ids []int32, dims int, lo *layout, treeCfg top
 	return s, nil
 }
 
-// bytes is the segment's resident size: index structures plus the flat copy,
+// bytes is the segment's resident size: index structures plus the column
+// block (and the narrow copy with its per-dimension error pads, when built),
 // the global-ID map, and (caller-supplied) tombstone words.
 func (s *segment) bytes(tombWords int) int {
-	return s.structBytes + 8*len(s.flat) + 4*len(s.ids) + 8*tombWords
+	return s.structBytes + 8*len(s.cols) + 4*len(s.cols32) + 8*len(s.qerr) +
+		4*len(s.ids) + 8*tombWords
 }
 
 // findLocal locates a global ID in the segment by binary search over the
@@ -134,12 +193,6 @@ func (s *segment) findLocal(id int32) int {
 		return lo
 	}
 	return -1
-}
-
-// row returns the segment-local coordinate row.
-func (s *segment) row(local int) []float64 {
-	base := local * s.dims
-	return s.flat[base : base+s.dims : base+s.dims]
 }
 
 // bitset helpers shared by segment tombstones and memtable dead sets. A nil

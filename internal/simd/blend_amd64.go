@@ -1,0 +1,21 @@
+//go:build sdsimd && amd64
+
+package simd
+
+// asmActive: the sdsimd build selects the packed-SSE2 kernels. SSE2 is part
+// of the amd64 baseline, so no CPU feature detection is needed, and packed
+// MULPD/ADDPD round each operation exactly like their scalar forms — the
+// kernel is bit-identical to the generic one (pinned by TestKernelBitIdentity
+// under both build tags). FMA is deliberately not used: fusing the multiply
+// and add would change the rounding.
+const asmActive = true
+
+// Accelerated reports whether the assembly kernels are active in this build.
+func Accelerated() bool { return true }
+
+// blendKeysAsm computes dst[i] = cy*ys[i] + cx*xs[i] for len(dst) elements.
+// Implemented in blend_amd64.s. xs and ys must be at least len(dst) long;
+// the caller (BlendKeys) guarantees len(dst) >= 8.
+//
+//go:noescape
+func blendKeysAsm(dst, xs, ys []float64, cx, cy float64)

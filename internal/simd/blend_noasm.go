@@ -1,0 +1,16 @@
+//go:build !sdsimd || !amd64
+
+package simd
+
+// asmActive reports whether the assembly kernels are compiled in. Without
+// the sdsimd build tag (or off amd64) every kernel runs the pure-Go path.
+const asmActive = false
+
+// Accelerated reports whether the assembly kernels are active in this build.
+func Accelerated() bool { return false }
+
+// blendKeysAsm is never called when asmActive is false; the stub keeps the
+// dispatch in BlendKeys tag-free.
+func blendKeysAsm(dst, xs, ys []float64, cx, cy float64) {
+	panic("simd: assembly kernel called without sdsimd build tag")
+}

@@ -1,0 +1,186 @@
+// Package simd holds the engine's innermost loops — the contribution and
+// score kernels every query funnels through — written so the hot work runs
+// at hardware speed without giving up the bit-exactness the differential
+// harness enforces.
+//
+// Three design rules govern every kernel here:
+//
+//  1. Unroll across independent outputs, never within one output. Each
+//     output value (a projection key, a row score) is computed with exactly
+//     the operation order of the obvious scalar loop, so results are
+//     bit-identical to the reference implementation; the 8-wide unrolling
+//     only interleaves *independent* computations, which changes no
+//     rounding. This is what lets the optional assembly kernels use packed
+//     SSE arithmetic (one rounding per multiply and add, same as scalar)
+//     while fused-multiply-add — a different rounding — stays forbidden.
+//
+//  2. Hoist every per-element branch to the call site. The callers
+//     pre-resolve projection kinds, weight signs, and column widths into
+//     plain coefficients, so the loops are branch-free and the compiler
+//     keeps them in registers.
+//
+//  3. Eliminate bounds checks by reslicing to a length the compiler can
+//     reason about ([:8:8] blocks over a len&^7 prefix), not by unsafe.
+//
+// The assembly variants live behind the `sdsimd` build tag (amd64 only) and
+// fall back to the pure-Go kernels elsewhere; TestKernelBitIdentity pins
+// byte-equality between the two on every build.
+package simd
+
+import "math"
+
+// BlendKeys fills dst[i] = cy*ys[i] + cx*xs[i] — the blended projection
+// intercept of every point of a tree leaf at the query angle, the kernel of
+// the topk leaf-cursor scan. The caller folds the projection kind into the
+// coefficient signs (cy = ±α, cx = ±β), so one kernel serves all four
+// streams. xs and ys must be at least len(dst) long.
+func BlendKeys(dst, xs, ys []float64, cx, cy float64) {
+	if asmActive && len(dst) >= 8 {
+		blendKeysAsm(dst, xs, ys, cx, cy)
+		return
+	}
+	blendKeysGeneric(dst, xs, ys, cx, cy)
+}
+
+func blendKeysGeneric(dst, xs, ys []float64, cx, cy float64) {
+	xs = xs[:len(dst)]
+	ys = ys[:len(dst)]
+	for len(dst) >= 8 {
+		d := dst[:8:8]
+		x := xs[:8:8]
+		y := ys[:8:8]
+		d[0] = cy*y[0] + cx*x[0]
+		d[1] = cy*y[1] + cx*x[1]
+		d[2] = cy*y[2] + cx*x[2]
+		d[3] = cy*y[3] + cx*x[3]
+		d[4] = cy*y[4] + cx*x[4]
+		d[5] = cy*y[5] + cx*x[5]
+		d[6] = cy*y[6] + cx*x[6]
+		d[7] = cy*y[7] + cx*x[7]
+		dst, xs, ys = dst[8:], xs[8:], ys[8:]
+	}
+	for i := range dst {
+		dst[i] = cy*ys[i] + cx*xs[i]
+	}
+}
+
+// ScoreRows fills dst[j] with the SD-score of the j-th row of a row-major
+// block: dst[j] = Σ_d signed[d]·|flat[j·dims+d] − q[d]|, accumulated in
+// ascending dimension order — exactly the scalar per-row loop, so scores
+// are bit-identical to it. It is the memtable sweep kernel: eight rows
+// advance together, each with its own accumulator chain, so the eight
+// |Δ|-multiply-adds per dimension are independent and pipeline.
+// flat must hold at least len(dst)·dims values; q and signed at least dims.
+func ScoreRows(dst []float64, flat []float64, dims int, q, signed []float64) {
+	if dims == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	q = q[:dims]
+	signed = signed[:dims]
+	j := 0
+	for ; j+8 <= len(dst); j += 8 {
+		base := j * dims
+		r0 := flat[base+0*dims : base+1*dims : base+1*dims]
+		r1 := flat[base+1*dims : base+2*dims : base+2*dims]
+		r2 := flat[base+2*dims : base+3*dims : base+3*dims]
+		r3 := flat[base+3*dims : base+4*dims : base+4*dims]
+		r4 := flat[base+4*dims : base+5*dims : base+5*dims]
+		r5 := flat[base+5*dims : base+6*dims : base+6*dims]
+		r6 := flat[base+6*dims : base+7*dims : base+7*dims]
+		r7 := flat[base+7*dims : base+8*dims : base+8*dims]
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		for d := 0; d < dims; d++ {
+			qd, wd := q[d], signed[d]
+			s0 += wd * math.Abs(r0[d]-qd)
+			s1 += wd * math.Abs(r1[d]-qd)
+			s2 += wd * math.Abs(r2[d]-qd)
+			s3 += wd * math.Abs(r3[d]-qd)
+			s4 += wd * math.Abs(r4[d]-qd)
+			s5 += wd * math.Abs(r5[d]-qd)
+			s6 += wd * math.Abs(r6[d]-qd)
+			s7 += wd * math.Abs(r7[d]-qd)
+		}
+		out := dst[j : j+8 : j+8]
+		out[0], out[1], out[2], out[3] = s0, s1, s2, s3
+		out[4], out[5], out[6], out[7] = s4, s5, s6, s7
+	}
+	for ; j < len(dst); j++ {
+		row := flat[j*dims : (j+1)*dims : (j+1)*dims]
+		var s float64
+		for d := 0; d < dims; d++ {
+			s += signed[d] * math.Abs(row[d]-q[d])
+		}
+		dst[j] = s
+	}
+}
+
+// GatherScore fills dst[j] with the SD-score of candidate row idx[j] read
+// from dimension-major float64 columns (column d is cols[d·rows:(d+1)·rows]).
+// The accumulation order per candidate matches the scalar row loop, so
+// scores are bit-identical to scoring the same row from a row-major layout.
+// This is the sealed-segment batch score kernel: the per-dimension inner
+// loops issue independent gathers the memory system overlaps, where the old
+// row-at-a-time loop serialized one short dependent chain per candidate.
+func GatherScore(dst []float64, cols []float64, rows int, idx []int32, q, signed []float64) {
+	dims := len(q)
+	idx = idx[:len(dst)]
+	for j := range dst {
+		dst[j] = 0
+	}
+	for d := 0; d < dims; d++ {
+		col := cols[d*rows : (d+1)*rows : (d+1)*rows]
+		qd, wd := q[d], signed[d]
+		j := 0
+		for ; j+8 <= len(dst); j += 8 {
+			i := idx[j : j+8 : j+8]
+			o := dst[j : j+8 : j+8]
+			o[0] += wd * math.Abs(col[i[0]]-qd)
+			o[1] += wd * math.Abs(col[i[1]]-qd)
+			o[2] += wd * math.Abs(col[i[2]]-qd)
+			o[3] += wd * math.Abs(col[i[3]]-qd)
+			o[4] += wd * math.Abs(col[i[4]]-qd)
+			o[5] += wd * math.Abs(col[i[5]]-qd)
+			o[6] += wd * math.Abs(col[i[6]]-qd)
+			o[7] += wd * math.Abs(col[i[7]]-qd)
+		}
+		for ; j < len(dst); j++ {
+			dst[j] += wd * math.Abs(col[idx[j]]-qd)
+		}
+	}
+}
+
+// GatherScore32 is GatherScore over float32 columns: values are widened to
+// float64 before any arithmetic, so the only precision loss is the storage
+// quantization itself — the error the caller's float-pad machinery absorbs.
+// Reading half the bytes per candidate is the point: the hot sweep runs at
+// half the memory bandwidth of the float64 columns.
+func GatherScore32(dst []float64, cols []float32, rows int, idx []int32, q, signed []float64) {
+	dims := len(q)
+	idx = idx[:len(dst)]
+	for j := range dst {
+		dst[j] = 0
+	}
+	for d := 0; d < dims; d++ {
+		col := cols[d*rows : (d+1)*rows : (d+1)*rows]
+		qd, wd := q[d], signed[d]
+		j := 0
+		for ; j+8 <= len(dst); j += 8 {
+			i := idx[j : j+8 : j+8]
+			o := dst[j : j+8 : j+8]
+			o[0] += wd * math.Abs(float64(col[i[0]])-qd)
+			o[1] += wd * math.Abs(float64(col[i[1]])-qd)
+			o[2] += wd * math.Abs(float64(col[i[2]])-qd)
+			o[3] += wd * math.Abs(float64(col[i[3]])-qd)
+			o[4] += wd * math.Abs(float64(col[i[4]])-qd)
+			o[5] += wd * math.Abs(float64(col[i[5]])-qd)
+			o[6] += wd * math.Abs(float64(col[i[6]])-qd)
+			o[7] += wd * math.Abs(float64(col[i[7]])-qd)
+		}
+		for ; j < len(dst); j++ {
+			dst[j] += wd * math.Abs(float64(col[idx[j]])-qd)
+		}
+	}
+}

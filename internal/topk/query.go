@@ -3,10 +3,12 @@ package topk
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/geom"
 	"repro/internal/query"
+	"repro/internal/simd"
 )
 
 // Result is one query answer: a point and its SD-score under the query's raw
@@ -117,11 +119,11 @@ func (c *cursor) init(idx *Index, q geom.Point) {
 		nd = nd.children[pos]
 	}
 	if nd != nil {
-		for _, p := range nd.pts {
-			if p.X >= q.X {
-				c.rightPts = append(c.rightPts, p)
+		for i := range nd.lids {
+			if nd.lxs[i] >= q.X {
+				c.rightPts = append(c.rightPts, nd.point(i))
 			} else {
-				c.leftPts = append(c.leftPts, p)
+				c.leftPts = append(c.leftPts, nd.point(i))
 			}
 		}
 	}
@@ -150,22 +152,69 @@ const leafRunCap = 64
 // Minimizing streams (upper projections) negate their keys so that a single
 // max-heap implementation serves all four kinds.
 //
+// The projection kind is resolved once at init into plain coefficients —
+// pointKey(x, y) = cy·y + cx·x and nodeKey = nl·bounds[b1] + nm·bounds[b2] —
+// so the hot loops carry no per-point or per-node switch and the leaf scan
+// can hand whole coordinate columns to simd.BlendKeys. Folding the
+// minimizing kinds' negation into the coefficient signs is bit-identical to
+// negating afterwards: IEEE rounding is sign-symmetric, so fl(−a·b) = −fl(a·b)
+// and fl(−x + −y) = −fl(x + y).
+//
 // Streams are value types embedded in a merge so a pooled Stream carries no
 // per-query pointers; init resets one in place.
 type stream struct {
-	bl   blend
-	kind geom.Kind
-	yq   float64
-	neg  bool // keys stored negated (minimizing kinds)
-	h    sheap
+	bl    blend
+	kind  geom.Kind
+	qx    float64
+	yq    float64
+	lower bool // Eqn. 6 y rule: this stream keeps y ≥ y_q (vs y < y_q)
+
+	// alpha, beta mirror bl.angle so the head score — the exact normalized
+	// SD-score the merge orders by — is computed in-stream at run-fill time
+	// with the same formula (and hence the same bits) as geom.Angle.Score.
+	alpha, beta float64
+
+	cx, cy float64 // pointKey coefficients (kind and negation folded in)
+	nl, nm float64 // nodeKey blend weights (signed)
+	b1, b2 int     // nodeKey bounds offsets for the bracketing angles
+
+	h sheap
+
+	// pts owns the points behind nd==nil sentries (separating-path leaf,
+	// oversized duplicate-x spills); sentries refer to them by index, which
+	// is what keeps a sentry at three words.
+	pts []geom.Point
+
+	// Head: the stream's next emission, pre-scored. The merge reads headID
+	// and headScore directly (the drain hot path never materializes a
+	// geom.Point); headNd/headIdx record where the point lives so the public
+	// one-at-a-time path can materialize it lazily via headPoint.
+	headID    int32
+	headScore float64
+	headOK    bool
+	headNd    *node // leaf owning the head; nil → head is pts[headIdx]
+	headIdx   int32
 
 	// Pending leaf run: when a leaf cursor is popped and its best exact key
 	// still tops the heap, the single mask scan that used to locate one point
 	// now drains the whole ≥-heap-top prefix of the leaf in sorted order.
 	// Every run entry outranks every remaining heap entry (admissible bounds),
-	// so the run is emitted before the heap is consulted again.
-	run            [leafRunCap]geom.Point
+	// so the run is emitted before the heap is consulted again. The run is
+	// struct-of-arrays — leaf slot indices plus exact scores — so draining
+	// moves 12 bytes per point instead of a 24-byte geom.Point.
+	runNd          *node
+	runIdx         [leafRunCap]int8
+	runScores      [leafRunCap]float64
 	runLen, runPos int
+
+	// cacheNd/cacheKeys memoize the blended exact keys of recently scanned
+	// leaves: keys depend only on (leaf, query), so a leaf revisited while
+	// draining in multiple installments reuses its kernel pass. Four ways
+	// with round-robin eviction — the best-first frontier typically
+	// alternates between a handful of leaves, which one slot cannot hold.
+	cacheNd   [4]*node
+	cacheKeys [4][leafRunCap]float64
+	cacheVict uint8
 
 	spill []sentry // reusable scratch for oversized duplicate-x leaf spills
 }
@@ -175,41 +224,32 @@ type stream struct {
 // Points filtered out by the y-side rule only widen the bound, keeping it
 // admissible.
 func (s *stream) nodeKey(nd *node) float64 {
-	ol, ou := 4*s.bl.al, 4*s.bl.au
-	switch s.kind {
-	case geom.LLP: // maximize u among right-side points
-		return s.bl.lambda*nd.bounds[ol+0] + s.bl.mu*nd.bounds[ou+0]
-	case geom.RUP: // minimize u among left-side points
-		return -(s.bl.lambda*nd.bounds[ol+1] + s.bl.mu*nd.bounds[ou+1])
-	case geom.RLP: // maximize v among left-side points
-		return s.bl.lambda*nd.bounds[ol+2] + s.bl.mu*nd.bounds[ou+2]
-	default: // geom.LUP: minimize v among right-side points
-		return -(s.bl.lambda*nd.bounds[ol+3] + s.bl.mu*nd.bounds[ou+3])
-	}
+	return s.nl*nd.bounds[s.b1] + s.nm*nd.bounds[s.b2]
 }
 
 // pointKey returns the exact (possibly negated) intercept of p at the query
 // angle.
 func (s *stream) pointKey(p geom.Point) float64 {
-	a := s.bl.angle
-	switch s.kind {
-	case geom.LLP:
-		return a.U(p.X, p.Y)
-	case geom.RUP:
-		return -a.U(p.X, p.Y)
-	case geom.RLP:
-		return a.V(p.X, p.Y)
-	default: // geom.LUP
-		return -a.V(p.X, p.Y)
-	}
+	return s.cy*p.Y + s.cx*p.X
+}
+
+// score is the exact normalized SD-score of the point (x, y) against the
+// query — bit-identical to bl.angle.Score(p, q), inlined so the run-fill
+// loop reads coordinates straight from the leaf columns.
+func (s *stream) score(x, y float64) float64 {
+	return s.alpha*math.Abs(y-s.yq) - s.beta*math.Abs(x-s.qx)
 }
 
 // keeps reports whether p belongs to this stream under Eqn. 6's y rule.
 func (s *stream) keeps(p geom.Point) bool {
-	if s.kind.Lower() {
-		return p.Y >= s.yq
-	}
-	return p.Y < s.yq
+	return (p.Y >= s.yq) == s.lower
+}
+
+// pointSentry parks p in the stream's point scratch and returns a sentry
+// referring to it by index.
+func (s *stream) pointSentry(p geom.Point) sentry {
+	s.pts = append(s.pts, p)
+	return sentry{key: s.pointKey(p), mask: uint64(len(s.pts) - 1)}
 }
 
 // spillOversized queues the kept points of an oversized duplicate-x leaf
@@ -217,19 +257,38 @@ func (s *stream) keeps(p geom.Point) bool {
 // path.
 func (s *stream) spillOversized(nd *node) {
 	s.spill = s.spill[:0]
-	for _, p := range nd.pts {
-		if s.keeps(p) {
-			s.spill = append(s.spill, sentry{key: s.pointKey(p), pt: p})
+	for i := range nd.lids {
+		if p := nd.point(i); s.keeps(p) {
+			s.spill = append(s.spill, s.pointSentry(p))
 		}
 	}
 	s.h.pushAll(s.spill)
+}
+
+// sideMask returns a bit per point marking the wrong y side for a stream:
+// bit i is set when (ys[i] >= yq) != lower. The comparison compiles
+// branch-free, so the unpredictable side pattern of a leaf costs no
+// mispredictions.
+func sideMask(ys []float64, yq float64, lower bool) uint64 {
+	var ge uint64
+	for i, y := range ys {
+		b := uint64(0)
+		if y >= yq {
+			b = 1
+		}
+		ge |= b << uint(i)
+	}
+	if lower {
+		return ^ge & (uint64(1)<<uint(len(ys)) - 1)
+	}
+	return ge
 }
 
 // pushNode queues a subtree. Ordinary leaves become leaf cursors under
 // their stored node bound; oversized duplicate-x leaves fall back to
 // individual point entries.
 func (s *stream) pushNode(nd *node) {
-	if nd.leaf() && len(nd.pts) > leafRunCap {
+	if nd.leaf() && nd.npts() > leafRunCap {
 		s.spillOversized(nd)
 		return
 	}
@@ -239,10 +298,10 @@ func (s *stream) pushNode(nd *node) {
 // seed queues a subtree during construction without restoring heap order
 // (the caller heapifies once at the end).
 func (s *stream) seed(nd *node) {
-	if nd.leaf() && len(nd.pts) > leafRunCap {
-		for _, p := range nd.pts {
-			if s.keeps(p) {
-				s.h.add(sentry{key: s.pointKey(p), pt: p})
+	if nd.leaf() && nd.npts() > leafRunCap {
+		for i := range nd.lids {
+			if p := nd.point(i); s.keeps(p) {
+				s.h.add(s.pointSentry(p))
 			}
 		}
 		return
@@ -251,9 +310,33 @@ func (s *stream) seed(nd *node) {
 }
 
 func (s *stream) init(c *cursor, bl blend, kind geom.Kind) {
-	s.bl, s.kind, s.yq = bl, kind, c.q.Y
-	s.neg = kind == geom.RUP || kind == geom.LUP
-	s.runLen, s.runPos = 0, 0
+	s.bl, s.kind, s.qx, s.yq = bl, kind, c.q.X, c.q.Y
+	s.alpha, s.beta = bl.angle.Alpha, bl.angle.Beta
+	s.lower = kind.Lower()
+	a := bl.angle
+	switch kind {
+	case geom.LLP: // maximize u = α·y − β·x among right-side points
+		s.cx, s.cy = -a.Beta, a.Alpha
+		s.nl, s.nm = bl.lambda, bl.mu
+		s.b1, s.b2 = 4*bl.al+0, 4*bl.au+0
+	case geom.RUP: // minimize u among left-side points (maximize −u)
+		s.cx, s.cy = a.Beta, -a.Alpha
+		s.nl, s.nm = -bl.lambda, -bl.mu
+		s.b1, s.b2 = 4*bl.al+1, 4*bl.au+1
+	case geom.RLP: // maximize v = α·y + β·x among left-side points
+		s.cx, s.cy = a.Beta, a.Alpha
+		s.nl, s.nm = bl.lambda, bl.mu
+		s.b1, s.b2 = 4*bl.al+2, 4*bl.au+2
+	default: // geom.LUP: minimize v among right-side points (maximize −v)
+		s.cx, s.cy = -a.Beta, -a.Alpha
+		s.nl, s.nm = -bl.lambda, -bl.mu
+		s.b1, s.b2 = 4*bl.al+3, 4*bl.au+3
+	}
+	s.runNd, s.runLen, s.runPos = nil, 0, 0
+	s.cacheNd = [4]*node{}
+	s.cacheVict = 0
+	s.headOK, s.headNd = false, nil
+	s.pts = s.pts[:0]
 	nodes, pts := c.right, c.rightPts
 	if kind == geom.RLP || kind == geom.RUP {
 		nodes, pts = c.left, c.leftPts
@@ -264,7 +347,7 @@ func (s *stream) init(c *cursor, bl blend, kind geom.Kind) {
 	}
 	for _, p := range pts {
 		if s.keeps(p) {
-			s.h.add(sentry{key: s.pointKey(p), pt: p})
+			s.h.add(s.pointSentry(p))
 		}
 	}
 	s.h.init()
@@ -276,48 +359,88 @@ func (c *cursor) newStream(bl blend, kind geom.Kind) *stream {
 	return s
 }
 
-// next returns the stream's next point in projection order.
-func (s *stream) next() (geom.Point, bool) {
+// advance moves the stream's head to its next point in projection order,
+// clearing headOK when the stream is exhausted. Emission order and scores
+// are identical to the old one-point-at-a-time next: the head is exactly the
+// point that call would have returned, with its score computed by the same
+// formula.
+func (s *stream) advance() {
 	if s.runPos < s.runLen {
-		p := s.run[s.runPos]
+		i := s.runIdx[s.runPos]
+		s.headNd, s.headIdx = s.runNd, int32(i)
+		s.headID = s.runNd.lids[i]
+		s.headScore = s.runScores[s.runPos]
 		s.runPos++
-		return p, true
+		s.headOK = true
+		return
 	}
 	for s.h.len() > 0 {
-		e := s.h.pop()
+		e := s.h.top()
 		if e.nd == nil {
-			return e.pt, true
+			s.h.dropTop()
+			p := s.pts[e.mask]
+			s.headNd, s.headIdx = nil, int32(e.mask)
+			s.headID = int32(p.ID)
+			s.headScore = s.score(p.X, p.Y)
+			s.headOK = true
+			return
 		}
 		if !e.nd.leaf() {
-			for _, child := range e.nd.children {
+			// Expansion: the first child replaces the parent at the root
+			// (one sift instead of a drop+push pair); the rest are pushed.
+			kids := e.nd.children
+			if k0 := kids[0]; k0.leaf() && k0.npts() > leafRunCap {
+				s.h.dropTop()
+				s.spillOversized(k0)
+			} else {
+				s.h.replaceTop(sentry{key: s.nodeKey(k0), nd: k0})
+			}
+			for _, child := range kids[1:] {
 				s.pushNode(child)
 			}
 			continue
 		}
-		// Leaf cursor: one scan over the unconsumed points classifies each
-		// against the heap's current top — the run prefix (exact key at least
-		// the top, safe to emit now and in order) versus the requeue suffix.
-		// The wrong y side is filtered into the mask permanently. Because
-		// nothing is pushed during the scan, the captured top stays valid.
-		pts := e.nd.pts
+		// Leaf cursor: a single kernel pass computes every point's exact key
+		// from the leaf's coordinate columns (masked slots too — branchless
+		// beats exact), then one scan classifies the unconsumed points
+		// against the heap's current second-best — the run prefix (exact key
+		// at least that, safe to emit now and in order) versus the requeue
+		// suffix. The wrong y side is filtered into the mask permanently.
+		// The leaf stays at the root while it is scanned (nothing is pushed,
+		// so the captured second-best stays valid) and is requeued with a
+		// single replaceTop sift instead of a pop+push pair. Keys depend
+		// only on (leaf, query), so a revisited leaf reuses the cached
+		// kernel pass.
+		n := e.nd.npts()
+		lxs, lys := e.nd.lxs, e.nd.lys
 		mask := e.mask
-		top := math.Inf(-1)
-		if s.h.len() > 0 {
-			top = s.h.topKey()
+		top := s.h.secondKey()
+		way := -1
+		for w := range s.cacheNd {
+			if s.cacheNd[w] == e.nd {
+				way = w
+				break
+			}
 		}
+		if way < 0 {
+			way = int(s.cacheVict)
+			s.cacheVict = (s.cacheVict + 1) & 3
+			s.cacheNd[way] = e.nd
+			simd.BlendKeys(s.cacheKeys[way][:n], lxs, lys, s.cx, s.cy)
+			// Fold the wrong-y-side points into the mask branchlessly, once;
+			// the mask travels with the sentry, so revisits (and re-pushes
+			// after a cache eviction, where this recomputation is idempotent)
+			// never test y again.
+			mask |= sideMask(lys[:n], s.yq, s.lower)
+		}
+		all := &s.cacheKeys[way]
 		var keys [leafRunCap]float64
 		var idxs [leafRunCap]int8
 		cnt := 0
 		below := math.Inf(-1) // best key under the run threshold
-		for i := 0; i < len(pts); i++ {
-			if mask&(1<<uint(i)) != 0 {
-				continue
-			}
-			if !s.keeps(pts[i]) {
-				mask |= 1 << uint(i)
-				continue
-			}
-			k := s.pointKey(pts[i])
+		for rem := ^mask & (uint64(1)<<uint(n) - 1); rem != 0; rem &= rem - 1 {
+			i := bits.TrailingZeros64(rem)
+			k := all[i]
 			if k >= top {
 				keys[cnt], idxs[cnt] = k, int8(i)
 				cnt++
@@ -329,7 +452,9 @@ func (s *stream) next() (geom.Point, bool) {
 			if !math.IsInf(below, -1) {
 				// The entry key was an upper bound (the node bound on the
 				// first visit); the exact best no longer tops the heap.
-				s.h.push(sentry{key: below, nd: e.nd, mask: mask})
+				s.h.replaceTop(sentry{key: below, nd: e.nd, mask: mask})
+			} else {
+				s.h.dropTop()
 			}
 			continue
 		}
@@ -345,16 +470,46 @@ func (s *stream) next() (geom.Point, bool) {
 			keys[j], idxs[j] = k, id
 		}
 		for j := 0; j < cnt; j++ {
-			s.run[j] = pts[idxs[j]]
-			mask |= 1 << uint(idxs[j])
+			i := int(idxs[j])
+			s.runIdx[j] = idxs[j]
+			s.runScores[j] = s.score(lxs[i], lys[i])
+			mask |= 1 << uint(i)
 		}
+		s.runNd = e.nd
 		s.runLen, s.runPos = cnt, 1
 		if !math.IsInf(below, -1) {
-			s.h.push(sentry{key: below, nd: e.nd, mask: mask})
+			s.h.replaceTop(sentry{key: below, nd: e.nd, mask: mask})
+		} else {
+			s.h.dropTop()
 		}
-		return s.run[0], true
+		i0 := s.runIdx[0]
+		s.headNd, s.headIdx = e.nd, int32(i0)
+		s.headID = e.nd.lids[i0]
+		s.headScore = s.runScores[0]
+		s.headOK = true
+		return
 	}
-	return geom.Point{}, false
+	s.headOK = false
+}
+
+// next pops and returns the stream's next point in projection order — the
+// standalone enumeration form used by tests; the merge drives
+// advance/headPoint directly.
+func (s *stream) next() (geom.Point, bool) {
+	s.advance()
+	if !s.headOK {
+		return geom.Point{}, false
+	}
+	return s.headPoint(), true
+}
+
+// headPoint materializes the head as a geom.Point — the public
+// one-at-a-time emission path; the merge drain never calls it.
+func (s *stream) headPoint() geom.Point {
+	if s.headNd != nil {
+		return s.headNd.point(int(s.headIdx))
+	}
+	return s.pts[s.headIdx]
 }
 
 // merge is the four-way candidate merge of Algorithm 2: at every step the
@@ -365,14 +520,13 @@ func (s *stream) next() (geom.Point, bool) {
 // own stream always scores at least as high as the point itself.
 //
 // A merge is a value type (streams embedded) so a pooled Stream reuses the
-// whole structure across queries without allocation.
+// whole structure across queries without allocation. Stream heads live in
+// the streams themselves (headID/headScore, a materializable locator), so
+// the drain loop below moves no geom.Point structs.
 type merge struct {
 	angle   geom.Angle
 	q       geom.Point
 	streams [4]stream
-	heads   [4]geom.Point
-	scores  [4]float64
-	valid   [4]bool
 }
 
 var mergeKinds = [4]geom.Kind{geom.LLP, geom.LUP, geom.RLP, geom.RUP}
@@ -384,13 +538,7 @@ func (m *merge) init(c *cursor, bl blend) {
 	for i, kind := range mergeKinds {
 		s := &m.streams[i]
 		s.init(c, bl, kind)
-		if p, ok := s.next(); ok {
-			m.heads[i] = p
-			m.scores[i] = m.angle.Score(p, m.q)
-			m.valid[i] = true
-		} else {
-			m.valid[i] = false
-		}
+		s.advance()
 	}
 }
 
@@ -405,22 +553,19 @@ func (c *cursor) newMerge(bl blend) *merge {
 // the point and its normalized score.
 func (m *merge) next() (geom.Point, float64, bool) {
 	best := -1
+	var bs float64
 	for i := 0; i < 4; i++ {
-		if m.valid[i] && (best == -1 || m.scores[i] > m.scores[best]) {
-			best = i
+		s := &m.streams[i]
+		if s.headOK && (best == -1 || s.headScore > bs) {
+			best, bs = i, s.headScore
 		}
 	}
 	if best == -1 {
 		return geom.Point{}, 0, false
 	}
-	p, score := m.heads[best], m.scores[best]
-	if np, ok := m.streams[best].next(); ok {
-		m.heads[best] = np
-		m.scores[best] = m.angle.Score(np, m.q)
-	} else {
-		m.valid[best] = false
-	}
-	return p, score, true
+	p := m.streams[best].headPoint()
+	m.streams[best].advance()
+	return p, bs, true
 }
 
 // drainInto bulk-emits up to len(dst) points in non-increasing normalized
@@ -439,17 +584,19 @@ func (m *merge) drainInto(dst []query.Emission, scale float64) (int, float64) {
 	filled := 0
 	for filled < len(dst) {
 		best, second, secondIdx := -1, math.Inf(-1), -1
+		var bs float64
 		for i := 0; i < 4; i++ {
-			if !m.valid[i] {
+			s := &m.streams[i]
+			if !s.headOK {
 				continue
 			}
 			if best == -1 {
-				best = i
-			} else if m.scores[i] > m.scores[best] {
-				second, secondIdx = m.scores[best], best
-				best = i
-			} else if m.scores[i] > second {
-				second, secondIdx = m.scores[i], i
+				best, bs = i, s.headScore
+			} else if s.headScore > bs {
+				second, secondIdx = bs, best
+				best, bs = i, s.headScore
+			} else if s.headScore > second {
+				second, secondIdx = s.headScore, i
 			}
 		}
 		if best == -1 {
@@ -457,16 +604,30 @@ func (m *merge) drainInto(dst []query.Emission, scale float64) (int, float64) {
 		}
 		s := &m.streams[best]
 		for filled < len(dst) {
-			dst[filled] = query.Emission{ID: int32(m.heads[best].ID), Contrib: m.scores[best] * scale}
+			dst[filled] = query.Emission{ID: s.headID, Contrib: s.headScore * scale}
 			filled++
-			np, ok := s.next()
-			if !ok {
-				m.valid[best] = false
+			// While the head's leaf run continues, emit straight from the run
+			// arrays — the same entries advance would surface, under the same
+			// stop test — touching the head fields only at the boundary.
+			if rn := s.runNd; rn != nil && s.runPos < s.runLen {
+				ids := rn.lids
+				pos, ln := s.runPos, s.runLen
+				for filled < len(dst) && pos < ln {
+					sc := s.runScores[pos]
+					if sc < second || (sc == second && secondIdx < best) {
+						break
+					}
+					dst[filled] = query.Emission{ID: ids[s.runIdx[pos]], Contrib: sc * scale}
+					filled++
+					pos++
+				}
+				s.runPos = pos
+			}
+			s.advance()
+			if !s.headOK {
 				break
 			}
-			m.heads[best] = np
-			m.scores[best] = m.angle.Score(np, m.q)
-			if m.scores[best] < second || (m.scores[best] == second && secondIdx < best) {
+			if s.headScore < second || (s.headScore == second && secondIdx < best) {
 				break
 			}
 		}
@@ -480,15 +641,17 @@ func (m *merge) drainInto(dst []query.Emission, scale float64) (int, float64) {
 // peekScore returns the normalized score the next emission will carry.
 func (m *merge) peekScore() (float64, bool) {
 	best := -1
+	var bs float64
 	for i := 0; i < 4; i++ {
-		if m.valid[i] && (best == -1 || m.scores[i] > m.scores[best]) {
-			best = i
+		s := &m.streams[i]
+		if s.headOK && (best == -1 || s.headScore > bs) {
+			best, bs = i, s.headScore
 		}
 	}
 	if best == -1 {
 		return 0, false
 	}
-	return m.scores[best], true
+	return bs, true
 }
 
 // release returns the stream heap arrays to the pool. The merge must not be

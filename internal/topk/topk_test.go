@@ -464,9 +464,9 @@ func TestSeparatorInvariant(t *testing.T) {
 			return
 		}
 		if nd.leaf() {
-			for _, p := range nd.pts {
-				if p.X <= lo || p.X > hi {
-					t.Fatalf("leaf point x=%v outside (%v, %v]", p.X, lo, hi)
+			for _, x := range nd.lxs {
+				if x <= lo || x > hi {
+					t.Fatalf("leaf point x=%v outside (%v, %v]", x, lo, hi)
 				}
 			}
 			return
@@ -539,7 +539,11 @@ func TestBoundsInvariant(t *testing.T) {
 
 func subtreePoints(nd *node) []geom.Point {
 	if nd.leaf() {
-		return nd.pts
+		out := make([]geom.Point, 0, nd.npts())
+		for i := range nd.lids {
+			out = append(out, nd.point(i))
+		}
+		return out
 	}
 	var out []geom.Point
 	for _, c := range nd.children {

@@ -84,20 +84,35 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// node is both internal node and leaf. For leaves pts != nil; for internal
+// node is both internal node and leaf. For leaves lids != nil; for internal
 // nodes children is non-empty and seps holds len(children)-1 separators:
 // child i contains exactly the points with x in (seps[i-1], seps[i]].
+//
+// Leaf points are stored struct-of-arrays — parallel x, y, and id columns —
+// so the query-time leaf scan can hand the coordinate columns straight to
+// the simd.BlendKeys kernel, and the int32 ids cut leaf footprint versus an
+// embedded []geom.Point.
 type node struct {
 	seps     []float64
 	children []*node
-	pts      []geom.Point
+	lxs      []float64
+	lys      []float64
+	lids     []int32
 	// bounds holds 4 values per indexed angle:
 	// [4a+0] maxU, [4a+1] minU, [4a+2] maxV, [4a+3] minV.
 	bounds []float64
 	depth  int
 }
 
-func (n *node) leaf() bool { return n.pts != nil }
+func (n *node) leaf() bool { return n.lids != nil }
+
+func (n *node) npts() int { return len(n.lids) }
+
+// point materializes leaf point i; used on the cold paths (rebuilds,
+// updates, spills, run emission) — the hot scan reads the columns directly.
+func (n *node) point(i int) geom.Point {
+	return geom.Point{ID: int(n.lids[i]), X: n.lxs[i], Y: n.lys[i]}
+}
 
 // Index is the §4 top-k structure. It is safe for concurrent queries;
 // updates require external synchronization.
@@ -110,6 +125,8 @@ type Index struct {
 	// rebalance bookkeeping (§4): leaves deeper than the as-built height.
 	builtDepth int
 	overlong   map[*node]bool
+	// arena is non-nil only while a bulk load is in flight.
+	arena *buildArena
 }
 
 // Build constructs the index. Points must have finite coordinates and IDs
@@ -197,6 +214,97 @@ func normalizeAngles(in []geom.Angle) ([]geom.Angle, []float64, error) {
 	return out, outD, nil
 }
 
+// buildArena carves node structs, bounds vectors, and leaf coordinate
+// columns out of shared slabs during a bulk load. The query hot path reads
+// (child node header, child bounds) for every sibling of an expanded node,
+// so siblings are placed adjacently: one cache line then serves several
+// children instead of one pointer-chased heap object each. Slabs are
+// chunked and never reallocated once an object has been handed out, so
+// interior pointers stay valid; the tree keeps the slabs alive through
+// those pointers and the arena itself is dropped when the build returns.
+// Incremental updates allocate nodes individually as before — every carved
+// slice is capacity-clamped, so an append on a leaf column reallocates
+// instead of bleeding into a sibling's region.
+type buildArena struct {
+	nodes  []node
+	bounds []float64
+	kids   []*node
+	xs     []float64
+	ys     []float64
+	ids    []int32
+}
+
+const arenaNodeChunk = 1024
+
+// newNodes returns n adjacent zero node structs. Chunks start small and
+// double so an incremental leaf split (a dozen nodes) doesn't pin a
+// bulk-sized slab.
+func (a *buildArena) newNodes(n int) []node {
+	if len(a.nodes)+n > cap(a.nodes) {
+		c := 2 * cap(a.nodes)
+		if c < 16 {
+			c = 16
+		}
+		if c > arenaNodeChunk {
+			c = arenaNodeChunk
+		}
+		if n > c {
+			c = n
+		}
+		a.nodes = make([]node, 0, c)
+	}
+	a.nodes = a.nodes[:len(a.nodes)+n]
+	return a.nodes[len(a.nodes)-n : len(a.nodes) : len(a.nodes)]
+}
+
+// newBounds returns an n-float region; sequential calls within one parent
+// yield adjacent regions.
+func (a *buildArena) newBounds(n int) []float64 {
+	if len(a.bounds)+n > cap(a.bounds) {
+		c := 2 * cap(a.bounds)
+		if c < 256 {
+			c = 256
+		}
+		if c > 4*arenaNodeChunk {
+			c = 4 * arenaNodeChunk
+		}
+		if n > c {
+			c = n
+		}
+		a.bounds = make([]float64, 0, c)
+	}
+	a.bounds = a.bounds[:len(a.bounds)+n]
+	return a.bounds[len(a.bounds)-n : len(a.bounds) : len(a.bounds)]
+}
+
+// newKids returns an n-pointer child array.
+func (a *buildArena) newKids(n int) []*node {
+	if len(a.kids)+n > cap(a.kids) {
+		c := 2 * cap(a.kids)
+		if c < 64 {
+			c = 64
+		}
+		if c > arenaNodeChunk {
+			c = arenaNodeChunk
+		}
+		if n > c {
+			c = n
+		}
+		a.kids = make([]*node, 0, c)
+	}
+	a.kids = a.kids[:len(a.kids)+n]
+	return a.kids[len(a.kids)-n : len(a.kids) : len(a.kids)]
+}
+
+// newCols carves an n-point leaf's coordinate and id columns. The column
+// slabs are pre-sized to the exact point total (every point lands in exactly
+// one leaf), so leaves come out packed in x order.
+func (a *buildArena) newCols(n int) (xs, ys []float64, ids []int32) {
+	lx, ly, li := len(a.xs), len(a.ys), len(a.ids)
+	a.xs, a.ys, a.ids = a.xs[:lx+n], a.ys[:ly+n], a.ids[:li+n]
+	return a.xs[lx : lx+n : lx+n], a.ys[ly : ly+n : ly+n], a.ids[li : li+n : li+n]
+}
+
 // rebuild reconstructs the tree from the given points (bulk load: sort by x,
 // split bottom-up balanced, then fill bounds).
 func (idx *Index) rebuild(points []geom.Point) {
@@ -217,17 +325,28 @@ func (idx *Index) rebuild(points []geom.Point) {
 		idx.builtDepth = 0
 		return
 	}
-	idx.root = idx.buildNode(pts, 0)
+	idx.arena = &buildArena{
+		xs:  make([]float64, 0, len(pts)),
+		ys:  make([]float64, 0, len(pts)),
+		ids: make([]int32, 0, len(pts)),
+	}
+	root := &idx.arena.newNodes(1)[0]
+	idx.fillNode(root, pts, 0)
+	idx.arena = nil
+	idx.root = root
 	idx.builtDepth = treeDepth(idx.root)
 }
 
-// buildNode recursively splits a sorted slice into at most b children. Runs
-// of equal x never straddle a separator, so delete/insert routing by x is
-// exact.
-func (idx *Index) buildNode(pts []geom.Point, depth int) *node {
+// fillNode recursively splits a sorted slice into at most b children,
+// building the subtree in place in nd. Runs of equal x never straddle a
+// separator, so delete/insert routing by x is exact. Child node structs and
+// child bounds vectors are arena-allocated up front, before any recursion,
+// so all siblings land adjacent in memory.
+func (idx *Index) fillNode(nd *node, pts []geom.Point, depth int) {
 	n := len(pts)
 	if n <= idx.cfg.LeafCap {
-		return idx.newLeaf(pts, depth)
+		idx.fillLeaf(nd, pts, depth)
+		return
 	}
 	b := idx.cfg.Branching
 	cuts := []int{0}
@@ -247,26 +366,71 @@ func (idx *Index) buildNode(pts []geom.Point, depth int) *node {
 	cuts = append(cuts, n)
 	if len(cuts) == 2 {
 		// All points share one x (or ties defeated every cut): unsplittable.
-		return idx.newLeaf(pts, depth)
+		idx.fillLeaf(nd, pts, depth)
+		return
 	}
-	nd := &node{depth: depth}
-	for ci := 0; ci+1 < len(cuts); ci++ {
+	nd.depth = depth
+	nc := len(cuts) - 1
+	bw := 4 * len(idx.angles)
+	kids := idx.arena.newNodes(nc)
+	kb := idx.arena.newBounds(nc * bw)
+	nd.children = idx.arena.newKids(nc)
+	for ci := 0; ci < nc; ci++ {
 		chunk := pts[cuts[ci]:cuts[ci+1]]
-		nd.children = append(nd.children, idx.buildNode(chunk, depth+1))
-		if ci+2 < len(cuts) {
+		child := &kids[ci]
+		child.bounds = kb[ci*bw : (ci+1)*bw : (ci+1)*bw]
+		idx.fillNode(child, chunk, depth+1)
+		nd.children[ci] = child
+		if ci+1 < nc {
 			nd.seps = append(nd.seps, chunk[len(chunk)-1].X)
 		}
 	}
-	nd.bounds = make([]float64, 4*len(idx.angles))
+	if nd.bounds == nil {
+		nd.bounds = idx.arena.newBounds(bw)
+	}
 	idx.refreshBounds(nd)
+}
+
+// buildNode builds a subtree from scratch — the incremental-update entry
+// point (leaf splits). It runs the same fill path as a bulk load over a
+// transient arena sized to the subtree.
+func (idx *Index) buildNode(pts []geom.Point, depth int) *node {
+	saved := idx.arena
+	idx.arena = &buildArena{
+		xs:  make([]float64, 0, len(pts)),
+		ys:  make([]float64, 0, len(pts)),
+		ids: make([]int32, 0, len(pts)),
+	}
+	nd := &idx.arena.newNodes(1)[0]
+	idx.fillNode(nd, pts, depth)
+	idx.arena = saved
 	return nd
 }
 
+// newLeaf builds a standalone leaf (first insert into an empty index).
 func (idx *Index) newLeaf(pts []geom.Point, depth int) *node {
-	leaf := &node{pts: append([]geom.Point(nil), pts...), depth: depth}
-	leaf.bounds = make([]float64, 4*len(idx.angles))
-	idx.refreshBounds(leaf)
-	return leaf
+	saved := idx.arena
+	idx.arena = &buildArena{
+		xs:  make([]float64, 0, len(pts)),
+		ys:  make([]float64, 0, len(pts)),
+		ids: make([]int32, 0, len(pts)),
+	}
+	nd := &idx.arena.newNodes(1)[0]
+	idx.fillLeaf(nd, pts, depth)
+	idx.arena = saved
+	return nd
+}
+
+func (idx *Index) fillLeaf(nd *node, pts []geom.Point, depth int) {
+	nd.depth = depth
+	nd.lxs, nd.lys, nd.lids = idx.arena.newCols(len(pts))
+	for i, p := range pts {
+		nd.lxs[i], nd.lys[i], nd.lids[i] = p.X, p.Y, int32(p.ID)
+	}
+	if nd.bounds == nil {
+		nd.bounds = idx.arena.newBounds(4 * len(idx.angles))
+	}
+	idx.refreshBounds(nd)
 }
 
 // refreshBounds recomputes a node's per-angle bounds from its children (or
@@ -280,8 +444,8 @@ func (idx *Index) refreshBounds(nd *node) {
 		}
 	}
 	if nd.leaf() {
-		for _, p := range nd.pts {
-			idx.mergePointBounds(nd, p)
+		for i := range nd.lids {
+			idx.mergeCoordBounds(nd, nd.lxs[i], nd.lys[i])
 		}
 		return
 	}
@@ -299,8 +463,12 @@ func (idx *Index) refreshBounds(nd *node) {
 // mergePointBounds widens nd's bounds to cover point p. Used by refresh and
 // by the O(log n) insert path.
 func (idx *Index) mergePointBounds(nd *node, p geom.Point) {
+	idx.mergeCoordBounds(nd, p.X, p.Y)
+}
+
+func (idx *Index) mergeCoordBounds(nd *node, x, y float64) {
 	for ai, a := range idx.angles {
-		u, v := a.U(p.X, p.Y), a.V(p.X, p.Y)
+		u, v := a.U(x, y), a.V(x, y)
 		o := 4 * ai
 		nd.bounds[o+0] = math.Max(nd.bounds[o+0], u)
 		nd.bounds[o+1] = math.Min(nd.bounds[o+1], u)
@@ -340,7 +508,9 @@ func (idx *Index) Points() []geom.Point {
 			return
 		}
 		if nd.leaf() {
-			out = append(out, nd.pts...)
+			for i := range nd.lids {
+				out = append(out, nd.point(i))
+			}
 			return
 		}
 		for _, c := range nd.children {

@@ -31,13 +31,15 @@ func (idx *Index) Insert(p geom.Point) error {
 		pos := sort.SearchFloat64s(nd.seps, p.X)
 		nd = nd.children[pos]
 	}
-	if len(nd.pts) < idx.cfg.LeafCap || allSameX(nd.pts, p) {
-		nd.pts = append(nd.pts, p)
+	if nd.npts() < idx.cfg.LeafCap || allSameX(nd, p) {
+		nd.lxs = append(nd.lxs, p.X)
+		nd.lys = append(nd.lys, p.Y)
+		nd.lids = append(nd.lids, int32(p.ID))
 		idx.mergePointBounds(nd, p)
 	} else {
 		// Split the full leaf into a small subtree (the paper's "a new
 		// non-leaf node replaces l"); equal-x runs stay in one leaf.
-		sub := idx.buildNode(sortedWith(nd.pts, p), nd.depth)
+		sub := idx.buildNode(sortedWith(nd, p), nd.depth)
 		idx.replaceChild(path, nd, sub)
 		idx.markOverlong(sub)
 	}
@@ -47,18 +49,20 @@ func (idx *Index) Insert(p geom.Point) error {
 
 // allSameX reports whether every existing leaf point and the newcomer share
 // one x — such leaves cannot be split and may exceed LeafCap.
-func allSameX(pts []geom.Point, p geom.Point) bool {
-	for _, q := range pts {
-		if q.X != p.X {
+func allSameX(nd *node, p geom.Point) bool {
+	for _, x := range nd.lxs {
+		if x != p.X {
 			return false
 		}
 	}
 	return true
 }
 
-func sortedWith(pts []geom.Point, p geom.Point) []geom.Point {
-	out := make([]geom.Point, 0, len(pts)+1)
-	out = append(out, pts...)
+func sortedWith(nd *node, p geom.Point) []geom.Point {
+	out := make([]geom.Point, 0, nd.npts()+1)
+	for i := range nd.lids {
+		out = append(out, nd.point(i))
+	}
 	out = append(out, p)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].X != out[j].X {
@@ -124,8 +128,8 @@ func (idx *Index) Delete(p geom.Point) bool {
 		nd = nd.children[pos]
 	}
 	at := -1
-	for i, q := range nd.pts {
-		if q.ID == p.ID && q.X == p.X && q.Y == p.Y {
+	for i, id := range nd.lids {
+		if int(id) == p.ID && nd.lxs[i] == p.X && nd.lys[i] == p.Y {
 			at = i
 			break
 		}
@@ -133,9 +137,11 @@ func (idx *Index) Delete(p geom.Point) bool {
 	if at < 0 {
 		return false
 	}
-	nd.pts = append(nd.pts[:at], nd.pts[at+1:]...)
+	nd.lxs = append(nd.lxs[:at], nd.lxs[at+1:]...)
+	nd.lys = append(nd.lys[:at], nd.lys[at+1:]...)
+	nd.lids = append(nd.lids[:at], nd.lids[at+1:]...)
 	idx.size--
-	if len(nd.pts) == 0 {
+	if nd.npts() == 0 {
 		delete(idx.overlong, nd)
 		idx.removeEmpty(path, nd)
 	} else {
@@ -188,13 +194,13 @@ func (idx *Index) OverlongLeaves() int { return len(idx.overlong) }
 func (idx *Index) Bytes() int {
 	var total int
 	nodeSize := int(unsafe.Sizeof(node{}))
-	ptSize := int(unsafe.Sizeof(geom.Point{}))
 	var walk func(*node)
 	walk = func(nd *node) {
 		if nd == nil {
 			return
 		}
-		total += nodeSize + len(nd.bounds)*8 + len(nd.seps)*8 + len(nd.children)*8 + len(nd.pts)*ptSize
+		// Leaf columns: 8 bytes each for x and y, 4 for the int32 id.
+		total += nodeSize + len(nd.bounds)*8 + len(nd.seps)*8 + len(nd.children)*8 + nd.npts()*20
 		for _, c := range nd.children {
 			walk(c)
 		}

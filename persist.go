@@ -70,6 +70,7 @@ func runtimeOptions(opts []SDOption) (core.RuntimeOptions, sdConfig) {
 		DisablePlanCache:  cfg.noPlanCache,
 		MemtableSize:      cfg.memSize,
 		DisableCompaction: cfg.noCompact,
+		MaxSegmentRows:    cfg.maxSegRows,
 	}, cfg
 }
 
@@ -99,12 +100,20 @@ func LoadSDIndex(r io.Reader, opts ...SDOption) (*SDIndex, error) {
 }
 
 func loadSDIndexBody(r io.Reader, opts []SDOption) (*SDIndex, error) {
-	opt, _ := runtimeOptions(opts)
+	opt, cfg := runtimeOptions(opts)
+	var pool *workerPool
+	if cfg.workersSet {
+		pool = newWorkerPool(cfg.workers)
+		opt.Pool = poolRunner{pool}
+	}
 	eng, err := core.Load(r, opt)
 	if err != nil {
+		if pool != nil {
+			pool.close()
+		}
 		return nil, err
 	}
-	return &SDIndex{eng: eng, roles: eng.Roles()}, nil
+	return &SDIndex{eng: eng, roles: eng.Roles(), pool: pool}, nil
 }
 
 // Save serializes the sharded index: the shard partition, the routing

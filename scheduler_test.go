@@ -64,6 +64,20 @@ func TestSchedulerEquivalenceProperty(t *testing.T) {
 				sdquery.WithPlanCache(false),
 				sdquery.WithPairing(sdquery.PairInOrder),
 			}},
+			// Intra-query segment parallelism is a scheduling choice too: the
+			// segment tasks' interleaving (and the shared floor's timing) must
+			// not leak into answers. Small segment caps force real multi-
+			// segment stacks on these tiny datasets.
+			{"parallel", []sdquery.SDOption{
+				sdquery.WithWorkers(2),
+				sdquery.WithMaxSegmentRows(32),
+			}},
+			{"parallel/round-robin/float32", []sdquery.SDOption{
+				sdquery.WithWorkers(3),
+				sdquery.WithMaxSegmentRows(17),
+				sdquery.WithScheduler(sdquery.SchedRoundRobin),
+				sdquery.WithColumnWidth(32),
+			}},
 		} {
 			eng, err := sdquery.NewSDIndex(data, roles, v.opts...)
 			if err != nil {
@@ -110,6 +124,9 @@ func TestSchedulerEquivalenceProperty(t *testing.T) {
 					}
 				}
 			}
+		}
+		for _, v := range variants {
+			v.eng.Close() // release the parallel variants' worker pools
 		}
 	}
 }

@@ -109,6 +109,11 @@ func (s *SDIndex) appendVia(view core.View, dst []Result, q Query, done <-chan s
 		s.buf.Put(bp)
 		return dst, err
 	}
+	if dst == nil {
+		// The TopK convenience path: one exact-size allocation instead of
+		// letting append double a nil slice through ~log k regrowths.
+		dst = make([]Result, 0, len(res))
+	}
 	for _, r := range res {
 		dst = append(dst, Result{ID: r.ID, Score: r.Score})
 	}
