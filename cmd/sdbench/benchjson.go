@@ -81,6 +81,13 @@ type workloadJSON struct {
 	// the diff gate fails if it drops below 0.99 or collapses against the
 	// committed baseline.
 	Availability float64 `json:"availability,omitempty"`
+	// WriteUnavailableMs is the cluster failover workload's write-unavailability
+	// window: milliseconds from the hard leader kill to the last failed write
+	// probe, after which writes to the killed partition succeed again via the
+	// router's automated replica promotion. The diff gate fails if it exceeds
+	// an absolute ceiling — promotion that never fires shows up here, not in
+	// read availability.
+	WriteUnavailableMs float64 `json:"write_unavailable_ms,omitempty"`
 	// CacheHitRate is the serve/hot workload's achieved result-cache hit
 	// rate (hits / lookups) under Zipf traffic. The diff gate fails if it
 	// collapses to under half the baseline: the cache silently admitting
@@ -99,7 +106,7 @@ type workloadJSON struct {
 	PlanCacheHitRate float64 `json:"plan_cache_hit_rate,omitempty"`
 }
 
-const benchJSONSchema = "sdbench/v8"
+const benchJSONSchema = "sdbench/v9"
 
 // statsSource is the work-counter surface shared by SDIndex and
 // ShardedIndex.

@@ -23,10 +23,13 @@ import (
 // a closed-loop read pool — and halfway through the measurement window,
 // partition 0's leader is hard-killed. The reported figures are the ones a
 // cluster is accountable for: read qps and latency percentiles through the
-// router, and availability — the fraction of reads answered 200 across the
-// window that contains the kill. The router's retry/failover machinery is
-// what keeps that fraction at ~1.0; the diff gate fails the build if it
-// drops below 99% or collapses against the committed baseline.
+// router, availability — the fraction of reads answered 200 across the
+// window that contains the kill — and the write-unavailability window, the
+// time from the kill until the router's automated replica promotion has
+// writes to the killed partition succeeding again. The router's
+// retry/failover machinery keeps availability at ~1.0 and the diff gate
+// fails the build if it drops below 99% or collapses against the committed
+// baseline; the write window is gated against an absolute 5s ceiling.
 
 // clusterReadOps is the closed-loop read count for the failover window.
 // Small enough for CI, large enough that the kill lands mid-stream with
@@ -87,6 +90,7 @@ func runClusterFailover(scale float64, queryCount int, seed int64) (workloadJSON
 		Retries: 3, BackoffBase: 5 * time.Millisecond,
 		TryTimeout: 2 * time.Second, HealthInterval: 50 * time.Millisecond,
 		FailAfter: 2, ReopenAfter: 500 * time.Millisecond,
+		PromoteAfter: 750 * time.Millisecond,
 	}
 	defer func() {
 		for _, np := range append(append([]*nodeProc{}, leaders...), followers...) {
@@ -108,7 +112,9 @@ func runClusterFailover(scale float64, queryCount int, seed int64) (workloadJSON
 		if leaders[pi], err = startNode(serve.New(idx)); err != nil {
 			return w, err
 		}
-		fs, err := serve.NewFollower(leaders[pi].url, serve.WithFollowInterval(50*time.Millisecond))
+		fs, err := serve.NewFollower(leaders[pi].url,
+			serve.WithFollowInterval(50*time.Millisecond),
+			serve.WithPromotionWALDir(fmt.Sprintf("%s/promote%d", dir, pi)))
 		if err != nil {
 			return w, err
 		}
@@ -206,7 +212,52 @@ func runClusterFailover(scale float64, queryCount int, seed int64) (workloadJSON
 	}
 	var completed atomic.Int64
 	var killed atomic.Bool
+	var killTime time.Time // written before killedCh closes; read after
+	killedCh := make(chan struct{})
 	killAt := int64(clients * perClient / 2)
+
+	// Write-unavailability prober: from the instant of the kill, fire a
+	// one-shot auto-ID insert every ~20ms and record when writes stop
+	// failing. Roughly half the probes land on the killed partition, so a
+	// long run of consecutive successes — not a single success — is the
+	// signal that promotion restored the whole write path (16 in a row is a
+	// ~2^-16 false positive if the dead partition were still refusing). The
+	// window is kill → last observed failure; capped at 30s if writes never
+	// recover, which the diff gate then fails.
+	const probeSuccessRun = 16
+	probeRows := dataset.Generate(dataset.Uniform, 512, dims, seed+9)
+	writeUnavailable := make(chan float64, 1)
+	go func() {
+		<-killedCh
+		kt := killTime
+		deadline := kt.Add(30 * time.Second)
+		var lastFail time.Time
+		consec := 0
+		for i := 0; consec < probeSuccessRun; i++ {
+			if time.Now().After(deadline) {
+				writeUnavailable <- 30_000 // never recovered: report the cap
+				return
+			}
+			body := []byte(fmt.Sprintf(`{"point":%s}`, jsonFloats(probeRows[i%len(probeRows)])))
+			ok := false
+			if resp, err := client.Post(routerURL+"/v1/insert", "application/json", bytes.NewReader(body)); err == nil {
+				resp.Body.Close()
+				ok = resp.StatusCode == http.StatusOK
+			}
+			if ok {
+				consec++
+			} else {
+				consec = 0
+				lastFail = time.Now()
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if lastFail.IsZero() {
+			writeUnavailable <- 0
+			return
+		}
+		writeUnavailable <- float64(lastFail.Sub(kt)) / float64(time.Millisecond)
+	}()
 	lats := make([][]int64, clients)
 	var okReads, totalReads atomic.Int64
 	var wg sync.WaitGroup
@@ -219,7 +270,9 @@ func runClusterFailover(scale float64, queryCount int, seed int64) (workloadJSON
 			mine := make([]int64, 0, perClient)
 			for i := 0; i < perClient; i++ {
 				if completed.Add(1) >= killAt && killed.CompareAndSwap(false, true) {
+					killTime = time.Now()
 					leaders[0].hs.Close() // the kill: mid-window, no drain
+					close(killedCh)
 				}
 				d, ok, _ := doOne(bodies[(c*perClient+i)%len(bodies)])
 				totalReads.Add(1)
@@ -238,6 +291,7 @@ func runClusterFailover(scale float64, queryCount int, seed int64) (workloadJSON
 	if !killed.Load() {
 		return w, fmt.Errorf("cluster failover: the kill never fired (%d ops)", completed.Load())
 	}
+	wums := <-writeUnavailable
 
 	var all []int64
 	for _, l := range lats {
@@ -259,6 +313,7 @@ func runClusterFailover(scale float64, queryCount int, seed int64) (workloadJSON
 	w.BytesPerOp = -1
 	w.QPS = float64(len(all)) / wall.Seconds()
 	w.Availability = float64(okReads.Load()) / float64(totalReads.Load())
+	w.WriteUnavailableMs = wums
 	return w, nil
 }
 

@@ -40,6 +40,16 @@ const availabilityFloor = 0.99
 // baseline (half a percent of reads).
 const availabilitySlack = 0.005
 
+// writeUnavailableCeilingMs is the absolute cap on the cluster failover
+// workload's write-unavailability window: the hard leader kill must be healed
+// by automated replica promotion within this many milliseconds, or writes to
+// the killed partition are effectively down. The workload runs with
+// PromoteAfter at 750ms, so a healthy promotion lands well under a second;
+// 5s absorbs a slow machine's probe/health-check jitter while still failing
+// a promotion path that silently stopped firing (the workload reports a
+// 30,000ms sentinel when writes never recover).
+const writeUnavailableCeilingMs = 5000
+
 // scalingSpeedupFloor is the minimum topk/scaling-1 ÷ topk/scaling-4
 // speedup the fresh report must show on a machine with at least
 // scalingGateMinCPU CPUs. Unlike every other gate it compares the fresh
@@ -194,6 +204,16 @@ func diffAgainstBaseline(baselinePath string, fresh benchJSON) error {
 					"workload %q: availability %.4f collapsed from baseline %.4f",
 					b.Name, f.Availability, b.Availability))
 			}
+		}
+		// Write-unavailability gate: absolute, like the availability floor.
+		// The baseline carrying the field arms the gate; the fresh number is
+		// judged against the fixed ceiling, not the baseline, because the
+		// quantity is mostly the PromoteAfter constant plus jitter — a
+		// lucky-fast baseline must not ratchet the requirement.
+		if b.WriteUnavailableMs > 0 && f.WriteUnavailableMs > writeUnavailableCeilingMs {
+			violations = append(violations, fmt.Sprintf(
+				"workload %q: write-unavailability window %.0fms exceeds the %dms ceiling — automated promotion is not healing the killed partition",
+				b.Name, f.WriteUnavailableMs, writeUnavailableCeilingMs))
 		}
 		if strings.HasPrefix(b.Name, "topk/") && b.FetchedMean > 0 {
 			if limit := b.FetchedMean * (1 + fetchedRegressionTolerance); f.FetchedMean > limit {

@@ -76,6 +76,8 @@ func main() {
 		healthI  = flag.Duration("health-interval", 250*time.Millisecond, "active health-check cadence")
 		failN    = flag.Int("fail-after", 3, "consecutive failures before a node is ejected")
 		reopen   = flag.Duration("reopen-after", time.Second, "ejection time before a node is retried half-open")
+		promote  = flag.Duration("promote-after", 3*time.Second, "continuous leader unhealthiness before the most caught-up replica is promoted (0 disables automated promotion)")
+		noBal    = flag.Bool("no-read-balance", false, "disable replica-aware read load balancing (reads pin to the leader)")
 		drainT   = flag.Duration("drain-timeout", 15*time.Second, "maximum graceful-drain wait on SIGTERM")
 	)
 	flag.Var(&partitions, "partition", "name=leaderURL[,replicaURL...] (repeat per partition)")
@@ -87,10 +89,14 @@ func main() {
 		os.Exit(2)
 	}
 	// In Config the zero value means "default"; the CLI says what it means,
-	// so 0 maps to the explicit no-retries sentinel.
+	// so 0 maps to the explicit "disabled" sentinel for both knobs.
 	cfgRetries := *retries
 	if cfgRetries == 0 {
 		cfgRetries = -1
+	}
+	cfgPromote := *promote
+	if cfgPromote == 0 {
+		cfgPromote = -1
 	}
 	rt, err := router.New(router.Config{
 		Partitions:     partitions,
@@ -103,6 +109,8 @@ func main() {
 		HealthInterval: *healthI,
 		FailAfter:      *failN,
 		ReopenAfter:    *reopen,
+		PromoteAfter:   cfgPromote,
+		NoReadBalance:  *noBal,
 	})
 	if err != nil {
 		fatal(err)

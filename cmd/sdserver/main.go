@@ -79,13 +79,15 @@ func main() {
 		cache    = flag.Bool("cache", true, "hot-query result cache with heavy-hitter admission")
 		cacheCap = flag.Int("cache-capacity", 1024, "maximum resident cached answers")
 
-		follow    = flag.String("follow", "", "run as a read replica of this leader URL (excludes -data/-index/-wal-dir)")
-		followInt = flag.Duration("follow-interval", 200*time.Millisecond, "replication pull cadence under -follow")
+		follow     = flag.String("follow", "", "run as a read replica of this leader URL (excludes -data/-index/-wal-dir)")
+		followInt  = flag.Duration("follow-interval", 200*time.Millisecond, "replication pull cadence under -follow")
+		promoteDir = flag.String("promote-wal-dir", "", "directory where this node opens its own write-ahead log if a router promotes it to leader (one fresh subdirectory per promotion)")
 	)
 	flag.Parse()
 
 	opts := []serve.Option{
 		serve.WithCoalesceWindow(*window),
+		serve.WithPromotionWALDir(*promoteDir),
 		serve.WithMaxBatch(*maxBatch),
 		serve.WithQueueDepth(*queue),
 		serve.WithRequestTimeout(*timeout),

@@ -169,10 +169,25 @@
 // a whole partition is unreachable reads fail fast with 503; the
 // ?allow_partial=1 flag opts into the survivors' merged answer, marked
 // "degraded":true — incomplete answers are opt-in and marked, never
-// silent. The internal/netfault chaos suite (asymmetric partitions,
-// mid-body TCP resets, throttling, hard kills) enforces all of this
-// differentially against a single-node oracle, under the race detector
-// in CI.
+// silent. Steady-state reads load-balance by power-of-two-choices over
+// the leader and every replica whose cached LSN vector covers the write
+// watermark (Config.NoReadBalance pins reads to the leader).
+//
+// Leader loss heals itself: when a leader stays ejected past
+// Config.PromoteAfter the router promotes the most caught-up live
+// replica — one whose LSN vector covers the write watermark and every
+// other live replica — via POST /v1/admin/promote, fenced by a
+// generation number allocated strictly above any the cluster has
+// reported. Writes are stamped with the topology's generation and nodes
+// refuse mismatches, so a deposed leader can't take writes; when it
+// rejoins still claiming leadership at a stale generation, the router
+// demotes it into a follower of the current leader. A follower needs
+// WithPromotionWALDir to be promotable — an undurable node never
+// becomes a leader. The internal/netfault chaos suite (asymmetric
+// partitions, mid-body TCP resets, throttling, hard kills) enforces all
+// of this differentially against a single-node oracle, under the race
+// detector in CI — including a hard leader kill healed by promotion
+// with no acked-write loss and no split-brain.
 //
 // # Performance
 //

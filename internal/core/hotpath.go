@@ -108,10 +108,10 @@ type queryCtx struct {
 	candScore [maxBatch]float64
 	seen      []uint64 // bitset over global dataset IDs
 	coll      *pq.TopK[int]
-	drain   []pq.Scored[int]
-	scratch queryPlan // plan storage for uncached shapes
-	sortRep []int32   // adaptive planner scratch: active dims by weight
-	sortAtt []int32
+	drain     []pq.Scored[int]
+	scratch   queryPlan // plan storage for uncached shapes
+	sortRep   []int32   // adaptive planner scratch: active dims by weight
+	sortAtt   []int32
 
 	// done is the query's optional cancellation signal (a context's Done
 	// channel on the serving path); nil means the query runs to completion.

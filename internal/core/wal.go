@@ -526,6 +526,21 @@ func (e *Engine) attachWAL(c WALConfig, seq uint64) error {
 	return nil
 }
 
+// AttachWAL wires a write-ahead log under an engine that has none — the
+// promotion path: a replica built from snapshot streams (no WAL) is elected
+// leader and must become durable before it accepts writes. The directory
+// must be fresh (attach writes the initial checkpoint, which covers every
+// mutation applied so far, and refuses a directory already holding one);
+// subsequent mutations log from the engine's current LSN onward, so a
+// follower of the promoted engine sees one contiguous history. The caller
+// must guarantee no mutations are in flight during the attach.
+func (e *Engine) AttachWAL(c WALConfig) error {
+	if e.wal != nil {
+		return fmt.Errorf("%w: engine already has a write-ahead log", ErrWAL)
+	}
+	return e.attachWAL(c, 1)
+}
+
 // Checkpoint writes the engine's current snapshot to the WAL directory
 // (atomically: tmp + fsync + rename + dir sync) and retires every sealed
 // log file the checkpoint covers. The background compactor triggers it once

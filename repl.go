@@ -93,6 +93,33 @@ func (s *ShardedIndex) ApplyReplWAL(si int, r io.Reader) (int, error) {
 	return n, err
 }
 
+// AttachWAL makes a follower index durable in place — the promotion path:
+// an index assembled from a leader's snapshot streams (NewFollowerIndex)
+// owns no log, and a replica elected leader must become durable before it
+// accepts writes. AttachWAL writes a fresh MANIFEST under dir and attaches
+// one WAL per shard, each seeded with a checkpoint of the shard's current
+// state; mutations from here on log at the LSNs the replicated history left
+// off at, so the index's own followers see one contiguous stream. dir must
+// not already hold a durable index. The option list supplies the WAL knobs
+// to run with (WithSyncPolicy, WithSyncInterval, WithWALFS); the caller
+// must guarantee no mutations are in flight during the attach.
+func (s *ShardedIndex) AttachWAL(dir string, opts ...SDOption) error {
+	var cfg sdConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.walDir = dir
+	if err := writeManifest(&cfg, manifestKindSharded, len(s.shards)); err != nil {
+		return err
+	}
+	for si, sh := range s.shards {
+		if err := sh.eng.AttachWAL(*cfg.walConfig(shardWALDir(dir, si))); err != nil {
+			return fmt.Errorf("sdquery: attach wal: shard %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
 // Total reports the size of the index's global ID space: every indexed ID
 // is below it, and the next caller-assigned ID must not be. (Len counts
 // live rows; Total counts the space, removals included.)

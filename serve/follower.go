@@ -106,27 +106,35 @@ func NewFollower(leaderURL string, opts ...Option) (*Server, error) {
 	}
 	f.source = src
 	s := New(idx, opts...)
-	s.repl = f
-	go s.followLoop()
+	s.repl.Store(f)
+	s.ownsIndex.Store(true)
+	go s.followLoop(f)
 	return s, nil
 }
 
 // Follower reports the leader URL this server follows ("" for a leader).
 func (s *Server) Follower() string {
-	if s.repl == nil {
+	f := s.repl.Load()
+	if f == nil {
 		return ""
 	}
-	return s.repl.leaderURL
+	return f.leaderURL
 }
+
+// Generation reports the node's cluster generation — the fencing token the
+// promotion protocol moves forward (promote.go). 0 until the node has ever
+// been promoted or demoted.
+func (s *Server) Generation() uint64 { return s.gen.Load() }
 
 // ReplLag reports the follower's current replication lag in records (0 for
 // a leader): the sum over shards of the leader's last-seen LSN minus the
 // locally applied LSN.
 func (s *Server) ReplLag() uint64 {
-	if s.repl == nil {
+	f := s.repl.Load()
+	if f == nil {
 		return 0
 	}
-	return s.repl.lag.Load()
+	return f.lag.Load()
 }
 
 // manifest fetches and validates the leader's replication manifest.
@@ -196,9 +204,11 @@ func (f *followerState) bootstrap() (Index, string, error) {
 	return idx, m.Source, nil
 }
 
-// followLoop polls the leader until the server closes.
-func (s *Server) followLoop() {
-	f := s.repl
+// followLoop polls the leader until the server closes or the node is
+// promoted. f is passed in rather than loaded from s.repl: the pointer can
+// be swapped (demotion re-points it at a new followerState) and each loop
+// must keep driving exactly the state it was started with.
+func (s *Server) followLoop(f *followerState) {
 	defer close(f.done)
 	t := time.NewTicker(f.interval)
 	defer t.Stop()
@@ -207,7 +217,7 @@ func (s *Server) followLoop() {
 		case <-f.quit:
 			return
 		case <-t.C:
-			if err := s.pullOnce(); err != nil {
+			if err := s.pullOnce(f); err != nil {
 				f.pullErrs.Add(1)
 			} else {
 				f.pulls.Add(1)
@@ -220,8 +230,7 @@ func (s *Server) followLoop() {
 // pullOnce advances the follower by one poll: fetch the leader's position,
 // tail every lagging shard, update the lag gauge. Any gap signal ends in a
 // re-bootstrap; any transport error is left for the next tick.
-func (s *Server) pullOnce() error {
-	f := s.repl
+func (s *Server) pullOnce(f *followerState) error {
 	m, err := f.manifest()
 	if err != nil {
 		return err
@@ -230,7 +239,7 @@ func (s *Server) pullOnce() error {
 	src := f.source
 	f.mu.Unlock()
 	if m.Source != src {
-		return s.rebootstrap()
+		return s.rebootstrap(f)
 	}
 	ra, ok := s.Index().(replApplier)
 	if !ok {
@@ -238,7 +247,7 @@ func (s *Server) pullOnce() error {
 	}
 	applied := ra.ShardLSNs()
 	if len(applied) != len(m.LSNs) {
-		return s.rebootstrap()
+		return s.rebootstrap(f)
 	}
 	for si := range applied {
 		// The leader caps each /wal response, so one poll may take several
@@ -252,7 +261,7 @@ func (s *Server) pullOnce() error {
 			}
 			if resp.StatusCode == http.StatusGone {
 				resp.Body.Close()
-				return s.rebootstrap()
+				return s.rebootstrap(f)
 			}
 			if resp.StatusCode != http.StatusOK {
 				resp.Body.Close()
@@ -260,12 +269,12 @@ func (s *Server) pullOnce() error {
 			}
 			if src := resp.Header.Get(headerReplSource); src != m.Source {
 				resp.Body.Close()
-				return s.rebootstrap()
+				return s.rebootstrap(f)
 			}
 			n, err := ra.ApplyReplWAL(si, resp.Body)
 			resp.Body.Close()
 			if errors.Is(err, sdquery.ErrReplGap) {
-				return s.rebootstrap()
+				return s.rebootstrap(f)
 			}
 			if err != nil {
 				return err
@@ -293,8 +302,7 @@ func (s *Server) pullOnce() error {
 // swap is the same atomic publication /v1/admin/swap uses, so readers never
 // observe a torn index; the displaced index only has its worker pool to
 // release (follower indexes own no WAL).
-func (s *Server) rebootstrap() error {
-	f := s.repl
+func (s *Server) rebootstrap(f *followerState) error {
 	idx, src, err := f.bootstrap()
 	if err != nil {
 		return err

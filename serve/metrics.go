@@ -287,7 +287,7 @@ func (m *metrics) writeProm(w io.Writer, idx Index, cache *resultCache) {
 // the server: the follower state and the index's LSN vector.
 func (s *Server) writeReplProm(w io.Writer) {
 	role := "leader"
-	if s.repl != nil {
+	if s.repl.Load() != nil {
 		role = "follower"
 	}
 	fmt.Fprintf(w, "# HELP sdserver_role Node role (the labeled role has value 1).\n# TYPE sdserver_role gauge\n")
@@ -298,7 +298,9 @@ func (s *Server) writeReplProm(w io.Writer) {
 			fmt.Fprintf(w, "sdserver_repl_lsn{shard=\"%d\"} %d\n", si, lsn)
 		}
 	}
-	f := s.repl
+	fmt.Fprintf(w, "# HELP sdserver_generation Cluster generation (promotion fencing token).\n# TYPE sdserver_generation gauge\n")
+	fmt.Fprintf(w, "sdserver_generation %d\n", s.gen.Load())
+	f := s.repl.Load()
 	if f == nil {
 		return
 	}
@@ -349,6 +351,7 @@ type Statz struct {
 	// WAL); IndexIDSpace is the size of the global ID space — every indexed
 	// ID is below it, which is how a router seeds cluster-unique IDs.
 	Role         string     `json:"role"`
+	Generation   uint64     `json:"generation"`
 	Repl         *ReplStatz `json:"repl,omitempty"`
 	ReplLSNs     []uint64   `json:"repl_lsns,omitempty"`
 	IndexIDSpace int        `json:"index_id_space"`

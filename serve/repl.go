@@ -61,6 +61,13 @@ const (
 	headerLSNLeader  = "X-SD-Lsn-Leader"
 	headerRecords    = "X-SD-Records"
 	headerLeader     = "X-SD-Leader"
+
+	// Role and generation ride on /healthz responses (both) and on every
+	// write response (generation): the router's health probe learns a node's
+	// role and fencing position for free, and its write path validates that
+	// an ack came from the generation it routed under (promote.go).
+	headerRole       = "X-SD-Role"
+	headerGeneration = "X-SD-Generation"
 )
 
 // replSource is the index capability the leader endpoints need — implemented

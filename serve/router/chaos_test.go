@@ -68,9 +68,9 @@ func chaosLeader(t *testing.T, rows [][]float64, ids []int) *chaosNode {
 }
 
 // chaosFollower builds a follower replicating from leaderURL.
-func chaosFollower(t *testing.T, leaderURL string) *chaosNode {
+func chaosFollower(t *testing.T, leaderURL string, opts ...serve.Option) *chaosNode {
 	t.Helper()
-	s, err := serve.NewFollower(leaderURL, serve.WithFollowInterval(20*time.Millisecond))
+	s, err := serve.NewFollower(leaderURL, append([]serve.Option{serve.WithFollowInterval(20 * time.Millisecond)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,6 +205,10 @@ func TestChaosLeaderKillFailover(t *testing.T) {
 		Retries: 3, BackoffBase: 5 * time.Millisecond,
 		TryTimeout: 2 * time.Second, HealthInterval: 30 * time.Millisecond,
 		FailAfter: 2, ReopenAfter: 300 * time.Millisecond,
+		// This test pins the NON-promoted regime: the dead partition must
+		// keep answering 503 for writes. TestChaosPromotionRestoresWrites
+		// covers the automated-promotion path.
+		PromoteAfter: time.Hour,
 	}
 	for pi, name := range names {
 		leaders[pi] = chaosLeader(t, partRows[pi], partIDs[pi])

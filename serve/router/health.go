@@ -1,8 +1,14 @@
 package router
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +32,30 @@ type node struct {
 	fails     atomic.Int32
 	downSince atomic.Int64 // unix nanos when tripped; 0 = closed (healthy)
 	lat       latRing
+
+	// lsns caches the last LSN vector this node reported (on read responses
+	// and candidate probes). Read balancing consults it to skip replicas
+	// known to be staler than the partition watermark; it is a hint, not a
+	// proof — the answer-time freshness gate in fetchOn stays authoritative.
+	lsnMu    sync.Mutex
+	lsns     []uint64
+	seenLSNs bool
+}
+
+func (n *node) setLSNs(v []uint64) {
+	n.lsnMu.Lock()
+	n.lsns = append(n.lsns[:0], v...)
+	n.seenLSNs = true
+	n.lsnMu.Unlock()
+}
+
+func (n *node) lastLSNs() ([]uint64, bool) {
+	n.lsnMu.Lock()
+	defer n.lsnMu.Unlock()
+	if !n.seenLSNs {
+		return nil, false
+	}
+	return append([]uint64(nil), n.lsns...), true
 }
 
 func (n *node) ok() {
@@ -107,33 +137,246 @@ func (rt *Router) healthLoop() {
 func (rt *Router) probeAll() {
 	var wg sync.WaitGroup
 	for _, p := range rt.parts {
-		for _, n := range p.nodes() {
+		topo := p.topo.Load()
+		for _, n := range topo.nodes() {
 			wg.Add(1)
-			go func(n *node) {
+			go func(p *partition, topo *topology, n *node) {
 				defer wg.Done()
-				rt.probe(n)
-			}(n)
+				role, gen, up := rt.probe(n)
+				if !up {
+					return
+				}
+				cur := p.maxGen.Load()
+				for gen > cur && !p.maxGen.CompareAndSwap(cur, gen) {
+					cur = p.maxGen.Load()
+				}
+				if n != topo.leader && role == "leader" && gen < topo.gen {
+					// A deposed leader came back still believing itself the
+					// leader of a past generation. Its writes are already
+					// fenced off; demote it so it rejoins as a follower of
+					// the current leader and becomes a useful replica again.
+					rt.demote(p, topo, n)
+				}
+			}(p, topo, n)
 		}
 	}
 	wg.Wait()
+	rt.promoteDue()
 }
 
 // probe is one active health check. Draining (503) and dead nodes both
-// count as failures; any 200 closes the breaker.
-func (rt *Router) probe(n *node) {
+// count as failures; any 200 closes the breaker and reports the node's
+// self-declared role and fencing generation (from the X-SD-Role and
+// X-SD-Generation healthz headers; "" and 0 for pre-promotion nodes).
+func (rt *Router) probe(n *node) (role string, gen uint64, up bool) {
 	req, err := http.NewRequest(http.MethodGet, n.url+"/healthz", nil)
 	if err != nil {
-		return
+		return "", 0, false
 	}
 	resp, err := rt.probeClient.Do(req)
 	if err != nil {
 		n.fail(int32(rt.cfg.FailAfter))
-		return
+		return "", 0, false
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		n.fail(int32(rt.cfg.FailAfter))
-		return
+		return "", 0, false
 	}
 	n.ok()
+	gen, _ = strconv.ParseUint(resp.Header.Get("X-SD-Generation"), 10, 64)
+	return resp.Header.Get("X-SD-Role"), gen, true
+}
+
+// adminTimeout bounds one promote or demote call. Both involve real work on
+// the node (a WAL checkpoint of the whole index; a snapshot re-bootstrap),
+// so the budget is far above TryTimeout.
+const adminTimeout = 60 * time.Second
+
+// promoteDue scans for partitions whose leader has been continuously
+// unhealthy past the PromoteAfter deadline and starts one promotion attempt
+// each. Called from the health loop after every probe round.
+func (rt *Router) promoteDue() {
+	if rt.cfg.PromoteAfter < 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	for _, p := range rt.parts {
+		topo := p.topo.Load()
+		if topo.leader.healthy() {
+			p.leaderDown.Store(0)
+			continue
+		}
+		if len(topo.replicas) == 0 {
+			continue
+		}
+		down := p.leaderDown.Load()
+		if down == 0 {
+			p.leaderDown.Store(now)
+			continue
+		}
+		if time.Duration(now-down) < rt.cfg.PromoteAfter {
+			continue
+		}
+		if !p.promoting.CompareAndSwap(false, true) {
+			continue
+		}
+		go func(p *partition, topo *topology) {
+			defer p.promoting.Store(false)
+			if rt.promote(p, topo) {
+				p.leaderDown.Store(0)
+			}
+		}(p, topo)
+	}
+}
+
+// promote elects and fences a new leader for a partition whose leader is
+// gone. The candidate must be a live replica whose LSN vector covers the
+// partition's write watermark (no acknowledged write may be lost) and every
+// other live replica's vector (no fresher survivor is left behind). If no
+// replica qualifies the attempt is abandoned — the router keeps waiting, by
+// design: promoting a lagging replica would silently drop acked writes.
+// The new generation is allocated above both the topology's and the highest
+// generation any node has ever reported, so a promote whose ack was lost
+// can never leave two nodes fenced at the same generation.
+func (rt *Router) promote(p *partition, topo *topology) bool {
+	if p.topo.Load() != topo {
+		return false // a concurrent regime change already superseded this one
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), adminTimeout)
+	defer cancel()
+	hw := p.hwVector()
+	type candidate struct {
+		n    *node
+		lsns []uint64
+	}
+	var cands []candidate
+	for _, rn := range topo.replicas {
+		if !rn.healthy() {
+			continue
+		}
+		lsns, err := rt.replLSNs(ctx, rn)
+		if err != nil {
+			continue
+		}
+		rn.setLSNs(lsns)
+		cands = append(cands, candidate{rn, lsns})
+	}
+	var best *candidate
+	for i := range cands {
+		c := &cands[i]
+		qualified := vectorCovers(c.lsns, hw)
+		for j := range cands {
+			qualified = qualified && vectorCovers(c.lsns, cands[j].lsns)
+		}
+		if qualified {
+			best = c
+			break
+		}
+	}
+	if best == nil {
+		return false
+	}
+	gen := topo.gen
+	if mg := p.maxGen.Load(); mg > gen {
+		gen = mg
+	}
+	gen++
+	body, err := json.Marshal(map[string]uint64{"generation": gen})
+	if err != nil {
+		return false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, best.n.url+"/v1/admin/promote", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxBody))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	// The candidate accepted the fence; even if this router crashed here the
+	// generation bookkeeping above keeps the next attempt strictly newer.
+	nt := &topology{gen: gen, leader: best.n}
+	nt.replicas = append(nt.replicas, topo.leader)
+	for _, rn := range topo.replicas {
+		if rn != best.n {
+			nt.replicas = append(nt.replicas, rn)
+		}
+	}
+	p.topo.Store(nt)
+	cur := p.maxGen.Load()
+	for gen > cur && !p.maxGen.CompareAndSwap(cur, gen) {
+		cur = p.maxGen.Load()
+	}
+	rt.met.promotions.Add(1)
+	return true
+}
+
+// replLSNs asks one replica for its applied LSN vector (the repl_lsns field
+// of /statz) — the promotion candidate gate's evidence.
+func (rt *Router) replLSNs(ctx context.Context, n *node) ([]uint64, error) {
+	tctx, cancel := context.WithTimeout(ctx, rt.cfg.TryTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet, n.url+"/statz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router: %s /statz answered %d", n.url, resp.StatusCode)
+	}
+	var st struct {
+		LSNs []uint64 `json:"repl_lsns"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, err
+	}
+	return st.LSNs, nil
+}
+
+// demote tells a stale self-declared leader to rejoin as a follower of the
+// current leader. Fenced like promote: the node only obeys a generation
+// strictly above its own, which the current topology generation is for any
+// leader deposed by a promotion.
+func (rt *Router) demote(p *partition, topo *topology, n *node) {
+	if !p.demoting.CompareAndSwap(false, true) {
+		return // one demotion in flight per partition; probes re-trigger
+	}
+	go func() {
+		defer p.demoting.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), adminTimeout)
+		defer cancel()
+		body, err := json.Marshal(map[string]any{"generation": topo.gen, "leader": topo.leader.url})
+		if err != nil {
+			return
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.url+"/v1/admin/demote", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBody))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			rt.met.demotions.Add(1)
+		}
+	}()
 }

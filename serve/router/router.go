@@ -54,6 +54,18 @@ type Config struct {
 	HealthInterval time.Duration
 	FailAfter      int
 	ReopenAfter    time.Duration
+	// PromoteAfter is how long a partition's leader must stay continuously
+	// unhealthy before the router promotes the most caught-up live replica
+	// to leader (default 3s; negative disables automated promotion, leaving
+	// the partition write-unavailable until an operator intervenes). The
+	// promotion protocol is generation-fenced end to end — see health.go.
+	PromoteAfter time.Duration
+	// NoReadBalance disables replica-aware read load balancing: with it set,
+	// steady-state reads always prefer the leader (replicas serve only
+	// hedges and failover), the pre-balancing behavior. Default off —
+	// reads spread across freshness-qualified nodes by power-of-two-choices
+	// on observed latency.
+	NoReadBalance bool
 	// Seed fixes the jitter RNG for deterministic tests (0 = time-seeded).
 	Seed int64
 	// Transport overrides the HTTP transport (tests inject faults here).
@@ -89,18 +101,55 @@ func (c *Config) withDefaults() Config {
 	if out.ReopenAfter <= 0 {
 		out.ReopenAfter = time.Second
 	}
+	if out.PromoteAfter == 0 {
+		out.PromoteAfter = 3 * time.Second
+	}
 	return out
+}
+
+// topology is one partition's immutable leader/replica assignment under one
+// generation. Promotion installs a whole new topology with one atomic
+// pointer store — readers and writers always see a consistent (generation,
+// leader, replicas) triple, never a torn mix of two regimes. The node
+// objects themselves persist across topologies, so breaker and latency
+// state survives a role change.
+type topology struct {
+	// gen is the partition's fencing generation: 0 at startup, bumped by
+	// every promotion. Writes are stamped with it and acks validated
+	// against it (write.go); nodes refuse writes from any other generation.
+	gen      uint64
+	leader   *node
+	replicas []*node
+}
+
+func (t *topology) nodes() []*node {
+	out := make([]*node, 0, 1+len(t.replicas))
+	out = append(out, t.leader)
+	return append(out, t.replicas...)
 }
 
 // partition is the runtime state behind one Partition.
 type partition struct {
-	name     string
-	leader   *node
-	replicas []*node
+	name string
+	topo atomic.Pointer[topology]
 
 	// wq orders in-flight inserts so they reach the leader in ID-allocation
 	// order — the node's ID-space contract requires it (write.go).
 	wq *writeQueue
+
+	// leaderDown stamps (unix nanos) when the current leader was first seen
+	// unhealthy by the prober; 0 while healthy. The promotion deadline is
+	// measured against it (health.go).
+	leaderDown atomic.Int64
+	// promoting and demoting each guard one admin call in flight per
+	// partition — probes fire every HealthInterval, the calls take longer.
+	promoting atomic.Bool
+	demoting  atomic.Bool
+	// maxGen tracks the highest generation any of this partition's nodes
+	// has ever reported — promotions allocate above it, so a promote whose
+	// ack was lost (node at G, topology still behind) can never seed two
+	// nodes with the same generation.
+	maxGen atomic.Uint64
 
 	// hw is the write high-watermark: the componentwise max of the
 	// X-SD-Repl-Lsns vectors on this partition's write acks through this
@@ -108,12 +157,6 @@ type partition struct {
 	// hw — the read-your-writes guarantee across failover.
 	hwMu sync.Mutex
 	hw   []uint64
-}
-
-func (p *partition) nodes() []*node {
-	out := make([]*node, 0, 1+len(p.replicas))
-	out = append(out, p.leader)
-	return append(out, p.replicas...)
 }
 
 func (p *partition) hwVector() []uint64 {
@@ -149,6 +192,8 @@ type routerMetrics struct {
 	partitionFailures       atomic.Uint64 // partition-level fetch failures
 	unavailable             atomic.Uint64 // requests answered 503
 	errors4xx, idAllocFails atomic.Uint64
+	promotions              atomic.Uint64 // replicas promoted to leader
+	demotions               atomic.Uint64 // stale leaders demoted to follower
 }
 
 // Router scatter-gathers a cluster of serve.Server nodes. Create with New,
@@ -182,10 +227,12 @@ func New(cfg Config) (*Router, error) {
 			return nil, fmt.Errorf("router: partition %q has no leader", pc.Name)
 		}
 		names[i] = pc.Name
-		p := &partition{name: pc.Name, leader: &node{url: strings.TrimRight(pc.Leader, "/")}, wq: newWriteQueue()}
+		p := &partition{name: pc.Name, wq: newWriteQueue()}
+		topo := &topology{leader: &node{url: strings.TrimRight(pc.Leader, "/")}}
 		for _, ru := range pc.Replicas {
-			p.replicas = append(p.replicas, &node{url: strings.TrimRight(ru, "/")})
+			topo.replicas = append(topo.replicas, &node{url: strings.TrimRight(ru, "/")})
 		}
+		p.topo.Store(topo)
 		parts[i] = p
 	}
 	table, err := rendezvousOwners(names, cfg.Slots)
@@ -315,30 +362,68 @@ func vectorCovers(a, b []uint64) bool {
 	return true
 }
 
-// readCandidates orders the nodes a read may use: the leader first (it is
-// definitionally fresh), then replicas, admitting only nodes the breaker
-// allows. attempt rotates the order so consecutive retries move on instead
-// of hammering the same dead node.
-func (p *partition) readCandidates(reopenAfter time.Duration, attempt int) []*node {
-	var cands []*node
-	if p.leader.available(reopenAfter) {
-		cands = append(cands, p.leader)
+// readCandidates orders the nodes a read may use under one topology,
+// admitting only nodes the breaker allows. Qualified nodes come first: the
+// leader (definitionally fresh) and every replica whose last-reported LSN
+// vector covers hw — or that has never reported one, so it deserves a try.
+// Known-stale replicas go last: they cannot answer a read-your-writes query
+// now, but keeping them reachable lets a retry refresh their vector once
+// they catch up. attempt rotates the order so consecutive retries move on
+// instead of hammering the same dead node.
+func (rt *Router) readCandidates(topo *topology, hw []uint64, attempt int) []*node {
+	var cands, stale []*node
+	if topo.leader.available(rt.cfg.ReopenAfter) {
+		cands = append(cands, topo.leader)
 	}
-	for _, r := range p.replicas {
-		if r.available(reopenAfter) {
-			cands = append(cands, r)
+	for _, r := range topo.replicas {
+		if !r.available(rt.cfg.ReopenAfter) {
+			continue
+		}
+		if v, seen := r.lastLSNs(); seen && !vectorCovers(v, hw) {
+			stale = append(stale, r)
+			continue
+		}
+		cands = append(cands, r)
+	}
+	if len(cands) > 1 {
+		if attempt == 0 && !rt.cfg.NoReadBalance {
+			rt.balance(cands)
+		} else if attempt > 0 {
+			rot := attempt % len(cands)
+			cands = append(cands[rot:], cands[:rot]...)
 		}
 	}
-	if len(cands) > 1 && attempt > 0 {
-		rot := attempt % len(cands)
-		cands = append(cands[rot:], cands[:rot]...)
+	return append(cands, stale...)
+}
+
+// balance applies power-of-two-choices to the qualified candidates: sample
+// two distinct nodes, make the one with the lower median observed latency
+// the primary and the other the hedge (positions 0 and 1). Randomizing the
+// pair spreads steady-state reads across leader and fresh replicas instead
+// of pinning them all on the leader; choosing the better of two keeps the
+// spread from loading a slow node — the classic balanced-allocations result.
+func (rt *Router) balance(cands []*node) {
+	rt.rngMu.Lock()
+	i := rt.rng.Intn(len(cands))
+	j := rt.rng.Intn(len(cands) - 1)
+	rt.rngMu.Unlock()
+	if j >= i {
+		j++
 	}
-	return cands
+	if cands[j].lat.quantile(0.5) < cands[i].lat.quantile(0.5) {
+		i, j = j, i
+	}
+	cands[0], cands[i] = cands[i], cands[0]
+	if j == 0 {
+		// The loser originally sat where the winner landed.
+		j = i
+	}
+	cands[1], cands[j] = cands[j], cands[1]
 }
 
 // fetchOn runs one bounded attempt against one node and applies the breaker
 // and freshness disciplines. Returns the response body on 200.
-func (rt *Router) fetchOn(ctx context.Context, p *partition, n *node, method, path string, body []byte, hw []uint64) ([]byte, error) {
+func (rt *Router) fetchOn(ctx context.Context, topo *topology, n *node, method, path string, body []byte, hw []uint64) ([]byte, error) {
 	tctx, cancel := context.WithTimeout(ctx, rt.cfg.TryTimeout)
 	defer cancel()
 	var rd io.Reader
@@ -379,10 +464,16 @@ func (rt *Router) fetchOn(ctx context.Context, p *partition, n *node, method, pa
 		return nil, &terminalError{status: resp.StatusCode, body: data}
 	}
 	n.ok()
-	if n != p.leader {
+	if n != topo.leader {
 		// A replica's answer is admissible only when its snapshot covers
-		// every write this router has acknowledged for the partition.
-		if !vectorCovers(parseLSNs(resp.Header.Get("X-SD-Repl-Lsns")), hw) {
+		// every write this router has acknowledged for the partition. Either
+		// way the reported vector refreshes the node's freshness cache, which
+		// read candidate selection consults (readCandidates).
+		v := parseLSNs(resp.Header.Get("X-SD-Repl-Lsns"))
+		if v != nil {
+			n.setLSNs(v)
+		}
+		if !vectorCovers(v, hw) {
 			rt.met.staleRejects.Add(1)
 			return nil, errStale
 		}
@@ -419,7 +510,7 @@ func (rt *Router) hedgeDelay(primary *node) time.Duration {
 // fails. First success wins; the loser is cancelled. Reads are the only
 // hedged operations — writes go through writeToLeader, where an ambiguous
 // outcome is retried under the same idempotent ID instead of raced.
-func (rt *Router) hedgedFetch(ctx context.Context, p *partition, primary, hedge *node, method, path string, body []byte, hw []uint64) ([]byte, error) {
+func (rt *Router) hedgedFetch(ctx context.Context, topo *topology, primary, hedge *node, method, path string, body []byte, hw []uint64) ([]byte, error) {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type result struct {
@@ -429,7 +520,7 @@ func (rt *Router) hedgedFetch(ctx context.Context, p *partition, primary, hedge 
 	ch := make(chan result, 2)
 	launch := func(n *node) {
 		go func() {
-			data, err := rt.fetchOn(cctx, p, n, method, path, body, hw)
+			data, err := rt.fetchOn(cctx, topo, n, method, path, body, hw)
 			ch <- result{data, err}
 		}()
 	}
@@ -498,7 +589,10 @@ func (rt *Router) partitionFetch(ctx context.Context, p *partition, method, path
 				backoff = rt.cfg.BackoffCap
 			}
 		}
-		cands := p.readCandidates(rt.cfg.ReopenAfter, attempt)
+		// Reload the topology each attempt: a promotion mid-read moves the
+		// leader, and later attempts should see the new regime.
+		topo := p.topo.Load()
+		cands := rt.readCandidates(topo, hw, attempt)
 		if len(cands) == 0 {
 			lastErr = errNoCandidates
 			continue
@@ -507,7 +601,7 @@ func (rt *Router) partitionFetch(ctx context.Context, p *partition, method, path
 		if len(cands) > 1 {
 			hedge = cands[1]
 		}
-		data, err := rt.hedgedFetch(ctx, p, cands[0], hedge, method, path, body, hw)
+		data, err := rt.hedgedFetch(ctx, topo, cands[0], hedge, method, path, body, hw)
 		if err == nil {
 			return data, nil
 		}
@@ -617,7 +711,12 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 
+	// Scan every partition's outcome before answering: each failed partition
+	// counts exactly once, and a terminal verdict anywhere wins over the
+	// retryable failures — the request itself is invalid, and answering 503
+	// for it would invite a pointless client retry.
 	var live [][]wireResult
+	var terminal *terminalError
 	failed := 0
 	for i := range errs {
 		if errs[i] == nil {
@@ -627,13 +726,16 @@ func (rt *Router) handleTopK(w http.ResponseWriter, r *http.Request) {
 		failed++
 		rt.met.partitionFailures.Add(1)
 		var te *terminalError
-		if errors.As(errs[i], &te) {
-			// The request itself is invalid — every partition would agree.
-			// Relay the node's own verdict (status and body), exactly as a
-			// single node would have answered.
-			rt.relayTerminal(w, te)
-			return
+		if terminal == nil && errors.As(errs[i], &te) {
+			terminal = te
 		}
+	}
+	if terminal != nil {
+		// The request itself is invalid — every partition would agree. Relay
+		// the node's own verdict (status and body), exactly as a single node
+		// would have answered.
+		rt.relayTerminal(w, terminal)
+		return
 	}
 	if failed > 0 && (!allowPartial(r) || failed == len(rt.parts)) {
 		rt.met.unavailable.Add(1)
@@ -705,20 +807,33 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(i, p)
 	}
 	wg.Wait()
+	// Scan every outcome before answering — returning on the first error
+	// would let a retryable failure in an early partition mask a later
+	// partition's terminal verdict behind a 503, and would count only one of
+	// several failed partitions.
+	var terminal *terminalError
+	failed := 0
 	for _, err := range errs {
-		if err != nil {
-			var te *terminalError
-			if errors.As(err, &te) {
-				rt.relayTerminal(w, te)
-				return
-			}
-			// Batches have no partial mode: a batch is usually a programmatic
-			// consumer that wants all-or-nothing.
-			rt.met.unavailable.Add(1)
-			rt.met.partitionFailures.Add(1)
-			writeError(w, http.StatusServiceUnavailable, joinErrs(errs))
-			return
+		if err == nil {
+			continue
 		}
+		failed++
+		rt.met.partitionFailures.Add(1)
+		var te *terminalError
+		if terminal == nil && errors.As(err, &te) {
+			terminal = te
+		}
+	}
+	if terminal != nil {
+		rt.relayTerminal(w, terminal)
+		return
+	}
+	if failed > 0 {
+		// Batches have no partial mode: a batch is usually a programmatic
+		// consumer that wants all-or-nothing.
+		rt.met.unavailable.Add(1)
+		writeError(w, http.StatusServiceUnavailable, joinErrs(errs))
+		return
 	}
 	out := struct {
 		Results [][]wireResult `json:"results"`

@@ -42,10 +42,11 @@ type NodeStatz struct {
 
 // PartitionStatz is one partition's block in the router's Statz.
 type PartitionStatz struct {
-	Name     string      `json:"name"`
-	Leader   NodeStatz   `json:"leader"`
-	Replicas []NodeStatz `json:"replicas"`
-	HW       []uint64    `json:"write_watermark,omitempty"`
+	Name       string      `json:"name"`
+	Generation uint64      `json:"generation"`
+	Leader     NodeStatz   `json:"leader"`
+	Replicas   []NodeStatz `json:"replicas"`
+	HW         []uint64    `json:"write_watermark,omitempty"`
 }
 
 // Statz is the router's JSON diagnostic snapshot.
@@ -64,6 +65,8 @@ type Statz struct {
 	PartitionFailures uint64 `json:"partition_failures"`
 	Unavailable       uint64 `json:"unavailable_responses"`
 	Errors4xx         uint64 `json:"errors_4xx"`
+	Promotions        uint64 `json:"promotions"`
+	Demotions         uint64 `json:"demotions"`
 	NextID            int64  `json:"next_id"`
 }
 
@@ -90,11 +93,14 @@ func (rt *Router) Statz() Statz {
 		PartitionFailures: rt.met.partitionFailures.Load(),
 		Unavailable:       rt.met.unavailable.Load(),
 		Errors4xx:         rt.met.errors4xx.Load(),
+		Promotions:        rt.met.promotions.Load(),
+		Demotions:         rt.met.demotions.Load(),
 		NextID:            rt.nextID.Load(),
 	}
 	for _, p := range rt.parts {
-		ps := PartitionStatz{Name: p.name, Leader: nodeStatz(p.leader), HW: p.hwVector()}
-		for _, r := range p.replicas {
+		topo := p.topo.Load()
+		ps := PartitionStatz{Name: p.name, Generation: topo.gen, Leader: nodeStatz(topo.leader), HW: p.hwVector()}
+		for _, r := range topo.replicas {
 			ps.Replicas = append(ps.Replicas, nodeStatz(r))
 		}
 		st.Partitions = append(st.Partitions, ps)
@@ -109,7 +115,7 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	dead := ""
 	for _, p := range rt.parts {
 		anyUp := false
-		for _, n := range p.nodes() {
+		for _, n := range p.topo.Load().nodes() {
 			anyUp = anyUp || n.healthy()
 		}
 		if !anyUp {
@@ -126,12 +132,17 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "ok\nrole: router\n")
 	for _, p := range rt.parts {
-		for _, n := range p.nodes() {
+		topo := p.topo.Load()
+		for _, n := range topo.nodes() {
 			state := "up"
 			if !n.healthy() {
 				state = "ejected"
 			}
-			fmt.Fprintf(w, "node %s (%s): %s\n", n.url, p.name, state)
+			role := "replica"
+			if n == topo.leader {
+				role = "leader"
+			}
+			fmt.Fprintf(w, "node %s (%s, %s): %s\n", n.url, p.name, role, state)
 		}
 	}
 }
@@ -158,18 +169,24 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"sdrouter_degraded_responses_total", "allow_partial responses served with a degraded marker.", "counter", st.Degraded},
 		{"sdrouter_partition_failures_total", "Partition-level fetch failures.", "counter", st.PartitionFailures},
 		{"sdrouter_unavailable_total", "Requests answered 503.", "counter", st.Unavailable},
+		{"sdrouter_promotions_total", "Replicas promoted to partition leader.", "counter", st.Promotions},
+		{"sdrouter_demotions_total", "Stale leaders demoted to follower.", "counter", st.Demotions},
 	}
 	for _, s := range series {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", s.name, s.help, s.name, s.kind, s.name, s.v)
 	}
 	fmt.Fprintf(w, "# HELP sdrouter_node_up Node health by URL (1 = breaker closed).\n# TYPE sdrouter_node_up gauge\n")
 	for _, p := range rt.parts {
-		for _, n := range p.nodes() {
+		for _, n := range p.topo.Load().nodes() {
 			up := 0
 			if n.healthy() {
 				up = 1
 			}
 			fmt.Fprintf(w, "sdrouter_node_up{partition=%q,url=%q} %d\n", p.name, n.url, up)
 		}
+	}
+	fmt.Fprintf(w, "# HELP sdrouter_partition_generation Fencing generation by partition.\n# TYPE sdrouter_partition_generation gauge\n")
+	for _, p := range rt.parts {
+		fmt.Fprintf(w, "sdrouter_partition_generation{partition=%q} %d\n", p.name, p.topo.Load().gen)
 	}
 }

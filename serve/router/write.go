@@ -140,7 +140,8 @@ func (rt *Router) seedIDs(ctx context.Context) error {
 
 // idSpaceOf asks one partition's leader how large its ID space is.
 func (rt *Router) idSpaceOf(ctx context.Context, p *partition) (int, error) {
-	data, err := rt.fetchOn(ctx, p, p.leader, http.MethodGet, "/statz", nil, nil)
+	topo := p.topo.Load()
+	data, err := rt.fetchOn(ctx, topo, topo.leader, http.MethodGet, "/statz", nil, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -187,11 +188,14 @@ func (rt *Router) writeToLeader(ctx context.Context, p *partition, method, path 
 				backoff = rt.cfg.BackoffCap
 			}
 		}
-		if !p.leader.available(rt.cfg.ReopenAfter) {
+		// Load the topology per attempt: a promotion mid-write re-points the
+		// leader, and the retry should go to the new one.
+		topo := p.topo.Load()
+		if !topo.leader.available(rt.cfg.ReopenAfter) {
 			lastErr = fmt.Errorf("router: partition %s leader is ejected", p.name)
 			continue
 		}
-		data, hdr, err := rt.writeOn(ctx, p, method, path, body)
+		data, hdr, err := rt.writeOn(ctx, p, topo, method, path, body)
 		if err == nil {
 			return data, hdr, nil
 		}
@@ -204,36 +208,50 @@ func (rt *Router) writeToLeader(ctx context.Context, p *partition, method, path 
 	return nil, nil, lastErr
 }
 
-// writeOn is one bounded write attempt against the leader, lifting the
-// partition's high-watermark from the ack's LSN vector on success.
-func (rt *Router) writeOn(ctx context.Context, p *partition, method, path string, body []byte) ([]byte, http.Header, error) {
+// writeOn is one bounded write attempt against the topology's leader,
+// lifting the partition's high-watermark from the ack's LSN vector on
+// success. The request is stamped with the topology generation — a node at
+// any other generation refuses it with 503 — and the ack's generation is
+// validated against the partition's CURRENT generation before the write is
+// trusted: if a promotion landed while this write was in flight, the ack
+// came from a deposed leader whose unreplicated tail will be discarded on
+// demote, so the outcome is treated as an ambiguous failure and retried
+// against the new regime instead of acknowledged to the client.
+func (rt *Router) writeOn(ctx context.Context, p *partition, topo *topology, method, path string, body []byte) ([]byte, http.Header, error) {
+	leader := topo.leader
 	tctx, cancel := context.WithTimeout(ctx, rt.cfg.TryTimeout)
 	defer cancel()
-	req, err := newBodyRequest(tctx, method, p.leader.url+path, body)
+	req, err := newBodyRequest(tctx, method, leader.url+path, body)
 	if err != nil {
 		return nil, nil, err
 	}
+	req.Header.Set("X-SD-Generation", strconv.FormatUint(topo.gen, 10))
 	resp, err := rt.client.Do(req)
 	if err != nil {
-		p.leader.fail(int32(rt.cfg.FailAfter))
+		leader.fail(int32(rt.cfg.FailAfter))
 		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := readAllBounded(resp.Body)
 	if err != nil {
-		p.leader.fail(int32(rt.cfg.FailAfter))
+		leader.fail(int32(rt.cfg.FailAfter))
 		return nil, nil, err
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		p.leader.ok()
+		leader.ok()
+		if ag := resp.Header.Get("X-SD-Generation"); ag != "" {
+			if cur := p.topo.Load().gen; ag != strconv.FormatUint(cur, 10) {
+				return nil, nil, fmt.Errorf("router: %s acked under generation %s but the partition moved to %d; retrying against the new leader", leader.url, ag, cur)
+			}
+		}
 		p.raiseHW(parseLSNs(resp.Header.Get("X-SD-Repl-Lsns")))
 		return data, resp.Header, nil
 	case resp.StatusCode >= http.StatusInternalServerError,
 		resp.StatusCode == http.StatusTooManyRequests,
 		resp.StatusCode == http.StatusServiceUnavailable:
-		p.leader.fail(int32(rt.cfg.FailAfter))
-		return nil, nil, fmt.Errorf("router: %s answered %d", p.leader.url, resp.StatusCode)
+		leader.fail(int32(rt.cfg.FailAfter))
+		return nil, nil, fmt.Errorf("router: %s answered %d", leader.url, resp.StatusCode)
 	default:
 		// 409 included: a conflicting occupant is a real error the client
 		// must see, never something a retry may paper over.
@@ -303,9 +321,36 @@ func (rt *Router) handleInsert(w http.ResponseWriter, r *http.Request) {
 		rt.relayWriteErr(w, err)
 		return
 	}
+	if wi.ID != nil {
+		rt.adoptExplicitID(r.Context(), id)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
+}
+
+// adoptExplicitID lifts the global ID allocator above a committed
+// client-supplied ID. Without it the counter never learns about explicit
+// IDs, and a later auto-allocated insert re-issues one of them — the node
+// then answers 409 (or worse, 200-duplicate for an identical point) for a
+// write the router just minted as fresh.
+func (rt *Router) adoptExplicitID(ctx context.Context, id int) {
+	// Seed first: CAS-maxing an unseeded counter (-1) would make seedIDs
+	// believe seeding already happened and skip the cluster-wide scan. If
+	// seeding fails, skip the adoption — the explicit ID just committed, so
+	// the eventual seed scan will see an ID space above it anyway.
+	if err := rt.seedIDs(ctx); err != nil {
+		return
+	}
+	for {
+		cur := rt.nextID.Load()
+		if cur >= int64(id)+1 {
+			return
+		}
+		if rt.nextID.CompareAndSwap(cur, int64(id)+1) {
+			return
+		}
+	}
 }
 
 func (rt *Router) handleRemove(w http.ResponseWriter, r *http.Request) {

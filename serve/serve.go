@@ -130,6 +130,7 @@ type config struct {
 	loadOpts   []sdquery.SDOption
 
 	followInterval time.Duration // follower poll cadence (follower.go)
+	promoteWALDir  string        // where a promoted follower opens its WAL (promote.go)
 }
 
 // WithCoalesceWindow sets how long the admission layer holds the first
@@ -227,14 +228,29 @@ type Server struct {
 
 	// serverID is the random half of the replication source token (repl.go);
 	// repl is non-nil exactly on followers (follower.go) and makes the write
-	// endpoints answer 503 + leader hint.
+	// endpoints answer 503 + leader hint. It is an atomic pointer because the
+	// role changes at runtime: promotion clears it, demotion installs a fresh
+	// followerState (promote.go).
 	serverID string
-	repl     *followerState
+	repl     atomic.Pointer[followerState]
+
+	// gen is the node's cluster generation — the fencing token of the
+	// promotion protocol. It only moves forward, and only through the fenced
+	// admin endpoints; a write stamped with any other generation is refused,
+	// which is what keeps a deposed leader from accepting traffic a newer
+	// generation already owns.
+	gen atomic.Uint64
 
 	writeSem chan struct{}
 	batchSem chan struct{}
 
-	swapMu   sync.Mutex // serializes /v1/admin/swap
+	// ownsIndex marks an index the server built itself (NewFollower's
+	// bootstrap, and every index the role machinery swaps in after it), which
+	// Close must therefore release. A promoted ex-follower keeps owning its
+	// index even though repl is nil.
+	ownsIndex atomic.Bool
+
+	swapMu   sync.Mutex // serializes /v1/admin/swap and promote/demote
 	draining atomic.Bool
 
 	hsMu sync.Mutex
@@ -296,6 +312,8 @@ func New(idx Index, opts ...Option) *Server {
 	mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	mux.HandleFunc("DELETE /v1/points/{id}", s.handleRemove)
 	mux.HandleFunc("POST /v1/admin/swap", s.handleSwap)
+	mux.HandleFunc("POST /v1/admin/promote", s.handlePromote)
+	mux.HandleFunc("POST /v1/admin/demote", s.handleDemote)
 	mux.HandleFunc("GET /v1/repl/manifest", s.handleReplManifest)
 	mux.HandleFunc("GET /v1/repl/segment", s.handleReplSegment)
 	mux.HandleFunc("GET /v1/repl/wal", s.handleReplWAL)
@@ -323,7 +341,8 @@ func (s *Server) Statz() Statz {
 	if t, ok := idx.(totaler); ok {
 		st.IndexIDSpace = t.Total()
 	}
-	if f := s.repl; f != nil {
+	st.Generation = s.gen.Load()
+	if f := s.repl.Load(); f != nil {
 		st.Role = "follower"
 		st.Repl = &ReplStatz{
 			Leader:           f.leaderURL,
@@ -405,7 +424,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	if s.repl != nil {
+	if s.repl.Load() != nil {
 		// A follower labels every answer with the LSN vector of the snapshot
 		// that produced it, read BEFORE the answer is computed (including the
 		// cache lookup) so concurrent replication can only make the label
@@ -601,6 +620,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if status = s.refuseFollowerWrite(w); status != http.StatusOK {
 		return
 	}
+	if status = s.refuseFencedWrite(w, r); status != http.StatusOK {
+		return
+	}
 	if st, bad := s.walDegraded(); bad {
 		status = http.StatusServiceUnavailable
 		writeError(w, status, fmt.Errorf("serve: index is read-only: %w", st.Err))
@@ -677,7 +699,7 @@ func (s *Server) insertWithID(w http.ResponseWriter, idx Index, id int, point []
 // refuseFollowerWrite answers a mutation on a follower with 503, Retry-After,
 // and the leader's address, returning the status to record (200 = proceed).
 func (s *Server) refuseFollowerWrite(w http.ResponseWriter) int {
-	f := s.repl
+	f := s.repl.Load()
 	if f == nil {
 		return http.StatusOK
 	}
@@ -685,6 +707,34 @@ func (s *Server) refuseFollowerWrite(w http.ResponseWriter) int {
 	writeError(w, http.StatusServiceUnavailable,
 		fmt.Errorf("serve: node is a read-only follower; write to the leader at %s", f.leaderURL))
 	return http.StatusServiceUnavailable
+}
+
+// refuseFencedWrite enforces the promotion fence on the write path. A router
+// stamps every write with the generation of the topology it routed under
+// (X-SD-Generation); a node at any other generation refuses it with 503 —
+// the request was routed under a topology that no longer describes this
+// node, and the router's retry will land on the generation's real leader.
+// Requests without the header (single-node deployments, direct clients)
+// pass untouched. Whatever the verdict, the response carries the node's own
+// generation so the caller learns where the cluster actually is.
+func (s *Server) refuseFencedWrite(w http.ResponseWriter, r *http.Request) int {
+	cur := s.gen.Load()
+	w.Header().Set(headerGeneration, strconv.FormatUint(cur, 10))
+	h := r.Header.Get(headerGeneration)
+	if h == "" {
+		return http.StatusOK
+	}
+	g, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: %s header %q: %w", headerGeneration, h, err))
+		return http.StatusBadRequest
+	}
+	if g != cur {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("serve: write fenced: request carries generation %d, node is at %d", g, cur))
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusOK
 }
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -709,6 +759,9 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if status = s.refuseFollowerWrite(w); status != http.StatusOK {
 		return
 	}
+	if status = s.refuseFencedWrite(w, r); status != http.StatusOK {
+		return
+	}
 	if st, bad := s.walDegraded(); bad {
 		status = http.StatusServiceUnavailable
 		writeError(w, status, fmt.Errorf("serve: index is read-only: %w", st.Err))
@@ -718,19 +771,40 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	// per the sync policy; RemoveDurable surfaces the log verdict where the
 	// bool-only Remove would swallow it.
 	idx := s.Index()
+	var removed bool
 	if dr, ok := idx.(durableRemover); ok {
-		removed, err := dr.RemoveDurable(id)
+		removed, err = dr.RemoveDurable(id)
 		if err != nil {
 			status = statusFor(err)
 			writeError(w, status, err)
 			return
 		}
-		setReplLSNs(w, idx)
-		writeJSON(w, http.StatusOK, removeResponse{ID: id, Removed: removed})
-		return
+	} else {
+		removed = idx.Remove(id)
+	}
+	if !removed {
+		removed = s.tombstoned(idx, id)
 	}
 	setReplLSNs(w, idx)
-	writeJSON(w, http.StatusOK, removeResponse{ID: id, Removed: idx.Remove(id)})
+	writeJSON(w, http.StatusOK, removeResponse{ID: id, Removed: removed})
+}
+
+// tombstoned reports whether id holds a removed-but-still-located row — the
+// ack-idempotency shield for deletes, mirroring the insert duplicate-200:
+// a retried DELETE whose first attempt committed (ack lost in transit) finds
+// the tombstone and answers removed:true exactly like the original, instead
+// of reporting failure for a delete that succeeded. The probe is sound
+// because rows never resurrect: "locatable but not live" can only mean
+// tombstoned. An ID physically reclaimed by compaction locates nowhere and
+// keeps reporting removed:false — that window is the log-retention horizon,
+// same as replication's.
+func (s *Server) tombstoned(idx Index, id int) bool {
+	ii, ok := idx.(idInserter)
+	if !ok {
+		return false
+	}
+	_, found := ii.PointByID(id)
+	return found
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -743,6 +817,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	// Role and generation ride as headers so a router's health probe learns
+	// both without a second request — the demotion driver keys off a healthy
+	// node claiming leadership under a stale generation.
+	f := s.repl.Load()
+	role := "leader"
+	if f != nil {
+		role = "follower"
+	}
+	w.Header().Set(headerRole, role)
+	w.Header().Set(headerGeneration, strconv.FormatUint(s.gen.Load(), 10))
 	if _, bad := s.walDegraded(); bad {
 		// Still alive — reads answer fine — so the liveness probe stays 200;
 		// the body tells operators (and the readiness tier, if it reads it)
@@ -750,7 +834,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "degraded: write-ahead log failed; serving read-only")
 		return
 	}
-	if f := s.repl; f != nil {
+	if f != nil {
 		fmt.Fprintf(w, "ok\nrole: follower\nleader: %s\nrepl_lag_records: %d\n", f.leaderURL, f.lag.Load())
 		return
 	}
@@ -820,8 +904,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // follower also closes its index — NewFollower built it, so nobody else
 // holds it.
 func (s *Server) Close() {
-	if s.repl != nil {
-		s.repl.stop()
+	if f := s.repl.Load(); f != nil {
+		f.stop()
+	}
+	if s.ownsIndex.Load() {
 		if c, ok := s.Index().(closer); ok {
 			c.Close()
 		}

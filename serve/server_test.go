@@ -295,7 +295,10 @@ func TestInsertRemove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for attempt, wantRemoved := range []bool{true, false} {
+	// Both attempts answer removed:true — deletes are ack-idempotent: a
+	// retried DELETE whose first attempt committed (ack lost) finds the
+	// tombstone and reports the same success the original would have.
+	for attempt, wantRemoved := range []bool{true, true} {
 		resp, err := ts.Client().Do(req)
 		if err != nil {
 			t.Fatal(err)
